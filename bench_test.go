@@ -1,0 +1,336 @@
+// Benchmark harness: one benchmark per paper table/figure (see
+// DESIGN.md's per-experiment index). Each benchmark regenerates its
+// artifact at a reduced scale and reports the experiment's headline
+// metric alongside the usual time/allocation numbers, so
+// `go test -bench=. -benchmem` doubles as the reproduction run.
+package ndnprivacy_test
+
+import (
+	"testing"
+	"time"
+
+	"ndnprivacy/internal/attack"
+	"ndnprivacy/internal/experiments"
+)
+
+// benchObjects/benchRuns scale the Figure 3 scenarios per iteration.
+const (
+	benchObjects = 60
+	benchRuns    = 2
+)
+
+func fig3cfg(seed int64) experiments.Figure3Config {
+	return experiments.Figure3Config{Seed: seed, Objects: benchObjects, Runs: benchRuns}
+}
+
+// BenchmarkFigure3aLAN regenerates Figure 3(a): LAN hit/miss RTT PDFs
+// and the adversary's distinguishing probability (paper: >99.9%).
+func BenchmarkFigure3aLAN(b *testing.B) {
+	acc := 0.0
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Figure3a(fig3cfg(int64(i + 1)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		acc = res.Result.Accuracy
+	}
+	b.ReportMetric(acc, "accuracy")
+}
+
+// BenchmarkFigure3bWAN regenerates Figure 3(b) (paper: >99%).
+func BenchmarkFigure3bWAN(b *testing.B) {
+	acc := 0.0
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Figure3b(fig3cfg(int64(i + 1)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		acc = res.Result.Accuracy
+	}
+	b.ReportMetric(acc, "accuracy")
+}
+
+// BenchmarkFigure3cProducer regenerates Figure 3(c): producer privacy,
+// weak single-probe signal (paper: ≈59%).
+func BenchmarkFigure3cProducer(b *testing.B) {
+	acc := 0.0
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Figure3c(fig3cfg(int64(i + 1)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		acc = res.Result.Accuracy
+	}
+	b.ReportMetric(acc, "accuracy")
+}
+
+// BenchmarkFigure3dLocal regenerates Figure 3(d): local-host cache
+// probing by a malicious application.
+func BenchmarkFigure3dLocal(b *testing.B) {
+	acc := 0.0
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Figure3d(fig3cfg(int64(i + 1)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		acc = res.Result.Accuracy
+	}
+	b.ReportMetric(acc, "accuracy")
+}
+
+// BenchmarkSegmentAmplification regenerates the in-text result
+// Pr[SUCCESS] = 1 − 0.41^n (paper: ≈0.999 at n = 8).
+func BenchmarkSegmentAmplification(b *testing.B) {
+	success := 0.0
+	for i := 0; i < b.N; i++ {
+		rows := experiments.SegmentAmplification(0.59, 8)
+		success = rows[len(rows)-1].Success
+	}
+	b.ReportMetric(success, "success@8")
+}
+
+// BenchmarkFigure4aUtility regenerates Figure 4(a): utility vs privacy
+// for both Random-Cache schemes at δ = 0.05, k ∈ {1, 5}.
+func BenchmarkFigure4aUtility(b *testing.B) {
+	gap := 0.0
+	for i := 0; i < b.N; i++ {
+		for _, k := range []uint64{1, 5} {
+			res, err := experiments.Figure4a(k, 0.05, []float64{0.03, 0.04, 0.05}, 100)
+			if err != nil {
+				b.Fatal(err)
+			}
+			gap = res.Expo[0].Values[99] - res.Uniform.Values[99]
+		}
+	}
+	b.ReportMetric(gap, "expo-uni@c=100")
+}
+
+// BenchmarkFigure4bDifference regenerates Figure 4(b): the maximal
+// utility difference at ε = −ln(1−δ) (paper: up to ≈0.12).
+func BenchmarkFigure4bDifference(b *testing.B) {
+	peak := 0.0
+	for i := 0; i < b.N; i++ {
+		for _, k := range []uint64{1, 5} {
+			res, err := experiments.Figure4b(k, []float64{0.01, 0.03, 0.05}, 100)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if p := res.MaxDifference(len(res.Diffs) - 1); p > peak {
+				peak = p
+			}
+		}
+	}
+	b.ReportMetric(peak, "peak-diff")
+}
+
+// BenchmarkFigure5aAlgorithms regenerates Figure 5(a): trace-driven hit
+// rates for all four algorithms across the cache-size sweep.
+func BenchmarkFigure5aAlgorithms(b *testing.B) {
+	spread := 0.0
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Figure5a(experiments.Figure5Config{Seed: int64(i + 1), Requests: 20000})
+		if err != nil {
+			b.Fatal(err)
+		}
+		lo, hi := 100.0, 0.0
+		for _, row := range res.Rows {
+			if row.CacheSize != 0 {
+				continue
+			}
+			if row.HitRate < lo {
+				lo = row.HitRate
+			}
+			if row.HitRate > hi {
+				hi = row.HitRate
+			}
+		}
+		spread = hi - lo
+	}
+	b.ReportMetric(spread, "privacy-cost-pp@Inf")
+}
+
+// BenchmarkFigure5bPrivateFraction regenerates Figure 5(b): the
+// Exponential-Random-Cache private-fraction sweep.
+func BenchmarkFigure5bPrivateFraction(b *testing.B) {
+	drop := 0.0
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Figure5b(experiments.Figure5Config{Seed: int64(i + 1), Requests: 20000}, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var h5, h40 float64
+		for _, row := range res.Rows {
+			if row.CacheSize != 0 {
+				continue
+			}
+			switch row.Algorithm {
+			case "5% Private":
+				h5 = row.HitRate
+			case "40% Private":
+				h40 = row.HitRate
+			}
+		}
+		drop = h5 - h40
+	}
+	b.ReportMetric(drop, "hit-drop-5to40-pp")
+}
+
+// BenchmarkCorrelationAttack regenerates the Section VI correlation
+// attack (E10): ungrouped detection grows with the related-set size;
+// grouped stays flat.
+func BenchmarkCorrelationAttack(b *testing.B) {
+	gap := 0.0
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunCorrelation(experiments.CorrelationConfig{
+			Seed: int64(i + 1), Trials: 400,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := res.Rows[len(res.Rows)-1]
+		gap = last.UngroupedDetection - last.GroupedDetection
+	}
+	b.ReportMetric(gap, "detect-gap@n=32")
+}
+
+// BenchmarkLossRecovery regenerates the Section V-A loss-recovery
+// demonstration (E11).
+func BenchmarkLossRecovery(b *testing.B) {
+	speedup := 0.0
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunLossRecovery(experiments.LossRecoveryConfig{
+			Seed: int64(i + 1), Packets: 200,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		var cached, bare float64
+		for _, row := range res.Rows {
+			if row.Caching {
+				cached = row.RetryMeanMs
+			} else {
+				bare = row.RetryMeanMs
+			}
+		}
+		if cached > 0 {
+			speedup = bare / cached
+		}
+	}
+	b.ReportMetric(speedup, "retry-speedup")
+}
+
+// BenchmarkScopeProbe regenerates the Section III scope-field probe
+// (E12).
+func BenchmarkScopeProbe(b *testing.B) {
+	correct := 0.0
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunScopeProbe(int64(i + 1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.BeforePriming && res.AfterPriming {
+			correct = 1
+		}
+	}
+	b.ReportMetric(correct, "probe-correct")
+}
+
+// BenchmarkAblationEviction compares LRU/FIFO/LFU hit rates on the
+// default workload (design-choice ablation from DESIGN.md).
+func BenchmarkAblationEviction(b *testing.B) {
+	lruEdge := 0.0
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunEvictionAblation(int64(i+1), 20000, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rates := make(map[string]float64)
+		for _, row := range res.Rows {
+			if row.CacheSize == 200 {
+				rates[row.Policy] = row.HitRate
+			}
+		}
+		lruEdge = rates["lru"] - rates["fifo"]
+	}
+	b.ReportMetric(lruEdge, "lru-vs-fifo-pp")
+}
+
+// BenchmarkAblationDelayStrategy quantifies the Section V-B delay
+// strategy trade-off (design-choice ablation from DESIGN.md).
+func BenchmarkAblationDelayStrategy(b *testing.B) {
+	penalty := 0.0
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunDelayStrategyAblation(20 * time.Millisecond)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, row := range res.Rows {
+			if row.Strategy == "constant" {
+				penalty = row.NearPenaltyMs
+			}
+		}
+	}
+	b.ReportMetric(penalty, "const-near-penalty-ms")
+}
+
+// BenchmarkDelayPlacement regenerates the footnote-6 placement study
+// (E14): consumer-facing-only delaying vs delaying everywhere.
+func BenchmarkDelayPlacement(b *testing.B) {
+	latencyGap := 0.0
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunDelayPlacement(experiments.PlacementConfig{
+			Seed: int64(i + 1), Objects: 40,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		var consumer, all experiments.PlacementRow
+		for _, row := range res.Rows {
+			switch row.Policy {
+			case "consumer-facing":
+				consumer = row
+			case "all":
+				all = row
+			}
+		}
+		latencyGap = all.InteriorHitLatencyMs - consumer.InteriorHitLatencyMs
+	}
+	b.ReportMetric(latencyGap, "interior-latency-cost-ms")
+}
+
+// BenchmarkConversationDetection regenerates the Section I two-party
+// conversation-detection claim and its Section V-A defeat (E13).
+func BenchmarkConversationDetection(b *testing.B) {
+	gap := 0.0
+	for i := 0; i < b.N; i++ {
+		res, err := attack.RunConversationDetection(attack.ConversationConfig{
+			Seed: int64(i + 1), Frames: 10, Trials: 3,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		gap = res.PlainAccuracy - res.ProtectedAccuracy
+	}
+	b.ReportMetric(gap, "plain-minus-protected")
+}
+
+// BenchmarkCountermeasureResidualAccuracy measures how far each
+// Section V countermeasure pushes the LAN adversary back toward a coin
+// flip (ties Figure 3 to Section V).
+func BenchmarkCountermeasureResidualAccuracy(b *testing.B) {
+	residual := 1.0
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunCountermeasures(experiments.Figure3Config{
+			Seed: int64(i + 1), Objects: 40, Runs: 1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, row := range res.Rows[1:] {
+			if row.Accuracy < residual {
+				residual = row.Accuracy
+			}
+		}
+	}
+	b.ReportMetric(residual, "best-residual-accuracy")
+}

@@ -1,0 +1,91 @@
+// Command cacheprivacy regenerates the analytic Figure 4 panels — the
+// privacy/utility trade-off of Uniform- versus Exponential-Random-Cache
+// (Theorems VI.1–VI.4) — and prints the privacy bounds for arbitrary
+// scheme parameters.
+//
+// Usage:
+//
+//	cacheprivacy -fig 4a|4b|all [-json]
+//	cacheprivacy -bound -k 5 -eps 0.005 -delta 0.05
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ndnprivacy/internal/core"
+	"ndnprivacy/internal/experiments"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "cacheprivacy: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	fig := flag.String("fig", "all", "figure: 4a, 4b, all")
+	bound := flag.Bool("bound", false, "print privacy bounds and utility for -k/-eps/-delta instead of figures")
+	k := flag.Uint64("k", 5, "popularity threshold k")
+	eps := flag.Float64("eps", 0.005, "privacy parameter ε")
+	delta := flag.Float64("delta", 0.05, "privacy parameter δ")
+	maxC := flag.Uint64("maxc", 100, "largest request count c")
+	jsonMode := flag.Bool("json", false, "emit structured JSON instead of tables")
+	flag.Parse()
+
+	if *bound {
+		return printBounds(*k, *eps, *delta, *maxC)
+	}
+
+	switch *fig {
+	case "all", "4a", "4b":
+	default:
+		return fmt.Errorf("unknown -fig %q", *fig)
+	}
+	all := *fig == "all"
+	report := experiments.NewReporter(os.Stdout, *jsonMode)
+
+	if all || *fig == "4a" {
+		for _, kv := range []uint64{1, 5} {
+			res, err := experiments.Figure4a(kv, 0.05, []float64{0.03, 0.04, 0.05}, *maxC)
+			if err != nil {
+				return err
+			}
+			report.Add(fmt.Sprintf("figure4a-k%d", kv), res)
+		}
+	}
+	if all || *fig == "4b" {
+		for _, kv := range []uint64{1, 5} {
+			res, err := experiments.Figure4b(kv, []float64{0.01, 0.03, 0.05}, *maxC)
+			if err != nil {
+				return err
+			}
+			report.Add(fmt.Sprintf("figure4b-k%d", kv), res)
+		}
+	}
+	return report.Flush()
+}
+
+func printBounds(k uint64, eps, delta float64, maxC uint64) error {
+	uniDist, err := core.NewUniformForPrivacy(k, delta)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Uniform-Random-Cache with K=%d: %v\n", uniDist.DomainSize(), core.UniformPrivacy(k, uniDist.DomainSize()))
+	expoDist, err := core.NewGeometricForPrivacy(k, eps, delta)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Exponential-Random-Cache %s: %v\n", expoDist.Name(),
+		core.ExponentialPrivacy(k, expoDist.Alpha(), expoDist.DomainSize()))
+	fmt.Printf("\n%8s  %18s  %18s\n", "c", "u(c) uniform", "u(c) exponential")
+	for _, c := range []uint64{1, 2, 5, 10, 20, 50, maxC} {
+		if c > maxC {
+			continue
+		}
+		fmt.Printf("%8d  %18.4f  %18.4f\n", c, core.Utility(uniDist, c), core.Utility(expoDist, c))
+	}
+	return nil
+}

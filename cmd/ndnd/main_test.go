@@ -1,0 +1,63 @@
+package main
+
+import (
+	"testing"
+
+	"ndnprivacy/internal/rt"
+)
+
+func TestRouteFlagsParsing(t *testing.T) {
+	var r routeFlags
+	if err := r.Set("/p=127.0.0.1:6363"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Set("/cnn/news=upstream:1234"); err != nil {
+		t.Fatal(err)
+	}
+	if len(r) != 2 {
+		t.Fatalf("routes = %d", len(r))
+	}
+	if r[0].prefix.String() != "/p" || r[0].addr != "127.0.0.1:6363" {
+		t.Errorf("route 0 = %+v", r[0])
+	}
+	if got := r.String(); got != "/p=127.0.0.1:6363,/cnn/news=upstream:1234" {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+func TestRouteFlagsRejectsMalformed(t *testing.T) {
+	var r routeFlags
+	for _, bad := range []string{"no-equals", "not-a-prefix=host:1", "=host:1"} {
+		if err := r.Set(bad); err == nil {
+			t.Errorf("Set(%q) accepted", bad)
+		}
+	}
+}
+
+func TestBuildManager(t *testing.T) {
+	exec := rt.New(1)
+	defer exec.Close()
+	cases := []struct {
+		kind    string
+		wantNil bool
+		wantErr bool
+	}{
+		{"none", true, false},
+		{"delay", false, false},
+		{"random", false, false},
+		{"bogus", false, true},
+	}
+	for _, tc := range cases {
+		m, err := buildManager(tc.kind, 5, 0.005, exec)
+		if tc.wantErr != (err != nil) {
+			t.Errorf("%s: err = %v", tc.kind, err)
+			continue
+		}
+		if err == nil && tc.wantNil != (m == nil) {
+			t.Errorf("%s: manager = %v", tc.kind, m)
+		}
+	}
+	if _, err := buildManager("random", 0, 0.005, exec); err == nil {
+		t.Error("k=0 accepted for random manager")
+	}
+}

@@ -1,0 +1,135 @@
+// Command ndnsim runs the paper's timing-attack experiments (Figure 3),
+// the in-text multi-segment amplification, the scope-field probe, the
+// Section VI correlation attack, the Section V-A loss-recovery
+// demonstration, the countermeasure comparison, the Section I
+// conversation-detection attack, and the footnote-6 delay-placement
+// study.
+//
+// Usage:
+//
+//	ndnsim -fig 3a|3b|3c|3d|seg|scope|corr|loss|counter|conv|place|all
+//	       [-objects N] [-runs N] [-seed S] [-json]
+//
+// The paper's scale is -objects 1000 -runs 50; defaults are smaller so a
+// full sweep finishes in seconds. With -json, structured results are
+// written to stdout instead of rendered tables.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ndnprivacy/internal/attack"
+	"ndnprivacy/internal/experiments"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "ndnsim: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	fig := flag.String("fig", "all", "experiment: 3a, 3b, 3c, 3d, seg, scope, corr, loss, counter, conv, place, all")
+	objects := flag.Int("objects", 200, "content objects per run (paper: 1000)")
+	runs := flag.Int("runs", 5, "repetitions with a fresh cache (paper: 50)")
+	seed := flag.Int64("seed", 1, "experiment seed")
+	jsonMode := flag.Bool("json", false, "emit structured JSON instead of tables")
+	paper := flag.Bool("paper", false, "run at the paper's scale (-objects 1000 -runs 50)")
+	flag.Parse()
+	if *paper {
+		*objects, *runs = 1000, 50
+	}
+
+	switch *fig {
+	case "all", "3a", "3b", "3c", "3d", "seg", "scope", "corr", "loss", "counter", "conv", "place":
+	default:
+		return fmt.Errorf("unknown -fig %q", *fig)
+	}
+
+	cfg := experiments.Figure3Config{Seed: *seed, Objects: *objects, Runs: *runs}
+	all := *fig == "all"
+	report := experiments.NewReporter(os.Stdout, *jsonMode)
+
+	if all || *fig == "3a" {
+		res, err := experiments.Figure3a(cfg)
+		if err != nil {
+			return err
+		}
+		report.Add("figure3a", res)
+	}
+	if all || *fig == "3b" {
+		res, err := experiments.Figure3b(cfg)
+		if err != nil {
+			return err
+		}
+		report.Add("figure3b", res)
+	}
+	producerAccuracy := 0.59 // paper value, replaced by measurement when 3c runs
+	if all || *fig == "3c" || *fig == "seg" {
+		res, err := experiments.Figure3c(cfg)
+		if err != nil {
+			return err
+		}
+		producerAccuracy = res.Result.Accuracy
+		if all || *fig == "3c" {
+			report.Add("figure3c", res)
+		}
+	}
+	if all || *fig == "3d" {
+		res, err := experiments.Figure3d(cfg)
+		if err != nil {
+			return err
+		}
+		report.Add("figure3d", res)
+	}
+	if all || *fig == "seg" {
+		rows := experiments.SegmentAmplification(producerAccuracy, 8)
+		report.Add("segment-amplification", experiments.SegmentResult{SingleProbe: producerAccuracy, Rows: rows})
+	}
+	if all || *fig == "scope" {
+		res, err := experiments.RunScopeProbe(*seed)
+		if err != nil {
+			return err
+		}
+		report.Add("scope-probe", res)
+	}
+	if all || *fig == "corr" {
+		res, err := experiments.RunCorrelation(experiments.CorrelationConfig{Seed: *seed})
+		if err != nil {
+			return err
+		}
+		report.Add("correlation", res)
+	}
+	if all || *fig == "loss" {
+		res, err := experiments.RunLossRecovery(experiments.LossRecoveryConfig{Seed: *seed})
+		if err != nil {
+			return err
+		}
+		report.Add("loss-recovery", res)
+	}
+	if all || *fig == "counter" {
+		res, err := experiments.RunCountermeasures(cfg)
+		if err != nil {
+			return err
+		}
+		report.Add("countermeasures", res)
+	}
+	if all || *fig == "place" {
+		res, err := experiments.RunDelayPlacement(experiments.PlacementConfig{Seed: *seed, Objects: *objects / 4})
+		if err != nil {
+			return err
+		}
+		report.Add("delay-placement", res)
+	}
+	if all || *fig == "conv" {
+		res, err := attack.RunConversationDetection(attack.ConversationConfig{Seed: *seed})
+		if err != nil {
+			return err
+		}
+		report.Add("conversation-detection", res)
+	}
+	return report.Flush()
+}

@@ -1,0 +1,143 @@
+// Command tracesim runs the Section VII trace-driven evaluation
+// (Figure 5): it replays the synthetic IRCache-like workload through a
+// consumer-facing router cache under the four cache-management
+// algorithms and prints hit-rate tables, plus the eviction-policy and
+// delay-strategy ablations.
+//
+// Usage:
+//
+//	tracesim -fig 5a|5b|ablate|all [-requests N] [-seed S]
+//	         [-private 0.1] [-k 5] [-eps 0.005] [-json]
+//
+// The paper's scale is -requests 3200000; the default keeps a full sweep
+// under a minute.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ndnprivacy/internal/core"
+	"ndnprivacy/internal/experiments"
+	"ndnprivacy/internal/trace"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "tracesim: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	fig := flag.String("fig", "all", "experiment: 5a, 5b, ablate, all")
+	requests := flag.Int("requests", 200000, "trace length (paper: 3200000)")
+	seed := flag.Int64("seed", 1, "workload seed")
+	private := flag.Float64("private", 0.1, "private content fraction for 5a")
+	k := flag.Uint64("k", 5, "popularity threshold k (paper: 5)")
+	eps := flag.Float64("eps", 0.005, "privacy parameter ε (paper: 0.005)")
+	jsonMode := flag.Bool("json", false, "emit structured JSON instead of tables")
+	squidLog := flag.String("squidlog", "", "replay a real Squid/IRCache access log instead of the synthetic trace")
+	cacheSize := flag.Int("cache", 2000, "cache size for -squidlog replay (0 = unlimited)")
+	flag.Parse()
+
+	if *squidLog != "" {
+		return replaySquid(*squidLog, *cacheSize, *private, *seed, *k, *eps)
+	}
+
+	switch *fig {
+	case "all", "5a", "5b", "ablate":
+	default:
+		return fmt.Errorf("unknown -fig %q", *fig)
+	}
+
+	cfg := experiments.Figure5Config{
+		Seed:            *seed,
+		Requests:        *requests,
+		K:               *k,
+		Epsilon:         *eps,
+		PrivateFraction: *private,
+	}
+	all := *fig == "all"
+	report := experiments.NewReporter(os.Stdout, *jsonMode)
+
+	if all || *fig == "5a" {
+		res, err := experiments.Figure5a(cfg)
+		if err != nil {
+			return err
+		}
+		report.Add("figure5a", res)
+	}
+	if all || *fig == "5b" {
+		res, err := experiments.Figure5b(cfg, nil)
+		if err != nil {
+			return err
+		}
+		report.Add("figure5b", res)
+	}
+	if all || *fig == "ablate" {
+		res, err := experiments.RunEvictionAblation(*seed, *requests/4, nil)
+		if err != nil {
+			return err
+		}
+		report.Add("ablation-eviction", res)
+		delays, err := experiments.RunDelayStrategyAblation(0)
+		if err != nil {
+			return err
+		}
+		report.Add("ablation-delay-strategy", delays)
+	}
+	return report.Flush()
+}
+
+// replaySquid runs a real proxy log through all four Section VII
+// algorithms at one cache size and prints the hit rates.
+func replaySquid(path string, cacheSize int, private float64, seed int64, k uint64, eps float64) error {
+	algorithms := []struct {
+		name  string
+		build func() (core.CacheManager, error)
+	}{
+		{"No Privacy", func() (core.CacheManager, error) { return core.NewNoPrivacy(), nil }},
+		{"Always Delay Private Content", func() (core.CacheManager, error) {
+			return core.NewDelayManager(core.NewContentSpecificDelay())
+		}},
+		{"Exponential-Random-Cache", func() (core.CacheManager, error) {
+			alpha, err := core.GeometricAlphaForEpsilon(k, eps)
+			if err != nil {
+				return nil, err
+			}
+			dist, err := core.NewGeometricUnbounded(alpha)
+			if err != nil {
+				return nil, err
+			}
+			return core.NewRandomCache(dist, experiments.SeededRNG(seed))
+		}},
+	}
+	fmt.Printf("replaying %s (cache %d, %.0f%% private, k=%d, ε=%g)\n", path, cacheSize, private*100, k, eps)
+	for _, algo := range algorithms {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		manager, err := algo.build()
+		if err != nil {
+			_ = f.Close()
+			return err
+		}
+		stats, err := trace.ReplaySquidLog(f, trace.SquidOptions{
+			PrivateFraction: private,
+			Seed:            seed,
+		}, trace.ReplayConfig{CacheSize: cacheSize, Manager: manager})
+		closeErr := f.Close()
+		if err != nil {
+			return err
+		}
+		if closeErr != nil {
+			return closeErr
+		}
+		fmt.Printf("%-30s hit rate %6.2f%%  (%d requests, %d private)\n",
+			algo.name, stats.HitRate(), stats.Requests, stats.PrivateRequests)
+	}
+	return nil
+}

@@ -1,0 +1,75 @@
+package ndnprivacy_test
+
+import (
+	"fmt"
+
+	"ndnprivacy"
+)
+
+// The Section VI analysis is pure: pick privacy parameters, get the
+// scheme and its utility.
+func ExampleUtility() {
+	// Exponential-Random-Cache tuned to (k=5, ε=0.005, δ=0.05)-privacy.
+	dist, err := ndnprivacy.NewGeometricForPrivacy(5, 0.005, 0.05)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("u(1000) = %.3f\n", ndnprivacy.Utility(dist, 1000))
+	fmt.Printf("u(5000) = %.3f\n", ndnprivacy.Utility(dist, 5000))
+	// Output:
+	// u(1000) = 0.902
+	// u(5000) = 0.980
+}
+
+// Theorem VI.1: Uniform-Random-Cache with domain K is (k, 0, 2k/K)-private.
+func ExampleUniformPrivacy() {
+	fmt.Println(ndnprivacy.UniformPrivacy(5, 200))
+	// Output:
+	// (k=5, ε=0, δ=0.05)-privacy
+}
+
+// The Section III amplification: a weak per-segment probe becomes
+// near-certain across an 8-segment content object.
+func ExampleSegmentSuccessProbability() {
+	for _, n := range []int{1, 2, 4, 8} {
+		fmt.Printf("n=%d: %.4f\n", n, ndnprivacy.SegmentSuccessProbability(0.59, n))
+	}
+	// Output:
+	// n=1: 0.5900
+	// n=2: 0.8319
+	// n=4: 0.9717
+	// n=8: 0.9992
+}
+
+// Unpredictable names (Section V-A): both session parties derive the
+// same per-frame name; nobody else can.
+func ExampleSharedSecret() {
+	alice, _ := ndnprivacy.NewSharedSecret([]byte("call-secret"))
+	bob, _ := ndnprivacy.NewSharedSecret([]byte("call-secret"))
+	base := ndnprivacy.MustParseName("/alice/voip")
+	fmt.Println(alice.UnpredictableName(base, 7).Equal(bob.UnpredictableName(base, 7)))
+	fmt.Println(alice.UnpredictableName(base, 7).Equal(alice.UnpredictableName(base, 8)))
+	// Output:
+	// true
+	// false
+}
+
+// Names follow NDN's longest-prefix matching (Section II, footnote 2).
+func ExampleName_IsPrefixOf() {
+	interest := ndnprivacy.MustParseName("/cnn/news")
+	content := ndnprivacy.MustParseName("/cnn/news/2013may20")
+	fmt.Println(interest.IsPrefixOf(content))
+	fmt.Println(content.IsPrefixOf(interest))
+	// Output:
+	// true
+	// false
+}
+
+// URLToName bridges proxy-trace URLs into the NDN namespace.
+func ExampleURLToName() {
+	name, _ := ndnprivacy.URLToName("http://example.com:8080/videos/cat.avi")
+	fmt.Println(name)
+	// Output:
+	// /web/example.com/videos/cat.avi
+}

@@ -1,0 +1,88 @@
+// Privacy audit: estimate the (ε, δ)-indistinguishability of cache
+// management algorithms empirically, by playing the paper's adversary
+// experiment against fresh manager instances, and compare the result
+// with the Section VI theorems. Useful when designing a new caching
+// policy: no theorem needed, just a builder function.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+
+	"ndnprivacy"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "privacyaudit: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	const (
+		domain = 20 // uniform K
+		x      = 2  // prior requests in state S1
+		trials = 20000
+	)
+
+	fmt.Println("Auditing cache managers: adversary probes content that was requested")
+	fmt.Printf("x=%d times (state S1) vs never (S0); %d Monte-Carlo trials each.\n\n", x, trials)
+
+	audits := []struct {
+		name  string
+		build func(rng *rand.Rand) (ndnprivacy.CacheManager, error)
+		note  string
+	}{
+		{
+			name: "no-privacy",
+			build: func(*rand.Rand) (ndnprivacy.CacheManager, error) {
+				return ndnprivacy.NewNoPrivacy(), nil
+			},
+			note: "expected: fully distinguishable (δ = 2)",
+		},
+		{
+			name: "always-delay (content-specific)",
+			build: func(*rand.Rand) (ndnprivacy.CacheManager, error) {
+				return ndnprivacy.NewDelayManager(ndnprivacy.NewContentSpecificDelay())
+			},
+			note: "expected: perfect privacy (δ = 0), Definition IV.2",
+		},
+		{
+			name: fmt.Sprintf("uniform-random-cache (K=%d)", domain),
+			build: func(rng *rand.Rand) (ndnprivacy.CacheManager, error) {
+				dist, err := ndnprivacy.NewUniformK(domain)
+				if err != nil {
+					return nil, err
+				}
+				return ndnprivacy.NewRandomCache(dist, rng)
+			},
+			note: fmt.Sprintf("Theorem VI.1 predicts δ = 2x/K = %.3f", 2.0*x/domain),
+		},
+		{
+			name: "naive threshold (k=5)",
+			build: func(rng *rand.Rand) (ndnprivacy.CacheManager, error) {
+				return ndnprivacy.NewRandomCache(ndnprivacy.NewNaiveK(5), rng)
+			},
+			note: "the Section VI 'non-private naïve approach': fully distinguishable",
+		},
+	}
+
+	for _, a := range audits {
+		outcome, err := ndnprivacy.AuditCacheManager(ndnprivacy.AuditConfig{
+			Build:         a.build,
+			PriorRequests: x,
+			Probes:        domain + x + 2,
+			Trials:        trials,
+			Seed:          1,
+		})
+		if err != nil {
+			return fmt.Errorf("audit %s: %w", a.name, err)
+		}
+		fmt.Printf("--- %s ---\n", a.name)
+		// A small ε slack absorbs Monte-Carlo ratio noise.
+		fmt.Printf("empirical δ at ε≈0: %.4f   (%s)\n\n", outcome.DeltaAt(0.1), a.note)
+	}
+	return nil
+}

@@ -1,0 +1,87 @@
+// Timing attack demo (Section III): an adversary sharing a first-hop
+// router with a victim learns which content the victim fetched by
+// comparing probe RTTs against the double-probe reference — then the
+// same attack is repeated against a router running the always-delay
+// countermeasure and collapses to guessing.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"ndnprivacy"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "timingattack: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	fmt.Println("Mounting the Figure 3(a) LAN attack: Adv and the victim share router R.")
+	fmt.Println()
+
+	baseline, err := ndnprivacy.RunLANAttack(ndnprivacy.AttackScenarioConfig{
+		Seed: 7, Objects: 200, Runs: 5,
+	})
+	if err != nil {
+		return err
+	}
+	printOutcome("no countermeasure", baseline)
+
+	protected, err := ndnprivacy.RunLANAttack(ndnprivacy.AttackScenarioConfig{
+		Seed: 7, Objects: 200, Runs: 5,
+		MarkPrivate: true,
+		Manager: func(sim *ndnprivacy.Simulator) ndnprivacy.CacheManager {
+			manager, err := ndnprivacy.NewDelayManager(ndnprivacy.NewContentSpecificDelay())
+			if err != nil {
+				panic(err) // constructor cannot fail with a non-nil strategy
+			}
+			return manager
+		},
+	})
+	if err != nil {
+		return err
+	}
+	printOutcome("always-delay (content-specific γ_C)", protected)
+
+	fmt.Println("With the countermeasure, a cached private object answers exactly as slowly")
+	fmt.Println("as an uncached one — the adversary's threshold has nothing left to cut.")
+
+	fmt.Println()
+	fmt.Printf("Amplification (Section III): a weak %.0f%% single-segment probe against\n", 59.0)
+	fmt.Println("producer-adjacent content becomes near-certain over an 8-segment object:")
+	for _, n := range []int{1, 2, 4, 8} {
+		fmt.Printf("  %d segment(s): Pr[success] = %.4f\n", n, ndnprivacy.SegmentSuccessProbability(0.59, n))
+	}
+	return nil
+}
+
+func printOutcome(label string, res *ndnprivacy.AttackResult) {
+	fmt.Printf("--- %s ---\n", label)
+	fmt.Printf("hit RTTs:  %7.3f .. %7.3f ms\n", minOf(res.Hit), maxOf(res.Hit))
+	fmt.Printf("miss RTTs: %7.3f .. %7.3f ms\n", minOf(res.Miss), maxOf(res.Miss))
+	fmt.Printf("adversary accuracy: %.4f (threshold %.3f ms)\n\n", res.Accuracy, res.Threshold)
+}
+
+func minOf(xs []float64) float64 {
+	m := xs[0]
+	for _, x := range xs {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+func maxOf(xs []float64) float64 {
+	m := xs[0]
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}

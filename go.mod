@@ -1,0 +1,3 @@
+module ndnprivacy
+
+go 1.22

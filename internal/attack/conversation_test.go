@@ -1,0 +1,51 @@
+package attack
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestConversationDetection(t *testing.T) {
+	res, err := RunConversationDetection(ConversationConfig{Seed: 1, Frames: 12, Trials: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PlainAccuracy < 0.95 {
+		t.Errorf("plain-name detection accuracy = %g, want near 1 (the Section I claim)", res.PlainAccuracy)
+	}
+	if res.ProtectedAccuracy > 0.6 {
+		t.Errorf("protected detection accuracy = %g, want near 0.5", res.ProtectedAccuracy)
+	}
+	if out := res.Render(); !strings.Contains(out, "conversation detection") {
+		t.Error("render missing title")
+	}
+}
+
+func TestConversationTrialGroundTruth(t *testing.T) {
+	cfg := ConversationConfig{Seed: 9, Frames: 10, Trials: 1, ProbeWindow: 5}
+	cfg.setDefaults()
+	// Not conversing, plain names: nothing cached, no detection.
+	detected, err := conversationTrial(cfg, 0, false, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if detected {
+		t.Error("idle parties detected as conversing")
+	}
+	// Conversing, plain names: both directions cached, detected.
+	detected, err = conversationTrial(cfg, 0, false, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !detected {
+		t.Error("plain-name conversation not detected")
+	}
+	// Conversing, unpredictable names: probes can't guess the names.
+	detected, err = conversationTrial(cfg, 0, true, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if detected {
+		t.Error("protected conversation detected")
+	}
+}

@@ -1,0 +1,121 @@
+// Package attack implements the cache-privacy attacks of Section III and
+// the measurement machinery to evaluate them: the timing prober (probe C,
+// then double-probe a reference object to learn the definite cache-hit
+// RTT), the scope-field prober, the multi-segment amplification of weak
+// probes, and scenario builders for all four Figure 3 topologies plus the
+// Section VI correlation attack.
+package attack
+
+import (
+	"errors"
+	"time"
+
+	"ndnprivacy/internal/fwd"
+	"ndnprivacy/internal/ndn"
+	"ndnprivacy/internal/netsim"
+)
+
+// ErrProbeFailed is returned when a probe interest times out or the
+// simulator finishes without resolving it.
+var ErrProbeFailed = errors.New("attack: probe did not complete")
+
+// Prober drives an adversary consumer through probe sequences. All
+// methods run the simulator synchronously until the probe resolves, so
+// they must be called from outside event callbacks. Probers only work on
+// hosts driven by a virtual-time netsim.Simulator.
+type Prober struct {
+	consumer *fwd.Consumer
+	sim      *netsim.Simulator
+}
+
+// NewProber attaches an adversarial consumer to the given host.
+func NewProber(host *fwd.Forwarder) (*Prober, error) {
+	sim, isSim := host.Sim().(*netsim.Simulator)
+	if !isSim {
+		return nil, errors.New("attack: prober requires a netsim-driven host")
+	}
+	consumer, err := fwd.NewConsumer(host)
+	if err != nil {
+		return nil, err
+	}
+	return &Prober{consumer: consumer, sim: sim}, nil
+}
+
+// Consumer exposes the underlying consumer for compound scenarios.
+func (p *Prober) Consumer() *fwd.Consumer { return p.consumer }
+
+// Probe fetches name once and returns the observed RTT.
+func (p *Prober) Probe(name ndn.Name) (time.Duration, error) {
+	return p.probe(ndn.NewInterest(name, 0))
+}
+
+// ProbePrivate fetches name once with the consumer privacy bit set.
+func (p *Prober) ProbePrivate(name ndn.Name) (time.Duration, error) {
+	return p.probe(ndn.NewInterest(name, 0).WithPrivacy(ndn.PrivacyRequested))
+}
+
+func (p *Prober) probe(interest *ndn.Interest) (time.Duration, error) {
+	var res fwd.FetchResult
+	resolved := false
+	p.consumer.Fetch(interest, func(r fwd.FetchResult) {
+		res = r
+		resolved = true
+	})
+	p.sim.Run()
+	if !resolved || res.TimedOut {
+		return 0, ErrProbeFailed
+	}
+	return res.RTT, nil
+}
+
+// DoubleProbe implements the Section III reference measurement: request
+// name twice in succession. The first response may come from anywhere;
+// the second — in the no-countermeasure baseline — is certainly served
+// from the first-hop router's cache. It returns both RTTs.
+func (p *Prober) DoubleProbe(name ndn.Name) (first, second time.Duration, err error) {
+	first, err = p.Probe(name)
+	if err != nil {
+		return 0, 0, err
+	}
+	second, err = p.Probe(name)
+	if err != nil {
+		return 0, 0, err
+	}
+	return first, second, nil
+}
+
+// ScopeProbe issues a scope-2 interest for name: if any data returns, the
+// content was cached at the first-hop router, regardless of timing. The
+// boolean reports whether content was received.
+func (p *Prober) ScopeProbe(name ndn.Name) (bool, error) {
+	interest := ndn.NewInterest(name, 0).WithScope(ndn.ScopeNextHop)
+	interest.Lifetime = 500 * time.Millisecond
+	var res fwd.FetchResult
+	resolved := false
+	p.consumer.Fetch(interest, func(r fwd.FetchResult) {
+		res = r
+		resolved = true
+	})
+	p.sim.Run()
+	if !resolved {
+		return false, ErrProbeFailed
+	}
+	return !res.TimedOut, nil
+}
+
+// SegmentSuccessProbability implements the Section III amplification: if
+// a single-object probe succeeds with probability pSuccess and a content
+// is split into n independent segments, the adversary succeeds overall
+// unless every per-segment probe fails:
+// Pr[SUCCESS] = 1 − (1 − pSuccess)^n.
+func SegmentSuccessProbability(pSuccess float64, segments int) float64 {
+	if segments <= 0 {
+		return 0
+	}
+	pFail := 1 - pSuccess
+	overall := 1.0
+	for i := 0; i < segments; i++ {
+		overall *= pFail
+	}
+	return 1 - overall
+}

@@ -1,0 +1,277 @@
+package attack
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"ndnprivacy/internal/core"
+	"ndnprivacy/internal/fwd"
+	"ndnprivacy/internal/ndn"
+	"ndnprivacy/internal/netsim"
+)
+
+func TestRunLANSeparatesHitsFromMisses(t *testing.T) {
+	res, err := RunLAN(ScenarioConfig{Seed: 1, Objects: 60, Runs: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Accuracy < 0.99 {
+		t.Errorf("LAN accuracy = %g, want ≥ 0.99 (paper: 99.9%%)", res.Accuracy)
+	}
+	if len(res.Hit) != 90 || len(res.Miss) != 90 {
+		t.Errorf("sample counts = %d/%d, want 90/90", len(res.Hit), len(res.Miss))
+	}
+	meanHit, meanMiss := mean(res.Hit), mean(res.Miss)
+	if meanHit >= meanMiss {
+		t.Errorf("mean hit RTT %g ≥ mean miss RTT %g", meanHit, meanMiss)
+	}
+}
+
+func TestRunWANStillDistinguishes(t *testing.T) {
+	res, err := RunWAN(ScenarioConfig{Seed: 2, Objects: 60, Runs: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Accuracy < 0.95 {
+		t.Errorf("WAN accuracy = %g, want ≥ 0.95 (paper: 99%%)", res.Accuracy)
+	}
+}
+
+func TestRunProducerPrivacyWeakSingleProbe(t *testing.T) {
+	res, err := RunProducerPrivacy(ScenarioConfig{Seed: 3, Objects: 80, Runs: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Weak but above chance: the paper reports 59%. Accept a band.
+	if res.Accuracy < 0.52 || res.Accuracy > 0.85 {
+		t.Errorf("producer-privacy accuracy = %g, want weak signal in [0.52, 0.85]", res.Accuracy)
+	}
+	// Amplification pushes it near certainty for 8-segment content.
+	amplified := SegmentSuccessProbability(res.Accuracy, 8)
+	if amplified < 0.95 {
+		t.Errorf("8-segment amplified success = %g, want ≥ 0.95", amplified)
+	}
+}
+
+func TestRunLocalHostSharpest(t *testing.T) {
+	res, err := RunLocalHost(ScenarioConfig{Seed: 4, Objects: 60, Runs: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Accuracy < 0.99 {
+		t.Errorf("local-host accuracy = %g, want ≥ 0.99", res.Accuracy)
+	}
+	// Hits are sub-millisecond: app → daemon → app.
+	if m := mean(res.Hit); m > 1.5 {
+		t.Errorf("mean local hit RTT = %gms, want < 1.5ms", m)
+	}
+}
+
+func TestCountermeasureDefeatsLANAttack(t *testing.T) {
+	// With Always-Delay (content-specific γ_C) on R and private content,
+	// the adversary's accuracy collapses toward a coin flip.
+	cfg := ScenarioConfig{
+		Seed:        5,
+		Objects:     60,
+		Runs:        3,
+		MarkPrivate: true,
+		Manager: func(*netsim.Simulator) core.CacheManager {
+			m, err := core.NewDelayManager(core.NewContentSpecificDelay())
+			if err != nil {
+				panic(err)
+			}
+			return m
+		},
+	}
+	res, err := RunLAN(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Accuracy > 0.75 {
+		t.Errorf("accuracy with countermeasure = %g, want ≤ 0.75", res.Accuracy)
+	}
+
+	baseline, err := RunLAN(ScenarioConfig{Seed: 5, Objects: 60, Runs: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if baseline.Accuracy-res.Accuracy < 0.2 {
+		t.Errorf("countermeasure barely helped: %g → %g", baseline.Accuracy, res.Accuracy)
+	}
+}
+
+func TestHistograms(t *testing.T) {
+	res, err := RunLAN(ScenarioConfig{Seed: 6, Objects: 20, Runs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hit, miss, err := res.Histograms(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit.Total() != uint64(len(res.Hit)) || miss.Total() != uint64(len(res.Miss)) {
+		t.Error("histogram sample counts wrong")
+	}
+	if hit.Bins() != 16 || miss.Bins() != 16 {
+		t.Error("bin count wrong")
+	}
+}
+
+func TestSegmentSuccessProbability(t *testing.T) {
+	if got := SegmentSuccessProbability(0.59, 8); math.Abs(got-0.999) > 0.001 {
+		t.Errorf("paper's in-text example: got %g, want ≈ 0.999", got)
+	}
+	if got := SegmentSuccessProbability(0.59, 1); math.Abs(got-0.59) > 1e-12 {
+		t.Errorf("single segment: got %g, want 0.59", got)
+	}
+	if got := SegmentSuccessProbability(0.5, 0); got != 0 {
+		t.Errorf("zero segments: got %g, want 0", got)
+	}
+	if got := SegmentSuccessProbability(1, 3); got != 1 {
+		t.Errorf("certain probe: got %g, want 1", got)
+	}
+}
+
+func TestScenarioValidation(t *testing.T) {
+	if _, err := RunLAN(ScenarioConfig{Seed: 1, Objects: 1, Runs: 1}); err == nil {
+		t.Error("single object accepted")
+	}
+}
+
+func TestProberScopeProbe(t *testing.T) {
+	sim := netsim.New(9)
+	router, err := fwd.NewRouter(sim, "R", 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aHost, err := fwd.NewBareHost(sim, "A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	uHost, err := fwd.NewBareHost(sim, "U")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pHost, err := fwd.NewBareHost(sim, "P")
+	if err != nil {
+		t.Fatal(err)
+	}
+	edge := netsim.LinkConfig{Latency: netsim.Fixed(500 * time.Microsecond)}
+	aFace, _, _, err := fwd.Connect(sim, aHost, router, edge)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uFace, _, _, err := fwd.Connect(sim, uHost, router, edge)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rFace, _, _, err := fwd.Connect(sim, router, pHost, edge)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prefix := ndn.MustParseName("/p")
+	if err := aHost.RegisterPrefix(prefix, aFace); err != nil {
+		t.Fatal(err)
+	}
+	if err := uHost.RegisterPrefix(prefix, uFace); err != nil {
+		t.Fatal(err)
+	}
+	if err := router.RegisterPrefix(prefix, rFace); err != nil {
+		t.Fatal(err)
+	}
+	producer, err := fwd.NewProducer(pHost, prefix, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := ndn.NewData(ndn.MustParseName("/p/x"), []byte("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := producer.Publish(d); err != nil {
+		t.Fatal(err)
+	}
+
+	adv, err := NewProber(aHost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cached, err := adv.ScopeProbe(ndn.MustParseName("/p/x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cached {
+		t.Error("scope probe reported uncached content as cached")
+	}
+
+	user, err := fwd.NewConsumer(uHost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fetchSync(sim, user, ndn.MustParseName("/p/x"))
+
+	cached, err = adv.ScopeProbe(ndn.MustParseName("/p/x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cached {
+		t.Error("scope probe missed cached content")
+	}
+}
+
+func TestDoubleProbeSecondIsHit(t *testing.T) {
+	res, err := RunLAN(ScenarioConfig{Seed: 10, Objects: 4, Runs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = res
+	// Direct double-probe check on a fresh LAN topology.
+	sim := netsim.New(20)
+	router, err := fwd.NewRouter(sim, "R", 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aHost, err := fwd.NewBareHost(sim, "A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pHost, err := fwd.NewBareHost(sim, "P")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fwd.Chain(sim, []*fwd.Forwarder{aHost, router, pHost}, netsim.LinkConfig{
+		Latency: netsim.UniformJitter{Base: time.Millisecond, Jitter: 100 * time.Microsecond},
+	}, "/p"); err != nil {
+		t.Fatal(err)
+	}
+	producer, err := fwd.NewProducer(pHost, ndn.MustParseName("/p"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := ndn.NewData(ndn.MustParseName("/p/ref"), []byte("ref"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := producer.Publish(d); err != nil {
+		t.Fatal(err)
+	}
+	adv, err := NewProber(aHost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, second, err := adv.DoubleProbe(ndn.MustParseName("/p/ref"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second >= first {
+		t.Errorf("second probe (%v) not faster than first (%v)", second, first)
+	}
+}
+
+func mean(xs []float64) float64 {
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}

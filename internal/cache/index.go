@@ -1,0 +1,108 @@
+package cache
+
+import (
+	"sort"
+
+	"ndnprivacy/internal/ndn"
+)
+
+// nameIndex is a component trie over cached full names supporting
+// enumeration of all names under a prefix in lexicographic order. It
+// exists so that Store.Match can implement NDN's prefix matching without
+// scanning the whole cache.
+type nameIndex struct {
+	root *indexNode
+}
+
+type indexNode struct {
+	children map[string]*indexNode
+	// terminal holds the full name when a cached object ends here.
+	terminal *ndn.Name
+}
+
+func newNameIndex() *nameIndex {
+	return &nameIndex{root: &indexNode{}}
+}
+
+func (ix *nameIndex) insert(name ndn.Name) {
+	node := ix.root
+	for i := 0; i < name.Len(); i++ {
+		key := string(name.Component(i))
+		if node.children == nil {
+			node.children = make(map[string]*indexNode, 1)
+		}
+		child, found := node.children[key]
+		if !found {
+			child = &indexNode{}
+			node.children[key] = child
+		}
+		node = child
+	}
+	n := name
+	node.terminal = &n
+}
+
+func (ix *nameIndex) remove(name ndn.Name) {
+	type step struct {
+		node *indexNode
+		key  string
+	}
+	path := make([]step, 0, name.Len())
+	node := ix.root
+	for i := 0; i < name.Len(); i++ {
+		key := string(name.Component(i))
+		child, found := node.children[key]
+		if !found {
+			return
+		}
+		path = append(path, step{node: node, key: key})
+		node = child
+	}
+	node.terminal = nil
+	for i := len(path) - 1; i >= 0; i-- {
+		child := path[i].node.children[path[i].key]
+		if child.terminal != nil || len(child.children) > 0 {
+			break
+		}
+		delete(path[i].node.children, path[i].key)
+	}
+}
+
+// under returns every stored full name having the given prefix, sorted.
+func (ix *nameIndex) under(prefix ndn.Name) []ndn.Name {
+	node := ix.root
+	for i := 0; i < prefix.Len(); i++ {
+		child, found := node.children[string(prefix.Component(i))]
+		if !found {
+			return nil
+		}
+		node = child
+	}
+	var out []ndn.Name
+	collect(node, &out)
+	return out
+}
+
+// all returns every stored name, sorted.
+func (ix *nameIndex) all() []ndn.Name {
+	var out []ndn.Name
+	collect(ix.root, &out)
+	return out
+}
+
+func collect(node *indexNode, out *[]ndn.Name) {
+	if node.terminal != nil {
+		*out = append(*out, *node.terminal)
+	}
+	if len(node.children) == 0 {
+		return
+	}
+	keys := make([]string, 0, len(node.children))
+	for k := range node.children {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		collect(node.children[k], out)
+	}
+}

@@ -1,0 +1,230 @@
+package cache
+
+import (
+	"fmt"
+	"time"
+
+	"ndnprivacy/internal/ndn"
+)
+
+// Entry is one cached content object plus the metadata the paper's cache
+// management algorithms consult.
+type Entry struct {
+	// Data is the cached content object.
+	Data *ndn.Data
+	// InsertedAt is the virtual time the object entered the cache.
+	InsertedAt time.Duration
+	// FetchDelay records the original interest-in→content-out delay γ_C —
+	// how long this router took to obtain the content the first time
+	// (Section V-B, content-specific delay).
+	FetchDelay time.Duration
+	// ForwardCount is S(C): how many times the router has forwarded this
+	// content (Section IV system model). It survives within the entry's
+	// cache lifetime.
+	ForwardCount uint64
+	// Private records router-side privacy marking: producer-driven (bit
+	// or /private/ component) or consumer-driven (privacy bit on the
+	// interest that fetched it).
+	Private bool
+	// NonPrivateTrigger is set once a non-private interest has been
+	// answered for this entry; from then on the content is treated as
+	// non-private for as long as it stays cached (Section V-B trigger
+	// rule).
+	NonPrivateTrigger bool
+	// Counter is c_C from Algorithm 1: requests seen since insertion.
+	Counter uint64
+	// Threshold is k_C from Algorithm 1; meaningful when ThresholdSet.
+	Threshold uint64
+	// ThresholdSet records whether k_C has been drawn for this entry.
+	ThresholdSet bool
+	// GroupKey, when non-empty, names the correlation group this entry
+	// shares Random-Cache state with (Section VI, "Addressing Content
+	// Correlation").
+	GroupKey string
+}
+
+// IsStale reports whether the entry's freshness period has lapsed at
+// virtual time now. Entries without a freshness bound never go stale.
+func (e *Entry) IsStale(now time.Duration) bool {
+	return e.Data.Freshness > 0 && now-e.InsertedAt >= e.Data.Freshness
+}
+
+// Store is an NDN Content Store. A capacity of 0 means unlimited (the
+// paper's "Inf" baseline). Store is not safe for concurrent use; each
+// simulated node runs single-threaded on the event loop.
+type Store struct {
+	capacity int
+	policy   Policy
+	entries  map[string]*Entry
+	index    *nameIndex
+	onEvict  func(*Entry)
+
+	insertions uint64
+	evictions  uint64
+}
+
+// NewStore creates a store with the given capacity and eviction policy.
+// policy must be non-nil when capacity > 0.
+func NewStore(capacity int, policy Policy) (*Store, error) {
+	if capacity < 0 {
+		return nil, fmt.Errorf("cache: negative capacity %d", capacity)
+	}
+	if capacity > 0 && policy == nil {
+		return nil, fmt.Errorf("cache: bounded store (capacity %d) requires an eviction policy", capacity)
+	}
+	if policy == nil {
+		policy = NewLRU() // harmless bookkeeping for unlimited stores
+	}
+	return &Store{
+		capacity: capacity,
+		policy:   policy,
+		entries:  make(map[string]*Entry),
+		index:    newNameIndex(),
+	}, nil
+}
+
+// MustNewStore is NewStore that panics on error, for tests and examples
+// with constant arguments.
+func MustNewStore(capacity int, policy Policy) *Store {
+	s, err := NewStore(capacity, policy)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Len returns the number of cached objects.
+func (s *Store) Len() int { return len(s.entries) }
+
+// Capacity returns the configured capacity (0 = unlimited).
+func (s *Store) Capacity() int { return s.capacity }
+
+// Evictions returns the running count of capacity evictions.
+func (s *Store) Evictions() uint64 { return s.evictions }
+
+// Insertions returns the running count of inserted objects.
+func (s *Store) Insertions() uint64 { return s.insertions }
+
+// PolicyName returns the eviction policy's name.
+func (s *Store) PolicyName() string { return s.policy.Name() }
+
+// SetEvictionHook registers a callback invoked whenever an entry leaves
+// the store (capacity eviction, staleness purge, or explicit removal).
+// Cache managers with out-of-entry state — GroupedRandomCache — use it to
+// garbage-collect.
+func (s *Store) SetEvictionHook(hook func(*Entry)) { s.onEvict = hook }
+
+// Insert caches data, evicting per policy if the store is full. The
+// content is cloned so callers cannot mutate cached state. It returns the
+// entry for metadata updates.
+func (s *Store) Insert(data *ndn.Data, now, fetchDelay time.Duration) *Entry {
+	key := data.Name.Key()
+	if existing, found := s.entries[key]; found {
+		// Refresh payload and timing, keep counters: the router already
+		// knows this content.
+		existing.Data = data.Clone()
+		existing.InsertedAt = now
+		existing.FetchDelay = fetchDelay
+		s.policy.OnInsert(key)
+		return existing
+	}
+	for s.capacity > 0 && len(s.entries) >= s.capacity {
+		victim, found := s.policy.Victim()
+		if !found {
+			break
+		}
+		s.removeKey(victim)
+		s.evictions++
+	}
+	entry := &Entry{
+		Data:       data.Clone(),
+		InsertedAt: now,
+		FetchDelay: fetchDelay,
+		Private:    data.IsPrivate(),
+	}
+	s.entries[key] = entry
+	s.index.insert(data.Name)
+	s.policy.OnInsert(key)
+	s.insertions++
+	return entry
+}
+
+// Exact returns the entry whose name equals name exactly, if fresh.
+func (s *Store) Exact(name ndn.Name, now time.Duration) (*Entry, bool) {
+	entry, found := s.entries[name.Key()]
+	if !found {
+		return nil, false
+	}
+	if entry.IsStale(now) {
+		s.removeKey(name.Key())
+		return nil, false
+	}
+	return entry, true
+}
+
+// Match finds a cached object satisfying the interest under NDN's
+// longest-prefix rule (Section II footnote 2), skipping stale entries and
+// honoring the unpredictable-suffix restriction. Among multiple matches
+// the lexicographically smallest full name wins, which makes simulation
+// runs deterministic.
+func (s *Store) Match(interest *ndn.Interest, now time.Duration) (*Entry, bool) {
+	// Fast path: exact name.
+	if entry, found := s.Exact(interest.Name, now); found {
+		return entry, true
+	}
+	for _, full := range s.index.under(interest.Name) {
+		entry, found := s.entries[full.Key()]
+		if !found {
+			continue
+		}
+		if entry.IsStale(now) {
+			s.removeKey(full.Key())
+			continue
+		}
+		if entry.Data.Matches(interest) {
+			return entry, true
+		}
+	}
+	return nil, false
+}
+
+// Touch records a cache hit on the entry for eviction-recency purposes.
+// Call it on every hit, including hits the privacy layer disguises as
+// misses (Section VII: delayed responses still refresh the entry).
+func (s *Store) Touch(name ndn.Name) {
+	s.policy.OnAccess(name.Key())
+}
+
+// Remove deletes the entry for exactly name, reporting whether it existed.
+func (s *Store) Remove(name ndn.Name) bool {
+	if _, found := s.entries[name.Key()]; !found {
+		return false
+	}
+	s.removeKey(name.Key())
+	return true
+}
+
+// Clear empties the store, preserving configuration.
+func (s *Store) Clear() {
+	for key := range s.entries {
+		s.removeKey(key)
+	}
+}
+
+// Names returns the full names of all cached objects, in index order.
+func (s *Store) Names() []ndn.Name {
+	return s.index.all()
+}
+
+func (s *Store) removeKey(key string) {
+	entry, found := s.entries[key]
+	if !found {
+		return
+	}
+	delete(s.entries, key)
+	s.index.remove(entry.Data.Name)
+	s.policy.OnRemove(key)
+	if s.onEvict != nil {
+		s.onEvict(entry)
+	}
+}

@@ -1,0 +1,196 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// Closed-form privacy and utility analysis of the Random-Cache family
+// (Section VI, Theorems VI.1–VI.4), plus the parameter solvers needed to
+// reproduce Figure 4.
+//
+// Conventions. The utility of Definition VI.1 is u(c) = 1 − E[M(c)]/c,
+// where M(c) is the number of cache misses among c consecutive requests
+// for one content. Under Algorithm 1 with threshold k_C = r, those c
+// requests incur exactly min(c, r+1) misses: the unconditional first
+// fetch plus the r disguised ones. Equation (1) of the paper sums this
+// over the threshold distribution, and ExpectedMisses evaluates that sum
+// exactly for any KDistribution. (The paper's Theorems VI.2 and VI.4
+// state simplified closed forms that differ from the exact Equation (1)
+// sum by at most one miss — e.g. c(1−(c+1)/2K) where the exact value is
+// c(1−(c−1)/2K); we evaluate the exact sum, which is what Algorithm 1
+// actually does, and our property tests verify the match empirically.)
+
+// ExpectedMisses evaluates Equation (1): E[M(c)] = Σ_{i=1}^{c} i·Pr(K=i−1)
+// + c·Pr(K ≥ c), the expected number of misses among c requests.
+func ExpectedMisses(dist KDistribution, c uint64) float64 {
+	if c == 0 {
+		return 0
+	}
+	sum := 0.0
+	cdf := 0.0
+	for i := uint64(1); i <= c; i++ {
+		p := dist.Prob(i - 1)
+		sum += float64(i) * p
+		cdf += p
+	}
+	tail := 1 - cdf
+	if tail < 0 {
+		tail = 0
+	}
+	return sum + float64(c)*tail
+}
+
+// Utility evaluates u(c) = 1 − E[M(c)]/c (Definition VI.1).
+func Utility(dist KDistribution, c uint64) float64 {
+	if c == 0 {
+		return 0
+	}
+	return 1 - ExpectedMisses(dist, c)/float64(c)
+}
+
+// PrivacyBound is a (k, ε, δ)-privacy guarantee (Definition IV.3).
+type PrivacyBound struct {
+	K       uint64  // popularity threshold k
+	Epsilon float64 // ε
+	Delta   float64 // δ
+}
+
+// String implements fmt.Stringer.
+func (p PrivacyBound) String() string {
+	return fmt.Sprintf("(k=%d, ε=%.6g, δ=%.6g)-privacy", p.K, p.Epsilon, p.Delta)
+}
+
+// UniformPrivacy returns the Theorem VI.1 guarantee of
+// Uniform-Random-Cache with domain size K: (k, 0, 2k/K)-privacy.
+func UniformPrivacy(k, domainSize uint64) PrivacyBound {
+	delta := 2 * float64(k) / float64(domainSize)
+	if delta > 1 {
+		delta = 1
+	}
+	return PrivacyBound{K: k, Epsilon: 0, Delta: delta}
+}
+
+// ExponentialPrivacy returns the Theorem VI.3 guarantee of
+// Exponential-Random-Cache with parameters (α, K):
+// (k, −k·ln α, (1−α^k+α^{K−k}−α^K)/(1−α^K))-privacy.
+// domainSize 0 means K = ∞, for which δ = 1 − α^k, the smallest
+// achievable δ at this α.
+func ExponentialPrivacy(k uint64, alpha float64, domainSize uint64) PrivacyBound {
+	eps := -float64(k) * math.Log(alpha)
+	var delta float64
+	if domainSize == 0 {
+		delta = 1 - math.Pow(alpha, float64(k))
+	} else {
+		ak := math.Pow(alpha, float64(k))
+		aK := math.Pow(alpha, float64(domainSize))
+		aKk := math.Pow(alpha, float64(domainSize-k))
+		delta = (1 - ak + aKk - aK) / (1 - aK)
+	}
+	if delta > 1 {
+		delta = 1
+	}
+	return PrivacyBound{K: k, Epsilon: eps, Delta: delta}
+}
+
+// UniformDomainForDelta returns the smallest domain size K for which
+// Uniform-Random-Cache is (k, 0, δ)-private: K = ⌈2k/δ⌉.
+func UniformDomainForDelta(k uint64, delta float64) (uint64, error) {
+	if !(delta > 0 && delta <= 1) {
+		return 0, fmt.Errorf("core: δ=%g must be in (0, 1]", delta)
+	}
+	return uint64(math.Ceil(2 * float64(k) / delta)), nil
+}
+
+// GeometricAlphaForEpsilon returns the α achieving exactly ε = −k·ln α:
+// α = e^{−ε/k}. Larger ε (weaker guarantee) means smaller α and better
+// utility.
+func GeometricAlphaForEpsilon(k uint64, eps float64) (float64, error) {
+	if eps <= 0 {
+		return 0, fmt.Errorf("core: ε=%g must be positive for the exponential scheme", eps)
+	}
+	if k == 0 {
+		return 0, fmt.Errorf("core: popularity threshold k must be positive")
+	}
+	return math.Exp(-eps / float64(k)), nil
+}
+
+// GeometricDomainForDelta returns the smallest domain size K for which
+// Exponential-Random-Cache with the given α is (k, −k·ln α, δ)-private.
+// Since δ(K) decreases toward 1−α^k as K grows, the target is feasible
+// only when δ > 1−α^k; at δ == 1−α^k exactly, only K = ∞ works and the
+// function returns (0, nil) to signal the unbounded distribution.
+func GeometricDomainForDelta(k uint64, alpha, delta float64) (uint64, error) {
+	if !(alpha > 0 && alpha < 1) {
+		return 0, fmt.Errorf("core: α=%g must be in (0, 1)", alpha)
+	}
+	if !(delta > 0 && delta <= 1) {
+		return 0, fmt.Errorf("core: δ=%g must be in (0, 1]", delta)
+	}
+	const tol = 1e-9
+	floor := 1 - math.Pow(alpha, float64(k))
+	if delta < floor-tol {
+		return 0, fmt.Errorf("core: δ=%g infeasible: exponential scheme with α=%g, k=%d cannot go below δ=%g",
+			delta, alpha, k, floor)
+	}
+	if delta <= floor+tol {
+		return 0, nil // boundary: only K = ∞ achieves it
+	}
+	// δ(K) is decreasing in K; find the smallest feasible K by doubling
+	// then binary search.
+	lo, hi := k+1, k+2
+	for ExponentialPrivacy(k, alpha, hi).Delta > delta {
+		lo = hi
+		hi *= 2
+		if hi > 1<<40 {
+			return 0, nil // indistinguishable from K = ∞ at this precision
+		}
+	}
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if ExponentialPrivacy(k, alpha, mid).Delta > delta {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo, nil
+}
+
+// NewUniformForPrivacy builds the Uniform-Random-Cache distribution
+// achieving (k, 0, δ)-privacy.
+func NewUniformForPrivacy(k uint64, delta float64) (*UniformK, error) {
+	domain, err := UniformDomainForDelta(k, delta)
+	if err != nil {
+		return nil, err
+	}
+	return NewUniformK(domain)
+}
+
+// NewGeometricForPrivacy builds the Exponential-Random-Cache distribution
+// achieving (k, ε, δ)-privacy with the largest α (best privacy per ε) and
+// smallest feasible K.
+func NewGeometricForPrivacy(k uint64, eps, delta float64) (*GeometricK, error) {
+	alpha, err := GeometricAlphaForEpsilon(k, eps)
+	if err != nil {
+		return nil, err
+	}
+	domain, err := GeometricDomainForDelta(k, alpha, delta)
+	if err != nil {
+		return nil, err
+	}
+	if domain == 0 {
+		return NewGeometricUnbounded(alpha)
+	}
+	return NewGeometricK(alpha, domain)
+}
+
+// MaxEpsilonForDelta returns the paper's Figure 4(b) pairing: the largest
+// meaningful ε for a given δ, ε = −ln(1−δ). At that ε (with k = 1) the
+// exponential scheme's δ floor equals δ itself and K must be unbounded.
+func MaxEpsilonForDelta(delta float64) (float64, error) {
+	if !(delta > 0 && delta < 1) {
+		return 0, fmt.Errorf("core: δ=%g must be in (0, 1)", delta)
+	}
+	return -math.Log(1 - delta), nil
+}

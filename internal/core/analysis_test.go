@@ -1,0 +1,323 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestExpectedMissesUniformClosedForm(t *testing.T) {
+	// Exact Equation (1) for uniform: E[M(c)] = c(1 − (c−1)/(2K)) for
+	// c < K, and (K+1)/2 for c ≥ K.
+	const domain = 40
+	u := mustUniform(t, domain)
+	for _, c := range []uint64{1, 2, 10, 39} {
+		want := float64(c) * (1 - float64(c-1)/(2*domain))
+		if got := ExpectedMisses(u, c); math.Abs(got-want) > 1e-9 {
+			t.Errorf("E[M(%d)] = %g, want %g", c, got, want)
+		}
+	}
+	for _, c := range []uint64{40, 41, 100, 10000} {
+		want := float64(domain+1) / 2
+		if got := ExpectedMisses(u, c); math.Abs(got-want) > 1e-9 {
+			t.Errorf("E[M(%d)] = %g, want %g (saturated)", c, got, want)
+		}
+	}
+}
+
+func TestExpectedMissesEdgeCases(t *testing.T) {
+	u := mustUniform(t, 10)
+	if got := ExpectedMisses(u, 0); got != 0 {
+		t.Errorf("E[M(0)] = %g, want 0", got)
+	}
+	if got := ExpectedMisses(u, 1); math.Abs(got-1) > 1e-12 {
+		t.Errorf("E[M(1)] = %g, want 1 (first request always misses)", got)
+	}
+	if got := Utility(u, 0); got != 0 {
+		t.Errorf("u(0) = %g, want 0", got)
+	}
+	if got := Utility(u, 1); math.Abs(got) > 1e-12 {
+		t.Errorf("u(1) = %g, want 0", got)
+	}
+}
+
+func TestExpectedMissesNaive(t *testing.T) {
+	nk := NewNaiveK(5)
+	if got := ExpectedMisses(nk, 3); got != 3 {
+		t.Errorf("E[M(3)] = %g, want 3 (all below threshold)", got)
+	}
+	if got := ExpectedMisses(nk, 100); got != 6 {
+		t.Errorf("E[M(100)] = %g, want k+1 = 6", got)
+	}
+}
+
+func TestUtilityMonotoneInRequests(t *testing.T) {
+	for _, dist := range []KDistribution{
+		mustUniform(t, 40),
+		mustGeometric(t, 0.95, 100),
+		mustUnbounded(t, 0.95),
+	} {
+		prev := -1.0
+		for c := uint64(1); c <= 200; c++ {
+			u := Utility(dist, c)
+			if u < prev-1e-12 {
+				t.Fatalf("%s: utility not monotone at c=%d: %g < %g", dist.Name(), c, u, prev)
+			}
+			if u < 0 || u > 1 {
+				t.Fatalf("%s: utility %g outside [0,1] at c=%d", dist.Name(), u, c)
+			}
+			prev = u
+		}
+	}
+}
+
+func TestUtilityApproachesOne(t *testing.T) {
+	// For any fixed distribution, utility → 1 as c grows: the expected
+	// miss count saturates at E[K]+1.
+	g := mustGeometric(t, 0.9, 50)
+	if u := Utility(g, 100000); u < 0.999 {
+		t.Errorf("u(100000) = %g, want ≈ 1", u)
+	}
+}
+
+func TestUniformPrivacyBound(t *testing.T) {
+	b := UniformPrivacy(5, 200)
+	if b.Epsilon != 0 {
+		t.Errorf("uniform ε = %g, want 0", b.Epsilon)
+	}
+	if math.Abs(b.Delta-0.05) > 1e-12 {
+		t.Errorf("uniform δ = %g, want 0.05", b.Delta)
+	}
+	if capped := UniformPrivacy(100, 10); capped.Delta != 1 {
+		t.Errorf("δ not capped at 1: %g", capped.Delta)
+	}
+	if s := b.String(); !strings.Contains(s, "k=5") {
+		t.Errorf("String() = %q", s)
+	}
+}
+
+func TestExponentialPrivacyBound(t *testing.T) {
+	k := uint64(5)
+	alpha := 0.99
+	b := ExponentialPrivacy(k, alpha, 500)
+	if want := -5 * math.Log(alpha); math.Abs(b.Epsilon-want) > 1e-12 {
+		t.Errorf("ε = %g, want %g", b.Epsilon, want)
+	}
+	// Direct evaluation of Theorem VI.3's δ formula.
+	ak, aK, aKk := math.Pow(alpha, 5), math.Pow(alpha, 500), math.Pow(alpha, 495)
+	want := (1 - ak + aKk - aK) / (1 - aK)
+	if math.Abs(b.Delta-want) > 1e-12 {
+		t.Errorf("δ = %g, want %g", b.Delta, want)
+	}
+}
+
+func TestExponentialPrivacyUnboundedFloor(t *testing.T) {
+	b := ExponentialPrivacy(5, 0.99, 0)
+	if want := 1 - math.Pow(0.99, 5); math.Abs(b.Delta-want) > 1e-12 {
+		t.Errorf("K=∞ δ = %g, want 1−α^k = %g", b.Delta, want)
+	}
+	// δ decreases toward the floor as K grows.
+	prev := 1.0
+	for _, domain := range []uint64{10, 50, 100, 1000} {
+		d := ExponentialPrivacy(5, 0.99, domain).Delta
+		if d > prev+1e-12 {
+			t.Errorf("δ not decreasing in K at %d: %g > %g", domain, d, prev)
+		}
+		if d < b.Delta-1e-12 {
+			t.Errorf("finite-K δ = %g below the K=∞ floor %g", d, b.Delta)
+		}
+		prev = d
+	}
+}
+
+func TestUniformDomainForDelta(t *testing.T) {
+	domain, err := UniformDomainForDelta(5, 0.05)
+	if err != nil || domain != 200 {
+		t.Errorf("K = %d, %v; want 200", domain, err)
+	}
+	if got := UniformPrivacy(5, domain).Delta; got > 0.05+1e-12 {
+		t.Errorf("achieved δ = %g exceeds target", got)
+	}
+	if _, err := UniformDomainForDelta(5, 0); err == nil {
+		t.Error("δ=0 accepted")
+	}
+	if _, err := UniformDomainForDelta(5, 1.5); err == nil {
+		t.Error("δ>1 accepted")
+	}
+}
+
+func TestGeometricAlphaForEpsilon(t *testing.T) {
+	alpha, err := GeometricAlphaForEpsilon(5, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := math.Exp(-0.01); math.Abs(alpha-want) > 1e-12 {
+		t.Errorf("α = %g, want %g", alpha, want)
+	}
+	// Round trip: the resulting ε matches.
+	if b := ExponentialPrivacy(5, alpha, 1000); math.Abs(b.Epsilon-0.05) > 1e-9 {
+		t.Errorf("round-trip ε = %g, want 0.05", b.Epsilon)
+	}
+	if _, err := GeometricAlphaForEpsilon(5, 0); err == nil {
+		t.Error("ε=0 accepted")
+	}
+	if _, err := GeometricAlphaForEpsilon(0, 0.1); err == nil {
+		t.Error("k=0 accepted")
+	}
+}
+
+func TestGeometricDomainForDelta(t *testing.T) {
+	k := uint64(5)
+	alpha, _ := GeometricAlphaForEpsilon(k, 0.05)
+	domain, err := GeometricDomainForDelta(k, alpha, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if domain == 0 {
+		t.Fatal("expected finite K")
+	}
+	// Achieved δ must meet the target; K−1 must not.
+	if got := ExponentialPrivacy(k, alpha, domain).Delta; got > 0.05+1e-12 {
+		t.Errorf("δ(K=%d) = %g exceeds target", domain, got)
+	}
+	if got := ExponentialPrivacy(k, alpha, domain-1).Delta; got <= 0.05 {
+		t.Errorf("K=%d is not minimal: δ(K−1) = %g", domain, got)
+	}
+}
+
+func TestGeometricDomainForDeltaInfeasible(t *testing.T) {
+	// α so large that even K=∞ cannot reach the target δ.
+	if _, err := GeometricDomainForDelta(5, 0.999, 0.001); err == nil {
+		t.Error("infeasible δ accepted")
+	}
+}
+
+func TestGeometricDomainForDeltaBoundary(t *testing.T) {
+	alpha := 0.99
+	floor := 1 - math.Pow(alpha, 5)
+	domain, err := GeometricDomainForDelta(5, alpha, floor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if domain != 0 {
+		t.Errorf("boundary δ should require K=∞ (0), got %d", domain)
+	}
+}
+
+func TestNewUniformForPrivacy(t *testing.T) {
+	u, err := NewUniformForPrivacy(5, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.DomainSize() != 200 {
+		t.Errorf("DomainSize = %d, want 200", u.DomainSize())
+	}
+}
+
+func TestNewGeometricForPrivacy(t *testing.T) {
+	g, err := NewGeometricForPrivacy(5, 0.05, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Unbounded() {
+		t.Error("expected finite truncation")
+	}
+	b := ExponentialPrivacy(5, g.Alpha(), g.DomainSize())
+	if b.Epsilon > 0.05+1e-9 || b.Delta > 0.05+1e-9 {
+		t.Errorf("achieved %v exceeds (0.05, 0.05)", b)
+	}
+}
+
+func TestNewGeometricForPrivacyUnbounded(t *testing.T) {
+	// Figure 4(b)'s pairing ε = −ln(1−δ), k = 1 sits exactly on the
+	// feasibility boundary: K must be unbounded.
+	delta := 0.05
+	eps, err := MaxEpsilonForDelta(delta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := NewGeometricForPrivacy(1, eps, delta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Unbounded() {
+		t.Errorf("expected unbounded K, got %d", g.DomainSize())
+	}
+}
+
+func TestMaxEpsilonForDelta(t *testing.T) {
+	eps, err := MaxEpsilonForDelta(0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := -math.Log(0.95); math.Abs(eps-want) > 1e-12 {
+		t.Errorf("ε = %g, want %g", eps, want)
+	}
+	if _, err := MaxEpsilonForDelta(0); err == nil {
+		t.Error("δ=0 accepted")
+	}
+	if _, err := MaxEpsilonForDelta(1); err == nil {
+		t.Error("δ=1 accepted")
+	}
+}
+
+func TestExponentialBeatsUniformUtility(t *testing.T) {
+	// The headline comparison of Section VI / Figure 4: at equal (ε, δ),
+	// Exponential-Random-Cache yields equal or better utility, with
+	// gains up to ~12%.
+	k := uint64(1)
+	delta := 0.05
+	uni, err := NewUniformForPrivacy(k, delta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eps, _ := MaxEpsilonForDelta(delta)
+	expo, err := NewGeometricForPrivacy(k, eps, delta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxGain := 0.0
+	for c := uint64(1); c <= 100; c++ {
+		gain := Utility(expo, c) - Utility(uni, c)
+		if gain < -1e-9 {
+			t.Fatalf("uniform beat exponential at c=%d by %g", c, -gain)
+		}
+		if gain > maxGain {
+			maxGain = gain
+		}
+	}
+	if maxGain < 0.05 || maxGain > 0.2 {
+		t.Errorf("max gain = %g, want in [0.05, 0.2] (paper: up to ~12%%)", maxGain)
+	}
+}
+
+// Property: Utility is always within [0, 1] and ExpectedMisses within
+// [min(1,c), c] for arbitrary uniform domains.
+func TestUtilityBoundsProperty(t *testing.T) {
+	f := func(domain uint16, reqs uint16) bool {
+		if domain == 0 || reqs == 0 {
+			return true
+		}
+		u, err := NewUniformK(uint64(domain))
+		if err != nil {
+			return false
+		}
+		c := uint64(reqs)
+		m := ExpectedMisses(u, c)
+		util := Utility(u, c)
+		return m >= 1-1e-9 && m <= float64(c)+1e-9 && util >= -1e-9 && util <= 1+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func mustUnbounded(t *testing.T, alpha float64) *GeometricK {
+	t.Helper()
+	g, err := NewGeometricUnbounded(alpha)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}

@@ -1,0 +1,191 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+
+	"ndnprivacy/internal/cache"
+	"ndnprivacy/internal/ndn"
+)
+
+// Empirical privacy auditing: estimate the (ε, δ)-indistinguishability
+// of an arbitrary CacheManager by Monte-Carlo simulation of the paper's
+// adversary experiment, instead of trusting a closed-form theorem. The
+// auditor plays both router states — S0 (content never requested) and
+// S1 (content requested x times) — against fresh manager instances,
+// records the observable probe outcomes, and compares the two outcome
+// distributions with the Definition IV.1 machinery.
+//
+// Observability model: the adversary sees, per probe, "hit-like"
+// (ActionServe: fast answer) or "miss-like" (ActionMiss, or
+// ActionDelayedServe when the artificial delay replays the real miss
+// latency — the premise of the Section V-B strategies). A manager whose
+// delayed serves are distinguishable from misses by duration would need
+// a finer-grained outcome alphabet; pass DistinguishDelays for that.
+
+// AuditConfig parameterizes one audit.
+type AuditConfig struct {
+	// Build constructs a fresh manager instance per trial. Fresh state
+	// per trial is essential: the audit compares distributions over
+	// independent runs.
+	Build func(rng *rand.Rand) (CacheManager, error)
+	// PriorRequests is x: how many requests the audited content
+	// received in state S1 (0 < x ≤ k for the Definition IV.3 bound).
+	PriorRequests uint64
+	// Probes is how many consecutive probes the adversary issues.
+	Probes int
+	// Trials is the Monte-Carlo sample count per state.
+	Trials int
+	// Seed drives the audit's randomness.
+	Seed int64
+	// DistinguishDelays records ActionDelayedServe as a distinct symbol
+	// instead of folding it into "miss-like" — audit a manager under a
+	// stronger adversary that can recognize artificial delays.
+	DistinguishDelays bool
+}
+
+func (c *AuditConfig) validate() error {
+	if c.Build == nil {
+		return errors.New("core: audit requires a manager builder")
+	}
+	if c.Probes <= 0 {
+		return errors.New("core: audit requires at least one probe")
+	}
+	if c.Trials <= 0 {
+		return errors.New("core: audit requires at least one trial")
+	}
+	return nil
+}
+
+// AuditOutcome holds the empirical outcome distributions of both states.
+type AuditOutcome struct {
+	// Baseline is the outcome distribution under S0 (never requested).
+	Baseline Distribution
+	// Prior is the outcome distribution under S1 (PriorRequests
+	// requests before the adversary's probes).
+	Prior Distribution
+	// Config echoes the audited configuration.
+	Config AuditConfig
+}
+
+// DeltaAt returns the smallest empirical δ at the given ε. Because the
+// distributions are Monte-Carlo estimates, callers should allow a small
+// ε slack when checking a theoretical ε: sampled probability ratios of
+// theoretically-equal outcomes concentrate near — but never exactly at —
+// one, so an exact ε = 0 query counts all of them as bad outcomes.
+func (o *AuditOutcome) DeltaAt(eps float64) float64 {
+	return MinDeltaForEpsilon(o.Baseline, o.Prior, eps)
+}
+
+// EpsilonAt returns the smallest empirical ε at the given δ budget.
+func (o *AuditOutcome) EpsilonAt(delta float64) (float64, bool) {
+	return MinEpsilonForDelta(o.Baseline, o.Prior, delta)
+}
+
+// Render summarizes the audit.
+func (o *AuditOutcome) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "privacy audit: x=%d probes=%d trials=%d\n",
+		o.Config.PriorRequests, o.Config.Probes, o.Config.Trials)
+	fmt.Fprintf(&b, "empirical δ at ε=0:    %.4f\n", o.DeltaAt(0))
+	if eps, feasible := o.EpsilonAt(0.05); feasible {
+		fmt.Fprintf(&b, "empirical ε at δ=0.05: %.4f\n", eps)
+	} else {
+		b.WriteString("empirical ε at δ=0.05: infeasible (distributions too far apart)\n")
+	}
+	return b.String()
+}
+
+// Audit runs the Monte-Carlo experiment.
+func Audit(cfg AuditConfig) (*AuditOutcome, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	out := &AuditOutcome{
+		Baseline: make(Distribution),
+		Prior:    make(Distribution),
+		Config:   cfg,
+	}
+	for trial := 0; trial < cfg.Trials; trial++ {
+		base, err := auditTrial(cfg, rng, 0)
+		if err != nil {
+			return nil, err
+		}
+		out.Baseline[base]++
+		prior, err := auditTrial(cfg, rng, cfg.PriorRequests)
+		if err != nil {
+			return nil, err
+		}
+		out.Prior[prior]++
+	}
+	out.Baseline.Normalize()
+	out.Prior.Normalize()
+	return out, nil
+}
+
+// auditTrial plays one adversary run and returns the observable outcome
+// string.
+func auditTrial(cfg AuditConfig, rng *rand.Rand, prior uint64) (string, error) {
+	manager, err := cfg.Build(rng)
+	if err != nil {
+		return "", err
+	}
+	entry := auditEntry()
+	interest := auditInterest()
+	cached := false
+
+	request := func() Action {
+		if !cached {
+			// Structural miss: the content is fetched and cached.
+			cached = true
+			manager.OnContentCached(entry, time.Millisecond, 0)
+			return ActionMiss
+		}
+		decision := manager.OnCacheHit(entry, interest, 0)
+		if decision.Action == ActionMiss {
+			// The interest travels upstream; the returning content
+			// refreshes the live entry.
+			manager.OnContentCached(entry, time.Millisecond, 0)
+		}
+		return decision.Action
+	}
+
+	// State preparation: x honest requests.
+	for i := uint64(0); i < prior; i++ {
+		request()
+	}
+	// Adversary probes.
+	var b strings.Builder
+	for p := 0; p < cfg.Probes; p++ {
+		switch request() {
+		case ActionServe:
+			b.WriteByte('H')
+		case ActionDelayedServe:
+			if cfg.DistinguishDelays {
+				b.WriteByte('D')
+			} else {
+				b.WriteByte('M')
+			}
+		default:
+			b.WriteByte('M')
+		}
+	}
+	return b.String(), nil
+}
+
+func auditEntry() *cache.Entry {
+	d, err := ndn.NewData(ndn.MustParseName("/audit/target"), []byte("x"))
+	if err != nil {
+		panic(err) // unreachable: constant non-empty payload
+	}
+	d.Private = true
+	return &cache.Entry{Data: d, Private: true}
+}
+
+func auditInterest() *ndn.Interest {
+	return ndn.NewInterest(ndn.MustParseName("/audit/target"), 1).WithPrivacy(ndn.PrivacyRequested)
+}

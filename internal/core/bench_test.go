@@ -1,0 +1,123 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func BenchmarkRandomCacheDecision(b *testing.B) {
+	dist, err := NewGeometricK(0.99, 1000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := NewRandomCache(dist, rand.New(rand.NewSource(1)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	e := privateEntryForQuick()
+	m.OnContentCached(e, 0, 0)
+	i := privateInterestForQuick()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		m.OnCacheHit(e, i, 0)
+	}
+}
+
+func BenchmarkGroupedRandomCacheDecision(b *testing.B) {
+	dist, err := NewUniformK(1000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := NewGroupedRandomCache(dist, rand.New(rand.NewSource(1)), PrefixGroup(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	e := privateEntryForQuick()
+	m.OnContentCached(e, 0, 0)
+	i := privateInterestForQuick()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		m.OnCacheHit(e, i, 0)
+	}
+}
+
+func BenchmarkDelayManagerDecision(b *testing.B) {
+	m, err := NewDelayManager(NewContentSpecificDelay())
+	if err != nil {
+		b.Fatal(err)
+	}
+	e := privateEntryForQuick()
+	e.FetchDelay = 20 * time.Millisecond
+	i := privateInterestForQuick()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		m.OnCacheHit(e, i, 0)
+	}
+}
+
+func BenchmarkGeometricDraw(b *testing.B) {
+	dist, err := NewGeometricK(0.999, 10000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		dist.Draw(rng)
+	}
+}
+
+func BenchmarkExpectedMisses(b *testing.B) {
+	dist, err := NewGeometricK(0.999, 10000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		ExpectedMisses(dist, 100)
+	}
+}
+
+func BenchmarkProbeOutcomeDist(b *testing.B) {
+	dist, err := NewUniformK(200)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		ProbeOutcomeDist(dist, 5, 210)
+	}
+}
+
+func BenchmarkMinDeltaForEpsilon(b *testing.B) {
+	dist, err := NewUniformK(200)
+	if err != nil {
+		b.Fatal(err)
+	}
+	d0 := ProbeOutcomeDist(dist, 0, 210)
+	d5 := ProbeOutcomeDist(dist, 5, 210)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		MinDeltaForEpsilon(d0, d5, 0)
+	}
+}
+
+func BenchmarkGeometricDomainSolver(b *testing.B) {
+	for n := 0; n < b.N; n++ {
+		alpha, err := GeometricAlphaForEpsilon(5, 0.005)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := GeometricDomainForDelta(5, alpha, 0.006); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

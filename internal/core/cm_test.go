@@ -1,0 +1,318 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"ndnprivacy/internal/cache"
+	"ndnprivacy/internal/ndn"
+)
+
+func publicEntry(t *testing.T, name string) *cache.Entry {
+	t.Helper()
+	d, err := ndn.NewData(ndn.MustParseName(name), []byte("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &cache.Entry{Data: d}
+}
+
+func privateEntry(t *testing.T, name string) *cache.Entry {
+	t.Helper()
+	e := publicEntry(t, name)
+	e.Data.Private = true
+	e.Private = true
+	return e
+}
+
+func plainInterest(name string) *ndn.Interest {
+	return ndn.NewInterest(ndn.MustParseName(name), 1)
+}
+
+func privateInterest(name string) *ndn.Interest {
+	return plainInterest(name).WithPrivacy(ndn.PrivacyRequested)
+}
+
+func TestActionString(t *testing.T) {
+	cases := map[Action]string{
+		ActionServe:        "serve",
+		ActionDelayedServe: "delayed-serve",
+		ActionMiss:         "miss",
+		Action(0):          "unknown",
+	}
+	for a, want := range cases {
+		if got := a.String(); got != want {
+			t.Errorf("Action(%d).String() = %q, want %q", a, got, want)
+		}
+	}
+}
+
+func TestNoPrivacyAlwaysServes(t *testing.T) {
+	m := NewNoPrivacy()
+	e := privateEntry(t, "/bob/secret")
+	d := m.OnCacheHit(e, privateInterest("/bob/secret"), 0)
+	if d.Action != ActionServe {
+		t.Errorf("NoPrivacy returned %v, want serve", d.Action)
+	}
+	if e.ForwardCount != 1 {
+		t.Errorf("ForwardCount = %d, want 1", e.ForwardCount)
+	}
+	if m.Name() != "no-privacy" {
+		t.Errorf("Name = %q", m.Name())
+	}
+}
+
+func TestEffectivePrivacyProducerMarkingWins(t *testing.T) {
+	e := privateEntry(t, "/bob/secret")
+	// Even a non-private interest cannot strip producer marking.
+	if !EffectivePrivacy(e, plainInterest("/bob/secret")) {
+		t.Error("producer-marked content treated as non-private")
+	}
+	if e.NonPrivateTrigger {
+		t.Error("trigger set on producer-private content")
+	}
+}
+
+func TestEffectivePrivacyProducerNameMarker(t *testing.T) {
+	e := publicEntry(t, "/bob/private/doc")
+	if !EffectivePrivacy(e, plainInterest("/bob/private/doc")) {
+		t.Error("reserved /private/ component not honored")
+	}
+}
+
+func TestEffectivePrivacyConsumerMarking(t *testing.T) {
+	e := publicEntry(t, "/bob/doc")
+	if !EffectivePrivacy(e, privateInterest("/bob/doc")) {
+		t.Error("consumer privacy bit not honored")
+	}
+	if !e.Private {
+		t.Error("entry not marked private after consumer request")
+	}
+}
+
+func TestEffectivePrivacyTriggerRule(t *testing.T) {
+	e := publicEntry(t, "/bob/doc")
+	// Private, private, then one non-private interest.
+	EffectivePrivacy(e, privateInterest("/bob/doc"))
+	EffectivePrivacy(e, privateInterest("/bob/doc"))
+	if EffectivePrivacy(e, plainInterest("/bob/doc")) {
+		t.Error("non-private interest still treated as private")
+	}
+	if !e.NonPrivateTrigger {
+		t.Error("trigger not recorded")
+	}
+	// After the trigger, even privacy-bit interests get non-private
+	// treatment for the rest of the cache lifetime (Section V-B).
+	if EffectivePrivacy(e, privateInterest("/bob/doc")) {
+		t.Error("trigger rule not sticky")
+	}
+}
+
+func TestInterestIsPrivate(t *testing.T) {
+	if !InterestIsPrivate(privateInterest("/x")) {
+		t.Error("requested privacy not detected")
+	}
+	if InterestIsPrivate(plainInterest("/x")) {
+		t.Error("unmarked interest reported private")
+	}
+	if InterestIsPrivate(plainInterest("/x").WithPrivacy(ndn.PrivacyDeclined)) {
+		t.Error("declined interest reported private")
+	}
+}
+
+func TestConstantDelayValidation(t *testing.T) {
+	if _, err := NewConstantDelay(0); err == nil {
+		t.Error("γ=0 accepted")
+	}
+	if _, err := NewConstantDelay(-time.Second); err == nil {
+		t.Error("negative γ accepted")
+	}
+}
+
+func TestConstantDelay(t *testing.T) {
+	s, err := NewConstantDelay(80 * time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := privateEntry(t, "/x")
+	e.FetchDelay = 5 * time.Millisecond
+	if got := s.HitDelay(e, 0); got != 80*time.Millisecond {
+		t.Errorf("HitDelay = %v, want 80ms", got)
+	}
+	if s.Gamma() != 80*time.Millisecond || s.Name() != "constant" {
+		t.Error("accessors wrong")
+	}
+}
+
+func TestContentSpecificDelay(t *testing.T) {
+	s := NewContentSpecificDelay()
+	e := privateEntry(t, "/x")
+	e.FetchDelay = 123 * time.Millisecond
+	if got := s.HitDelay(e, 0); got != 123*time.Millisecond {
+		t.Errorf("HitDelay = %v, want γ_C = 123ms", got)
+	}
+	if s.Name() != "content-specific" {
+		t.Errorf("Name = %q", s.Name())
+	}
+}
+
+func TestDynamicDelayValidation(t *testing.T) {
+	if _, err := NewDynamicDelay(0, 10); err == nil {
+		t.Error("zero floor accepted")
+	}
+	if _, err := NewDynamicDelay(time.Millisecond, 0); err == nil {
+		t.Error("zero half-life accepted")
+	}
+}
+
+func TestDynamicDelayDecaysToFloor(t *testing.T) {
+	floor := 10 * time.Millisecond
+	s, err := NewDynamicDelay(floor, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := privateEntry(t, "/x")
+	e.FetchDelay = 100 * time.Millisecond
+
+	e.ForwardCount = 0
+	first := s.HitDelay(e, 0)
+	if first != 100*time.Millisecond {
+		t.Errorf("delay at count 0 = %v, want full γ_C", first)
+	}
+	e.ForwardCount = 4
+	halved := s.HitDelay(e, 0)
+	if want := 55 * time.Millisecond; halved != want {
+		t.Errorf("delay at half-life = %v, want %v", halved, want)
+	}
+	e.ForwardCount = 1000
+	if got := s.HitDelay(e, 0); got < floor || got > floor+time.Millisecond {
+		t.Errorf("delay after many requests = %v, want ≈ floor %v", got, floor)
+	}
+	if s.Floor() != floor {
+		t.Error("Floor accessor wrong")
+	}
+}
+
+func TestDynamicDelayNeverBelowFloor(t *testing.T) {
+	floor := 50 * time.Millisecond
+	s, _ := NewDynamicDelay(floor, 2)
+	e := privateEntry(t, "/near")
+	e.FetchDelay = 10 * time.Millisecond // nearer than two hops
+	for count := uint64(0); count < 20; count++ {
+		e.ForwardCount = count
+		if got := s.HitDelay(e, 0); got < floor {
+			t.Fatalf("delay %v below floor %v at count %d", got, floor, count)
+		}
+	}
+}
+
+func TestDelayManagerValidation(t *testing.T) {
+	if _, err := NewDelayManager(nil); err == nil {
+		t.Error("nil strategy accepted")
+	}
+}
+
+func TestDelayManagerPrivateContentDelayed(t *testing.T) {
+	m, err := NewDelayManager(NewContentSpecificDelay())
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := privateEntry(t, "/bob/secret")
+	e.FetchDelay = 42 * time.Millisecond
+	d := m.OnCacheHit(e, plainInterest("/bob/secret"), 0)
+	if d.Action != ActionDelayedServe || d.Delay != 42*time.Millisecond {
+		t.Errorf("decision = %+v, want delayed-serve 42ms", d)
+	}
+	if m.Name() != "always-delay/content-specific" {
+		t.Errorf("Name = %q", m.Name())
+	}
+}
+
+func TestDelayManagerPublicContentImmediate(t *testing.T) {
+	m, _ := NewDelayManager(NewContentSpecificDelay())
+	e := publicEntry(t, "/bob/page")
+	d := m.OnCacheHit(e, plainInterest("/bob/page"), 0)
+	if d.Action != ActionServe {
+		t.Errorf("decision = %+v, want serve", d)
+	}
+}
+
+func TestDelayManagerTriggerDisablesDelay(t *testing.T) {
+	m, _ := NewDelayManager(NewContentSpecificDelay())
+	e := publicEntry(t, "/bob/page")
+	e.FetchDelay = 10 * time.Millisecond
+	// Consumer-private request: delayed.
+	if d := m.OnCacheHit(e, privateInterest("/bob/page"), 0); d.Action != ActionDelayedServe {
+		t.Fatalf("private request not delayed: %+v", d)
+	}
+	// First non-private request triggers non-private treatment...
+	if d := m.OnCacheHit(e, plainInterest("/bob/page"), 0); d.Action != ActionServe {
+		t.Fatalf("trigger request not served: %+v", d)
+	}
+	// ...which then applies even to privacy-bit requests.
+	if d := m.OnCacheHit(e, privateInterest("/bob/page"), 0); d.Action != ActionServe {
+		t.Errorf("post-trigger private request delayed: %+v", d)
+	}
+}
+
+// Property: EffectivePrivacy is monotone — once an entry goes
+// non-private (trigger), no later interest sequence restores privacy
+// within the same cache lifetime; and producer-marked content is private
+// under every interest sequence.
+func TestEffectivePrivacyProperties(t *testing.T) {
+	marks := []ndn.Privacy{ndn.PrivacyUnmarked, ndn.PrivacyRequested, ndn.PrivacyDeclined}
+	f := func(producerPrivate bool, seq []uint8) bool {
+		e := publicEntryForQuick()
+		if producerPrivate {
+			e.Data.Private = true
+			e.Private = true
+		}
+		triggered := false
+		for _, m := range seq {
+			interest := plainInterest("/bob/doc").WithPrivacy(marks[int(m)%len(marks)])
+			private := EffectivePrivacy(e, interest)
+			if producerPrivate && !private {
+				return false // producer marking always wins
+			}
+			if !producerPrivate {
+				if triggered && private {
+					return false // trigger must be sticky
+				}
+				if !private {
+					triggered = true
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func publicEntryForQuick() *cache.Entry {
+	d, err := ndn.NewData(ndn.MustParseName("/bob/doc"), []byte("x"))
+	if err != nil {
+		panic(err)
+	}
+	return &cache.Entry{Data: d}
+}
+
+func TestDelayManagerPerfectPrivacyShape(t *testing.T) {
+	// The hallmark of Definition IV.2 privacy: for private content, the
+	// consumer-visible latency of a hit equals that of a miss — the
+	// decision must not depend on whether content was requested before.
+	m, _ := NewDelayManager(NewContentSpecificDelay())
+	fresh := privateEntry(t, "/p/a")
+	fresh.FetchDelay = 30 * time.Millisecond
+	popular := privateEntry(t, "/p/b")
+	popular.FetchDelay = 30 * time.Millisecond
+	popular.ForwardCount = 500
+
+	dFresh := m.OnCacheHit(fresh, plainInterest("/p/a"), 0)
+	dPopular := m.OnCacheHit(popular, plainInterest("/p/b"), 0)
+	if dFresh.Delay != dPopular.Delay || dFresh.Action != dPopular.Action {
+		t.Errorf("content-specific delay depends on popularity: %+v vs %+v", dFresh, dPopular)
+	}
+}

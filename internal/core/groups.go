@@ -1,0 +1,168 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"time"
+
+	"ndnprivacy/internal/cache"
+	"ndnprivacy/internal/ndn"
+)
+
+// Section VI, "Addressing Content Correlation": Random-Cache assumes
+// statistically independent content. When related content shares a name
+// prefix (segments of one video, pages of one site), an adversary can
+// probe many related names, each with an independently drawn k_C; the
+// first undisguised hit reveals — with overwhelming probability — that
+// the whole set was requested. The fix is to run Algorithm 1 on
+// correlation groups: all content in a group shares a single counter c_C
+// and threshold k_C.
+
+// GroupFunc maps a content object to its correlation-group key.
+type GroupFunc func(data *ndn.Data) string
+
+// PrefixGroup groups content by its first depth name components — the
+// paper's suggestion of treating elements of the same namespace as one
+// group.
+func PrefixGroup(depth int) GroupFunc {
+	return func(data *ndn.Data) string {
+		name := data.Name
+		if name.Len() <= depth {
+			return name.Key()
+		}
+		return name.Prefix(depth).Key()
+	}
+}
+
+// ContentIDGroup groups by the producer-assigned content-id field — the
+// extension the paper proposes at the end of Section VI for correlated
+// content whose names share no prefix (e.g., linked web pages). Content
+// without a content-id falls back to the given function (typically a
+// PrefixGroup, or per-content state via ExactGroup).
+func ContentIDGroup(fallback GroupFunc) GroupFunc {
+	return func(data *ndn.Data) string {
+		if data.ContentID != "" {
+			return "cid:" + data.ContentID
+		}
+		return fallback(data)
+	}
+}
+
+// ExactGroup gives every content its own group: GroupedRandomCache with
+// ExactGroup degenerates to plain RandomCache. Useful as the
+// ContentIDGroup fallback.
+func ExactGroup() GroupFunc {
+	return func(data *ndn.Data) string { return data.Name.Key() }
+}
+
+// groupState is the shared Algorithm 1 state of one correlation group.
+type groupState struct {
+	counter   uint64
+	threshold uint64
+	// members counts live cache entries in the group, so state can be
+	// garbage-collected when the group leaves the cache entirely.
+	members int
+}
+
+// GroupedRandomCache runs Algorithm 1 with one (c_C, k_C) pair per
+// correlation group instead of per content.
+type GroupedRandomCache struct {
+	dist   KDistribution
+	rng    *rand.Rand
+	groups map[string]*groupState
+	group  GroupFunc
+}
+
+var _ CacheManager = (*GroupedRandomCache)(nil)
+
+// NewGroupedRandomCache builds the manager. All arguments are required.
+func NewGroupedRandomCache(dist KDistribution, rng *rand.Rand, group GroupFunc) (*GroupedRandomCache, error) {
+	if dist == nil {
+		return nil, errors.New("core: grouped random cache requires a K distribution")
+	}
+	if rng == nil {
+		return nil, errors.New("core: grouped random cache requires an RNG")
+	}
+	if group == nil {
+		return nil, errors.New("core: grouped random cache requires a group function")
+	}
+	return &GroupedRandomCache{
+		dist:   dist,
+		rng:    rng,
+		groups: make(map[string]*groupState),
+		group:  group,
+	}, nil
+}
+
+// OnCacheHit implements CacheManager.
+func (m *GroupedRandomCache) OnCacheHit(entry *cache.Entry, interest *ndn.Interest, _ time.Duration) Decision {
+	entry.ForwardCount++
+	if !EffectivePrivacy(entry, interest) {
+		return serveNow()
+	}
+	state := m.stateFor(entry)
+	state.counter++
+	if state.counter <= state.threshold {
+		return Decision{Action: ActionMiss}
+	}
+	return serveNow()
+}
+
+// OnContentCached implements CacheManager. A member's initial fetch is
+// itself a request against the group: it advances the shared counter
+// (unless it is the request that created the group, mirroring
+// Algorithm 1's initialization). Re-fetches caused by generated misses
+// arrive on entries already in the group and do not count again — their
+// triggering request was already counted by OnCacheHit.
+func (m *GroupedRandomCache) OnContentCached(entry *cache.Entry, _ time.Duration, _ time.Duration) {
+	if entry.GroupKey != "" {
+		return // refresh of a known member
+	}
+	key := m.group(entry.Data)
+	_, existed := m.groups[key]
+	state := m.stateFor(entry)
+	if existed {
+		state.counter++
+	}
+}
+
+// OnContentEvicted must be called when the store evicts an entry, so that
+// group state is dropped once no member remains cached (matching
+// Algorithm 1's re-initialization of content outside T).
+func (m *GroupedRandomCache) OnContentEvicted(entry *cache.Entry) {
+	if entry.GroupKey == "" {
+		return
+	}
+	state, found := m.groups[entry.GroupKey]
+	if !found {
+		return
+	}
+	state.members--
+	if state.members <= 0 {
+		delete(m.groups, entry.GroupKey)
+	}
+}
+
+func (m *GroupedRandomCache) stateFor(entry *cache.Entry) *groupState {
+	key := m.group(entry.Data)
+	if entry.GroupKey == "" {
+		entry.GroupKey = key
+		if state, found := m.groups[key]; found {
+			state.members++
+		} else {
+			m.groups[key] = &groupState{threshold: m.dist.Draw(m.rng), members: 1}
+		}
+	}
+	return m.groups[entry.GroupKey]
+}
+
+// Groups returns the number of live correlation groups, for tests.
+func (m *GroupedRandomCache) Groups() int { return len(m.groups) }
+
+// Reset drops all group state, for reuse across experiment runs.
+func (m *GroupedRandomCache) Reset() {
+	m.groups = make(map[string]*groupState)
+}
+
+// Name implements CacheManager.
+func (m *GroupedRandomCache) Name() string { return "grouped-random-cache/" + m.dist.Name() }

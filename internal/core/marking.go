@@ -1,0 +1,49 @@
+package core
+
+import (
+	"ndnprivacy/internal/cache"
+	"ndnprivacy/internal/ndn"
+)
+
+// Privacy-marking rules of Section V, shared by every privacy-preserving
+// manager:
+//
+//   - Producer-driven marking (privacy bit on the Data packet or the
+//     reserved /private/ name component) is always honored, even if a
+//     consumer requests the content without the privacy bit.
+//   - Content not marked by its producer is private while consumers
+//     request it privately, but the first non-private interest acts as a
+//     trigger: from then on the content is treated as non-private for as
+//     long as it remains cached. (Otherwise an adversary requesting twice
+//     without privacy could tell whether someone had requested it with
+//     privacy before — see the analysis in Section V-B.)
+
+// EffectivePrivacy applies the marking rules for one interest against one
+// cached entry, updating the entry's trigger state, and reports whether
+// the response must be handled as private.
+func EffectivePrivacy(entry *cache.Entry, interest *ndn.Interest) bool {
+	if entry.Data.IsPrivate() {
+		// Producer marking always wins.
+		entry.Private = true
+		return true
+	}
+	if entry.NonPrivateTrigger {
+		return false
+	}
+	if interest.Privacy == ndn.PrivacyRequested {
+		entry.Private = true
+		return true
+	}
+	// First unmarked/declined interest for non-producer-private content:
+	// trigger non-private treatment for this cache lifetime.
+	entry.NonPrivateTrigger = true
+	entry.Private = false
+	return false
+}
+
+// InterestIsPrivate reports whether an interest asks for private handling
+// (used when content is not yet cached, to record how it should be marked
+// once it arrives).
+func InterestIsPrivate(interest *ndn.Interest) bool {
+	return interest.Privacy == ndn.PrivacyRequested
+}

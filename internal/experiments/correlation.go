@@ -1,0 +1,172 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"ndnprivacy/internal/cache"
+	"ndnprivacy/internal/core"
+	"ndnprivacy/internal/ndn"
+)
+
+// E10 — the Section VI correlation attack. Random-Cache's guarantee
+// assumes statistically independent content; n related objects (segments
+// of one page) give the adversary n independent k_C draws, and the
+// first undisguised hit betrays — with overwhelming probability — that
+// the whole set was requested. The fix runs Algorithm 1 per correlation
+// group with a single (c_C, k_C).
+//
+// The experiment measures the adversary's detection accuracy as a
+// function of the set size n: it probes each of the n related objects
+// once and declares "the set was requested" if any probe is an
+// undisguised hit. Privacy budgets are matched by scaling the grouped
+// scheme's domain with n (the group's counter aggregates n× the
+// requests, so holding k_C's domain per aggregated request constant
+// keeps utility comparable).
+
+// CorrelationRow is one set-size measurement.
+type CorrelationRow struct {
+	SetSize            int
+	UngroupedDetection float64
+	GroupedDetection   float64
+}
+
+// CorrelationConfig scales E10.
+type CorrelationConfig struct {
+	Seed int64
+	// Trials per (world, scheme, n) cell.
+	Trials int
+	// Domain is the per-object uniform K for the ungrouped scheme.
+	Domain uint64
+	// SetSizes to sweep.
+	SetSizes []int
+}
+
+func (c *CorrelationConfig) setDefaults() {
+	if c.Trials == 0 {
+		c.Trials = 2000
+	}
+	if c.Domain == 0 {
+		c.Domain = 40
+	}
+	if len(c.SetSizes) == 0 {
+		c.SetSizes = []int{1, 2, 4, 8, 16, 32}
+	}
+}
+
+// CorrelationResult holds the E10 sweep.
+type CorrelationResult struct {
+	Config CorrelationConfig
+	Rows   []CorrelationRow
+}
+
+// RunCorrelation measures detection accuracy for both schemes across set
+// sizes. Detection accuracy is the probability the adversary's "any
+// undisguised hit" rule fires given the set WAS requested; given it was
+// not, the rule never fires (probes of uncached content are structural
+// misses), so accuracy = ½ + ½·Pr[fire | requested].
+func RunCorrelation(cfg CorrelationConfig) (*CorrelationResult, error) {
+	cfg.setDefaults()
+	out := &CorrelationResult{Config: cfg}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	for _, n := range cfg.SetSizes {
+		ungroupedFires := 0
+		groupedFires := 0
+		for trial := 0; trial < cfg.Trials; trial++ {
+			fired, err := trialUngrouped(rng, cfg.Domain, n)
+			if err != nil {
+				return nil, err
+			}
+			if fired {
+				ungroupedFires++
+			}
+			fired, err = trialGrouped(rng, cfg.Domain*uint64(n), n)
+			if err != nil {
+				return nil, err
+			}
+			if fired {
+				groupedFires++
+			}
+		}
+		out.Rows = append(out.Rows, CorrelationRow{
+			SetSize:            n,
+			UngroupedDetection: 0.5 + 0.5*float64(ungroupedFires)/float64(cfg.Trials),
+			GroupedDetection:   0.5 + 0.5*float64(groupedFires)/float64(cfg.Trials),
+		})
+	}
+	return out, nil
+}
+
+// trialUngrouped simulates: U fetched each of n related objects once
+// (independent k_C per object); Adv probes each object once and fires on
+// any undisguised hit.
+func trialUngrouped(rng *rand.Rand, domain uint64, n int) (bool, error) {
+	dist, err := core.NewUniformK(domain)
+	if err != nil {
+		return false, err
+	}
+	m, err := core.NewRandomCache(dist, rng)
+	if err != nil {
+		return false, err
+	}
+	for i := 0; i < n; i++ {
+		entry := correlatedEntry(i)
+		m.OnContentCached(entry, 0, 0) // U's fetch cached it
+		if d := m.OnCacheHit(entry, correlatedInterest(i), 0); d.Action == core.ActionServe {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// trialGrouped is the same attack against the grouped scheme: one shared
+// counter and threshold for the whole namespace.
+func trialGrouped(rng *rand.Rand, domain uint64, n int) (bool, error) {
+	dist, err := core.NewUniformK(domain)
+	if err != nil {
+		return false, err
+	}
+	m, err := core.NewGroupedRandomCache(dist, rng, core.PrefixGroup(2))
+	if err != nil {
+		return false, err
+	}
+	entries := make([]*cache.Entry, n)
+	for i := 0; i < n; i++ {
+		entries[i] = correlatedEntry(i)
+		m.OnContentCached(entries[i], 0, 0) // U's page view
+	}
+	for i := 0; i < n; i++ {
+		if d := m.OnCacheHit(entries[i], correlatedInterest(i), 0); d.Action == core.ActionServe {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+func correlatedEntry(i int) *cache.Entry {
+	d, err := ndn.NewData(ndn.MustParseName(fmt.Sprintf("/site/page/seg%d", i)), []byte("s"))
+	if err != nil {
+		panic(err) // unreachable: constant non-empty payload
+	}
+	d.Private = true
+	return &cache.Entry{Data: d, Private: true}
+}
+
+func correlatedInterest(i int) *ndn.Interest {
+	return ndn.NewInterest(ndn.MustParseName(fmt.Sprintf("/site/page/seg%d", i)), uint64(i)+1).
+		WithPrivacy(ndn.PrivacyRequested)
+}
+
+// Render formats the E10 table.
+func (r *CorrelationResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "=== Section VI — correlation attack, per-object K=%d, %d trials ===\n",
+		r.Config.Domain, r.Config.Trials)
+	b.WriteString("set size   ungrouped detection   grouped detection\n")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%8d   %19.4f   %17.4f\n", row.SetSize, row.UngroupedDetection, row.GroupedDetection)
+	}
+	b.WriteString("(paper: ungrouped Random-Cache becomes insecure as related content grows;\n grouping bounds the leak at the single-draw level)\n")
+	return b.String()
+}

@@ -1,0 +1,244 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation. Each experiment returns structured rows/series plus a
+// Render method producing the human-readable report; cmd/* binaries and
+// the benchmark harness both call into this package, so the numbers in
+// EXPERIMENTS.md come from exactly this code.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"ndnprivacy/internal/attack"
+	"ndnprivacy/internal/core"
+	"ndnprivacy/internal/netsim"
+)
+
+// Figure3Config scales the timing-attack experiments. The paper used
+// 1,000 objects × 50 runs; the defaults here are smaller so the full
+// suite stays fast — pass larger values for paper-scale runs.
+type Figure3Config struct {
+	Seed    int64
+	Objects int
+	Runs    int
+	// Bins controls PDF rendering granularity.
+	Bins int
+}
+
+func (c *Figure3Config) setDefaults() {
+	if c.Objects == 0 {
+		c.Objects = 200
+	}
+	if c.Runs == 0 {
+		c.Runs = 5
+	}
+	if c.Bins == 0 {
+		c.Bins = 24
+	}
+}
+
+// Figure3Result wraps an attack scenario result with its paper context.
+type Figure3Result struct {
+	Figure   string // "3a", "3b", ...
+	Caption  string
+	PaperAcc string // the accuracy the paper reports, for the report
+	Result   *attack.Result
+	Bins     int
+}
+
+// Render produces the textual PDF plot and the accuracy line.
+func (r *Figure3Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "=== Figure %s — %s ===\n", r.Figure, r.Caption)
+	fmt.Fprintf(&b, "samples: %d hit / %d miss\n", len(r.Result.Hit), len(r.Result.Miss))
+	hit, miss, err := r.Result.Histograms(r.Bins)
+	if err == nil {
+		b.WriteString("cache hit RTT PDF [ms]:\n")
+		b.WriteString(hit.Render(40))
+		b.WriteString("cache miss RTT PDF [ms]:\n")
+		b.WriteString(miss.Render(40))
+	}
+	fmt.Fprintf(&b, "single-probe distinguishing probability: %.4f (threshold %.3f ms)\n",
+		r.Result.Accuracy, r.Result.Threshold)
+	fmt.Fprintf(&b, "paper reports: %s\n", r.PaperAcc)
+	return b.String()
+}
+
+// Figure3a runs the LAN consumer-privacy attack (E1).
+func Figure3a(cfg Figure3Config) (*Figure3Result, error) {
+	cfg.setDefaults()
+	res, err := attack.RunLAN(attack.ScenarioConfig{Seed: cfg.Seed + 31, Objects: cfg.Objects, Runs: cfg.Runs})
+	if err != nil {
+		return nil, err
+	}
+	return &Figure3Result{
+		Figure:   "3a",
+		Caption:  "LAN: U, Adv on shared first-hop router R; P across the network",
+		PaperAcc: ">99.9%",
+		Result:   res,
+		Bins:     cfg.Bins,
+	}, nil
+}
+
+// Figure3b runs the WAN consumer-privacy attack (E2).
+func Figure3b(cfg Figure3Config) (*Figure3Result, error) {
+	cfg.setDefaults()
+	res, err := attack.RunWAN(attack.ScenarioConfig{Seed: cfg.Seed + 37, Objects: cfg.Objects, Runs: cfg.Runs})
+	if err != nil {
+		return nil, err
+	}
+	return &Figure3Result{
+		Figure:   "3b",
+		Caption:  "WAN: U, Adv several hops from shared R; P three hops past R",
+		PaperAcc: ">99%",
+		Result:   res,
+		Bins:     cfg.Bins,
+	}, nil
+}
+
+// Figure3c runs the producer-privacy attack (E3).
+func Figure3c(cfg Figure3Config) (*Figure3Result, error) {
+	cfg.setDefaults()
+	res, err := attack.RunProducerPrivacy(attack.ScenarioConfig{Seed: cfg.Seed + 41, Objects: cfg.Objects, Runs: cfg.Runs})
+	if err != nil {
+		return nil, err
+	}
+	return &Figure3Result{
+		Figure:   "3c",
+		Caption:  "WAN producer privacy: P adjacent to R; U, Adv three hops away",
+		PaperAcc: "≈59% (single probe)",
+		Result:   res,
+		Bins:     cfg.Bins,
+	}, nil
+}
+
+// Figure3d runs the local-host attack (E4).
+func Figure3d(cfg Figure3Config) (*Figure3Result, error) {
+	cfg.setDefaults()
+	res, err := attack.RunLocalHost(attack.ScenarioConfig{Seed: cfg.Seed + 43, Objects: cfg.Objects, Runs: cfg.Runs})
+	if err != nil {
+		return nil, err
+	}
+	return &Figure3Result{
+		Figure:   "3d",
+		Caption:  "Local host: malicious application probes the shared local daemon cache",
+		PaperAcc: "near-certain (sharper than all network settings)",
+		Result:   res,
+		Bins:     cfg.Bins,
+	}, nil
+}
+
+// SegmentRow is one row of the in-text amplification result (E5).
+type SegmentRow struct {
+	Segments int
+	Success  float64
+}
+
+// SegmentAmplification computes Pr[SUCCESS] = 1 − (1 − p)^n for the
+// measured single-probe accuracy p. The paper's example: p = 0.59 gives
+// ≈0.999 at n = 8.
+func SegmentAmplification(singleProbe float64, maxSegments int) []SegmentRow {
+	rows := make([]SegmentRow, 0, maxSegments)
+	for n := 1; n <= maxSegments; n++ {
+		rows = append(rows, SegmentRow{
+			Segments: n,
+			Success:  attack.SegmentSuccessProbability(singleProbe, n),
+		})
+	}
+	return rows
+}
+
+// RenderSegmentRows formats the amplification table.
+func RenderSegmentRows(singleProbe float64, rows []SegmentRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "=== In-text result — multi-segment amplification (p = %.3f per segment) ===\n", singleProbe)
+	b.WriteString("segments  Pr[SUCCESS]\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%8d  %.6f\n", r.Segments, r.Success)
+	}
+	b.WriteString("paper: p=0.59, n=8 → ≈0.999\n")
+	return b.String()
+}
+
+// CountermeasureComparison runs the LAN attack against each countermeasure
+// and reports the adversary's residual accuracy — the headline defense
+// evaluation tying Section III to Section V.
+type CountermeasureComparison struct {
+	Rows []CountermeasureRow
+}
+
+// CountermeasureRow is one countermeasure's residual attack accuracy.
+type CountermeasureRow struct {
+	Name     string
+	Accuracy float64
+}
+
+// RunCountermeasures evaluates the LAN attack under no countermeasure,
+// constant delay, content-specific delay, and dynamic delay.
+func RunCountermeasures(cfg Figure3Config) (*CountermeasureComparison, error) {
+	cfg.setDefaults()
+	type managerCase struct {
+		name  string
+		build func(sim *netsim.Simulator) core.CacheManager
+		mark  bool
+	}
+	cases := []managerCase{
+		{name: "no countermeasure", build: nil, mark: false},
+		{name: "always-delay/constant γ=12ms", build: func(*netsim.Simulator) core.CacheManager {
+			s, err := core.NewConstantDelay(12 * time.Millisecond)
+			if err != nil {
+				panic(err)
+			}
+			m, err := core.NewDelayManager(s)
+			if err != nil {
+				panic(err)
+			}
+			return m
+		}, mark: true},
+		{name: "always-delay/content-specific γ_C", build: func(*netsim.Simulator) core.CacheManager {
+			m, err := core.NewDelayManager(core.NewContentSpecificDelay())
+			if err != nil {
+				panic(err)
+			}
+			return m
+		}, mark: true},
+		{name: "always-delay/dynamic", build: func(*netsim.Simulator) core.CacheManager {
+			s, err := core.NewDynamicDelay(4*time.Millisecond, 32)
+			if err != nil {
+				panic(err)
+			}
+			m, err := core.NewDelayManager(s)
+			if err != nil {
+				panic(err)
+			}
+			return m
+		}, mark: true},
+	}
+	out := &CountermeasureComparison{}
+	for _, c := range cases {
+		res, err := attack.RunLAN(attack.ScenarioConfig{
+			Seed:        cfg.Seed + 47,
+			Objects:     cfg.Objects,
+			Runs:        cfg.Runs,
+			Manager:     c.build,
+			MarkPrivate: c.mark,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("countermeasure %q: %w", c.name, err)
+		}
+		out.Rows = append(out.Rows, CountermeasureRow{Name: c.name, Accuracy: res.Accuracy})
+	}
+	return out, nil
+}
+
+// Render formats the countermeasure table.
+func (c *CountermeasureComparison) Render() string {
+	var b strings.Builder
+	b.WriteString("=== Countermeasure evaluation — LAN attack residual accuracy ===\n")
+	for _, r := range c.Rows {
+		fmt.Fprintf(&b, "%-38s %.4f\n", r.Name, r.Accuracy)
+	}
+	b.WriteString("(0.5 = adversary reduced to guessing)\n")
+	return b.String()
+}

@@ -1,0 +1,255 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"ndnprivacy/internal/core"
+	"ndnprivacy/internal/trace"
+)
+
+// Figure5Config scales the trace-driven evaluation. The paper replayed a
+// 3.2M-request IRCache trace with k = 5 and ε = 0.005; pass Requests at
+// whatever scale the run budget allows — the cache sizes scale with it so
+// the curve shape is preserved.
+type Figure5Config struct {
+	Seed     int64
+	Requests int
+	// K and Epsilon are the privacy parameters of Section VII.
+	K       uint64
+	Epsilon float64
+	// PrivateFraction for Figure 5(a); Figure 5(b) sweeps its own.
+	PrivateFraction float64
+	// CacheSizes to sweep; 0 means the unlimited "Inf" column. When
+	// empty, the paper's {2000, 4000, 8000, 16000, 32000, Inf} scaled by
+	// Requests/3.2M is used.
+	CacheSizes []int
+}
+
+func (c *Figure5Config) setDefaults() {
+	if c.Requests == 0 {
+		c.Requests = 100000
+	}
+	if c.K == 0 {
+		c.K = 5
+	}
+	if c.Epsilon == 0 {
+		c.Epsilon = 0.005
+	}
+	if c.PrivateFraction == 0 {
+		c.PrivateFraction = 0.1
+	}
+	if len(c.CacheSizes) == 0 {
+		c.CacheSizes = ScaledCacheSizes(c.Requests)
+	}
+}
+
+// ScaledCacheSizes maps the paper's absolute cache sizes (for a 3.2M
+// request trace) onto the configured trace length, preserving the
+// cache-size-to-working-set ratio. The terminal 0 is the Inf column.
+func ScaledCacheSizes(requests int) []int {
+	paper := []int{2000, 4000, 8000, 16000, 32000}
+	out := make([]int, 0, len(paper)+1)
+	for _, s := range paper {
+		scaled := int(float64(s) * float64(requests) / 3_200_000)
+		if scaled < 16 {
+			scaled = 16
+		}
+		out = append(out, scaled)
+	}
+	return append(out, 0)
+}
+
+// Figure5Row is one (algorithm, cache size) cell.
+type Figure5Row struct {
+	Algorithm string
+	CacheSize int // 0 = Inf
+	HitRate   float64
+	Bandwidth float64 // bandwidth-saved rate, an extra column the paper discusses
+}
+
+// Figure5aResult is the algorithm comparison (E8).
+type Figure5aResult struct {
+	Config Figure5Config
+	Rows   []Figure5Row
+}
+
+// algorithmSet builds the four Section VII algorithms with fresh state.
+func algorithmSet(cfg Figure5Config, rng *rand.Rand) ([]struct {
+	name    string
+	manager core.CacheManager
+}, error) {
+	dm, err := core.NewDelayManager(core.NewContentSpecificDelay())
+	if err != nil {
+		return nil, err
+	}
+	alpha, err := core.GeometricAlphaForEpsilon(cfg.K, cfg.Epsilon)
+	if err != nil {
+		return nil, err
+	}
+	expoDist, err := core.NewGeometricUnbounded(alpha)
+	if err != nil {
+		return nil, err
+	}
+	expo, err := core.NewRandomCache(expoDist, rng)
+	if err != nil {
+		return nil, err
+	}
+	// Uniform at matched δ: the exponential's K=∞ floor δ = 1 − α^k.
+	floorDelta := core.ExponentialPrivacy(cfg.K, alpha, 0).Delta
+	uniDist, err := core.NewUniformForPrivacy(cfg.K, floorDelta)
+	if err != nil {
+		return nil, err
+	}
+	uni, err := core.NewRandomCache(uniDist, rng)
+	if err != nil {
+		return nil, err
+	}
+	return []struct {
+		name    string
+		manager core.CacheManager
+	}{
+		{"No Privacy", core.NewNoPrivacy()},
+		{"Exponential-Random-Cache", expo},
+		{"Uniform-Random-Cache", uni},
+		{"Always Delay Private Content", dm},
+	}, nil
+}
+
+// Figure5a replays the trace under all four algorithms across the cache
+// sweep.
+func Figure5a(cfg Figure5Config) (*Figure5aResult, error) {
+	cfg.setDefaults()
+	genCfg := trace.DefaultGeneratorConfig(cfg.Seed, cfg.Requests)
+	genCfg.PrivateFraction = cfg.PrivateFraction
+	gen, err := trace.NewGenerator(genCfg)
+	if err != nil {
+		return nil, err
+	}
+	out := &Figure5aResult{Config: cfg}
+	for _, size := range cfg.CacheSizes {
+		rng := rand.New(rand.NewSource(cfg.Seed + int64(size) + 1))
+		algos, err := algorithmSet(cfg, rng)
+		if err != nil {
+			return nil, err
+		}
+		for _, a := range algos {
+			stats, err := trace.Replay(gen, trace.ReplayConfig{
+				CacheSize: size,
+				Manager:   a.manager,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("figure 5a %s @%d: %w", a.name, size, err)
+			}
+			out.Rows = append(out.Rows, Figure5Row{
+				Algorithm: a.name,
+				CacheSize: size,
+				HitRate:   stats.HitRate(),
+				Bandwidth: stats.BandwidthSavedRate(),
+			})
+		}
+	}
+	return out, nil
+}
+
+// Render prints the Figure 5(a) table: one row per algorithm, one column
+// per cache size.
+func (r *Figure5aResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "=== Figure 5(a) — cache hit rate (%%), %d requests, %.0f%% private, k=%d, ε=%g ===\n",
+		r.Config.Requests, r.Config.PrivateFraction*100, r.Config.K, r.Config.Epsilon)
+	renderFigure5Table(&b, r.Rows, r.Config.CacheSizes)
+	b.WriteString("(paper ordering: No Privacy > Exponential ≥ Uniform > Always Delay, all rising with cache size)\n")
+	return b.String()
+}
+
+// Figure5bResult is the private-fraction sweep under
+// Exponential-Random-Cache (E9).
+type Figure5bResult struct {
+	Config    Figure5Config
+	Fractions []float64
+	Rows      []Figure5Row // Algorithm field holds the fraction label
+}
+
+// Figure5b sweeps the private fraction {5, 10, 20, 40}% as in the paper.
+func Figure5b(cfg Figure5Config, fractions []float64) (*Figure5bResult, error) {
+	cfg.setDefaults()
+	if len(fractions) == 0 {
+		fractions = []float64{0.05, 0.1, 0.2, 0.4}
+	}
+	out := &Figure5bResult{Config: cfg, Fractions: append([]float64(nil), fractions...)}
+	for _, frac := range fractions {
+		genCfg := trace.DefaultGeneratorConfig(cfg.Seed, cfg.Requests)
+		genCfg.PrivateFraction = frac
+		gen, err := trace.NewGenerator(genCfg)
+		if err != nil {
+			return nil, err
+		}
+		for _, size := range cfg.CacheSizes {
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(size) + int64(frac*1000)))
+			alpha, err := core.GeometricAlphaForEpsilon(cfg.K, cfg.Epsilon)
+			if err != nil {
+				return nil, err
+			}
+			expoDist, err := core.NewGeometricUnbounded(alpha)
+			if err != nil {
+				return nil, err
+			}
+			expo, err := core.NewRandomCache(expoDist, rng)
+			if err != nil {
+				return nil, err
+			}
+			stats, err := trace.Replay(gen, trace.ReplayConfig{CacheSize: size, Manager: expo})
+			if err != nil {
+				return nil, fmt.Errorf("figure 5b frac=%g @%d: %w", frac, size, err)
+			}
+			out.Rows = append(out.Rows, Figure5Row{
+				Algorithm: fmt.Sprintf("%.0f%% Private", frac*100),
+				CacheSize: size,
+				HitRate:   stats.HitRate(),
+				Bandwidth: stats.BandwidthSavedRate(),
+			})
+		}
+	}
+	return out, nil
+}
+
+// Render prints the Figure 5(b) table.
+func (r *Figure5bResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "=== Figure 5(b) — Exponential-Random-Cache hit rate (%%) vs private fraction, %d requests ===\n",
+		r.Config.Requests)
+	renderFigure5Table(&b, r.Rows, r.Config.CacheSizes)
+	b.WriteString("(paper: hit rate decreases as the private fraction grows)\n")
+	return b.String()
+}
+
+func renderFigure5Table(b *strings.Builder, rows []Figure5Row, sizes []int) {
+	fmt.Fprintf(b, "%-30s", "algorithm \\ cache size")
+	for _, s := range sizes {
+		if s == 0 {
+			fmt.Fprintf(b, "%9s", "Inf")
+		} else {
+			fmt.Fprintf(b, "%9d", s)
+		}
+	}
+	b.WriteString("\n")
+	// Preserve first-seen algorithm order.
+	var order []string
+	cells := make(map[string]map[int]float64)
+	for _, row := range rows {
+		if _, seen := cells[row.Algorithm]; !seen {
+			order = append(order, row.Algorithm)
+			cells[row.Algorithm] = make(map[int]float64)
+		}
+		cells[row.Algorithm][row.CacheSize] = row.HitRate
+	}
+	for _, algo := range order {
+		fmt.Fprintf(b, "%-30s", algo)
+		for _, s := range sizes {
+			fmt.Fprintf(b, "%9.2f", cells[algo][s])
+		}
+		b.WriteString("\n")
+	}
+}

@@ -1,0 +1,331 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"ndnprivacy/internal/attack"
+	"ndnprivacy/internal/core"
+	"ndnprivacy/internal/fwd"
+	"ndnprivacy/internal/ndn"
+	"ndnprivacy/internal/netsim"
+	"ndnprivacy/internal/stats"
+)
+
+// E14 — delay placement (the question footnote 6 defers to future
+// work): which routers should introduce artificial delays? The paper
+// argues for consumer-facing routers only, since "if all NDN routers
+// independently do so, overall delay for consumers requesting content
+// would likely become unbearable." This experiment quantifies that
+// trade-off on a two-router chain:
+//
+//	U, A1 ── R1 ── R2 ── P
+//	              │
+//	              A2
+//
+// R1 is consumer-facing; A1 probes R1 (the likely adversary), A2 is an
+// adversary deeper in the network probing R2. Three policies: no router
+// delays, only R1 delays, both delay. Measured: each adversary's
+// accuracy and the honest consumer's latency for content cached at R2
+// but not R1 — the case where needless delaying at interior routers
+// destroys the in-network caching benefit.
+
+// PlacementRow is one policy's outcome.
+type PlacementRow struct {
+	Policy string
+	// EdgeAdvAccuracy is A1's hit/miss accuracy probing R1.
+	EdgeAdvAccuracy float64
+	// CoreAdvAccuracy is A2's accuracy probing R2.
+	CoreAdvAccuracy float64
+	// InteriorHitLatencyMs is U's mean fetch latency for content cached
+	// at R2 only.
+	InteriorHitLatencyMs float64
+	// ColdLatencyMs is U's mean fetch latency for uncached content
+	// (baseline full path).
+	ColdLatencyMs float64
+}
+
+// PlacementConfig scales E14.
+type PlacementConfig struct {
+	Seed    int64
+	Objects int
+}
+
+func (c *PlacementConfig) setDefaults() {
+	if c.Objects == 0 {
+		c.Objects = 60
+	}
+}
+
+// PlacementResult holds all three policies.
+type PlacementResult struct {
+	Config PlacementConfig
+	Rows   []PlacementRow
+}
+
+// RunDelayPlacement evaluates the three placements.
+func RunDelayPlacement(cfg PlacementConfig) (*PlacementResult, error) {
+	cfg.setDefaults()
+	out := &PlacementResult{Config: cfg}
+	for _, policy := range []string{"none", "consumer-facing", "all"} {
+		row, err := runPlacement(cfg, policy)
+		if err != nil {
+			return nil, fmt.Errorf("placement %q: %w", policy, err)
+		}
+		out.Rows = append(out.Rows, *row)
+	}
+	return out, nil
+}
+
+func runPlacement(cfg PlacementConfig, policy string) (*PlacementRow, error) {
+	sim := netsim.New(cfg.Seed + int64(len(policy)))
+	delayManager := func() (core.CacheManager, error) {
+		return core.NewDelayManager(core.NewContentSpecificDelay())
+	}
+	pickManager := func(consumerFacing bool) (core.CacheManager, error) {
+		switch policy {
+		case "none":
+			return nil, nil //nolint:nilnil // nil manager = NoPrivacy default
+		case "consumer-facing":
+			if consumerFacing {
+				return delayManager()
+			}
+			return nil, nil //nolint:nilnil
+		case "all":
+			return delayManager()
+		default:
+			return nil, fmt.Errorf("unknown policy %q", policy)
+		}
+	}
+
+	r1Manager, err := pickManager(true)
+	if err != nil {
+		return nil, err
+	}
+	r2Manager, err := pickManager(false)
+	if err != nil {
+		return nil, err
+	}
+	r1, err := fwd.NewRouter(sim, "R1", 0, r1Manager)
+	if err != nil {
+		return nil, err
+	}
+	r2, err := fwd.NewRouter(sim, "R2", 0, r2Manager)
+	if err != nil {
+		return nil, err
+	}
+	uHost, err := fwd.NewBareHost(sim, "U")
+	if err != nil {
+		return nil, err
+	}
+	a1Host, err := fwd.NewBareHost(sim, "A1")
+	if err != nil {
+		return nil, err
+	}
+	a2Host, err := fwd.NewBareHost(sim, "A2")
+	if err != nil {
+		return nil, err
+	}
+	// A helper consumer attached at R2 primes R2's cache without
+	// touching R1's.
+	primeHost, err := fwd.NewBareHost(sim, "primer")
+	if err != nil {
+		return nil, err
+	}
+	pHost, err := fwd.NewBareHost(sim, "P")
+	if err != nil {
+		return nil, err
+	}
+
+	edge := netsim.LinkConfig{
+		Latency: netsim.UniformJitter{Base: 1500 * time.Microsecond, Jitter: 300 * time.Microsecond},
+	}
+	interior := netsim.LinkConfig{
+		Latency: netsim.LogNormalJitter{Base: 8 * time.Millisecond, MedianJitter: 500 * time.Microsecond, Sigma: 0.5},
+	}
+	far := netsim.LinkConfig{
+		Latency: netsim.LogNormalJitter{Base: 20 * time.Millisecond, MedianJitter: time.Millisecond, Sigma: 0.5},
+	}
+
+	prefix := ndn.MustParseName("/p")
+	connectAndRoute := func(from, to *fwd.Forwarder, link netsim.LinkConfig) error {
+		face, _, _, err := fwd.Connect(sim, from, to, link)
+		if err != nil {
+			return err
+		}
+		return from.RegisterPrefix(prefix, face)
+	}
+	if err := connectAndRoute(uHost, r1, edge); err != nil {
+		return nil, err
+	}
+	if err := connectAndRoute(a1Host, r1, edge); err != nil {
+		return nil, err
+	}
+	if err := connectAndRoute(r1, r2, interior); err != nil {
+		return nil, err
+	}
+	if err := connectAndRoute(a2Host, r2, edge); err != nil {
+		return nil, err
+	}
+	if err := connectAndRoute(primeHost, r2, edge); err != nil {
+		return nil, err
+	}
+	if err := connectAndRoute(r2, pHost, far); err != nil {
+		return nil, err
+	}
+
+	producer, err := fwd.NewProducer(pHost, prefix, nil)
+	if err != nil {
+		return nil, err
+	}
+	total := cfg.Objects * 4 // four disjoint object pools
+	for i := 0; i < total; i++ {
+		d, err := ndn.NewData(prefix.AppendString("obj", fmt.Sprintf("%d", i)), []byte("payload"))
+		if err != nil {
+			return nil, err
+		}
+		d.Private = true
+		if err := producer.Publish(d); err != nil {
+			return nil, err
+		}
+	}
+	objName := func(pool, i int) ndn.Name {
+		return prefix.AppendString("obj", fmt.Sprintf("%d", pool*cfg.Objects+i))
+	}
+
+	user, err := fwd.NewConsumer(uHost)
+	if err != nil {
+		return nil, err
+	}
+	primer, err := fwd.NewConsumer(primeHost)
+	if err != nil {
+		return nil, err
+	}
+	a1, err := attack.NewProber(a1Host)
+	if err != nil {
+		return nil, err
+	}
+	a2, err := attack.NewProber(a2Host)
+	if err != nil {
+		return nil, err
+	}
+
+	fetchRTT := func(c *fwd.Consumer, name ndn.Name) (time.Duration, error) {
+		var res fwd.FetchResult
+		c.FetchName(name, func(r fwd.FetchResult) { res = r })
+		sim.Run()
+		if res.TimedOut {
+			return 0, fmt.Errorf("fetch %s timed out", name)
+		}
+		return res.RTT, nil
+	}
+
+	row := &PlacementRow{Policy: policy}
+
+	// Pool 0: cold-path baseline latency for U.
+	var cold stats.Summary
+	for i := 0; i < cfg.Objects; i++ {
+		rtt, err := fetchRTT(user, objName(0, i))
+		if err != nil {
+			return nil, err
+		}
+		cold.AddDuration(rtt)
+	}
+	row.ColdLatencyMs = cold.Mean()
+
+	// Pool 1: primed at R2 only, then fetched by U — the in-network
+	// caching benefit that interior delaying destroys.
+	for i := 0; i < cfg.Objects; i++ {
+		if _, err := fetchRTT(primer, objName(1, i)); err != nil {
+			return nil, err
+		}
+	}
+	var interiorHits stats.Summary
+	for i := 0; i < cfg.Objects; i++ {
+		rtt, err := fetchRTT(user, objName(1, i))
+		if err != nil {
+			return nil, err
+		}
+		interiorHits.AddDuration(rtt)
+	}
+	row.InteriorHitLatencyMs = interiorHits.Mean()
+
+	// Pool 2: A1 probes R1 — misses cold, hits after U primes them.
+	a1Res := &attack.Result{Label: "A1"}
+	for i := 0; i < cfg.Objects/2; i++ {
+		rtt, err := a1.Probe(objName(2, i))
+		if err != nil {
+			return nil, err
+		}
+		a1Res.Miss = append(a1Res.Miss, float64(rtt)/float64(time.Millisecond))
+	}
+	for i := cfg.Objects / 2; i < cfg.Objects; i++ {
+		if _, err := fetchRTT(user, objName(2, i)); err != nil {
+			return nil, err
+		}
+	}
+	for i := cfg.Objects / 2; i < cfg.Objects; i++ {
+		rtt, err := a1.Probe(objName(2, i))
+		if err != nil {
+			return nil, err
+		}
+		a1Res.Hit = append(a1Res.Hit, float64(rtt)/float64(time.Millisecond))
+	}
+	hitEmp, err := stats.NewEmpirical(a1Res.Hit)
+	if err != nil {
+		return nil, err
+	}
+	missEmp, err := stats.NewEmpirical(a1Res.Miss)
+	if err != nil {
+		return nil, err
+	}
+	row.EdgeAdvAccuracy, _ = stats.ThresholdAccuracy(hitEmp, missEmp)
+
+	// Pool 3: A2 probes R2 — misses cold, hits after the primer.
+	var a2Hit, a2Miss []float64
+	for i := 0; i < cfg.Objects/2; i++ {
+		rtt, err := a2.Probe(objName(3, i))
+		if err != nil {
+			return nil, err
+		}
+		a2Miss = append(a2Miss, float64(rtt)/float64(time.Millisecond))
+	}
+	for i := cfg.Objects / 2; i < cfg.Objects; i++ {
+		if _, err := fetchRTT(primer, objName(3, i)); err != nil {
+			return nil, err
+		}
+	}
+	for i := cfg.Objects / 2; i < cfg.Objects; i++ {
+		rtt, err := a2.Probe(objName(3, i))
+		if err != nil {
+			return nil, err
+		}
+		a2Hit = append(a2Hit, float64(rtt)/float64(time.Millisecond))
+	}
+	hit2, err := stats.NewEmpirical(a2Hit)
+	if err != nil {
+		return nil, err
+	}
+	miss2, err := stats.NewEmpirical(a2Miss)
+	if err != nil {
+		return nil, err
+	}
+	row.CoreAdvAccuracy, _ = stats.ThresholdAccuracy(hit2, miss2)
+	return row, nil
+}
+
+// Render formats the E14 table.
+func (r *PlacementResult) Render() string {
+	var b strings.Builder
+	b.WriteString("=== Footnote 6 — which routers should delay? (U,A1—R1—R2—P; A2 at R2) ===\n")
+	b.WriteString("policy            A1 accuracy  A2 accuracy  R2-hit latency  cold latency\n")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-16s  %11.3f  %11.3f  %12.2fms  %10.2fms\n",
+			row.Policy, row.EdgeAdvAccuracy, row.CoreAdvAccuracy,
+			row.InteriorHitLatencyMs, row.ColdLatencyMs)
+	}
+	b.WriteString("(consumer-facing delaying stops the likely adversary A1 while preserving\n" +
+		" the latency benefit of interior caches; delaying everywhere forfeits it)\n")
+	return b.String()
+}

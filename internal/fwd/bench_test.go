@@ -1,0 +1,122 @@
+package fwd
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"ndnprivacy/internal/core"
+	"ndnprivacy/internal/ndn"
+	"ndnprivacy/internal/netsim"
+)
+
+// benchTopology builds consumer — router — producer with fast links.
+func benchTopology(b *testing.B, manager core.CacheManager) (*netsim.Simulator, *Consumer, *Producer) {
+	b.Helper()
+	sim := netsim.New(1)
+	router, err := NewRouter(sim, "R", 0, manager)
+	if err != nil {
+		b.Fatal(err)
+	}
+	host, err := NewBareHost(sim, "U")
+	if err != nil {
+		b.Fatal(err)
+	}
+	pHost, err := NewBareHost(sim, "P")
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := netsim.LinkConfig{Latency: netsim.Fixed(100 * time.Microsecond)}
+	uFace, _, _, err := Connect(sim, host, router, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rFace, _, _, err := Connect(sim, router, pHost, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	prefix := ndn.MustParseName("/p")
+	if err := host.RegisterPrefix(prefix, uFace); err != nil {
+		b.Fatal(err)
+	}
+	if err := router.RegisterPrefix(prefix, rFace); err != nil {
+		b.Fatal(err)
+	}
+	producer, err := NewProducer(pHost, prefix, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	consumer, err := NewConsumer(host)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return sim, consumer, producer
+}
+
+// BenchmarkEndToEndFetchMiss measures a full interest→producer→data
+// round trip through the simulator.
+func BenchmarkEndToEndFetchMiss(b *testing.B) {
+	sim, consumer, producer := benchTopology(b, nil)
+	for i := 0; i < b.N; i++ {
+		d, err := ndn.NewData(ndn.MustParseName(fmt.Sprintf("/p/o%d", i)), []byte("x"))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := producer.Publish(d); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		consumer.FetchName(ndn.MustParseName(fmt.Sprintf("/p/o%d", i)), func(FetchResult) {})
+		sim.Run()
+	}
+}
+
+// BenchmarkEndToEndFetchHit measures fetches served from the router's
+// cache.
+func BenchmarkEndToEndFetchHit(b *testing.B) {
+	sim, consumer, producer := benchTopology(b, nil)
+	d, err := ndn.NewData(ndn.MustParseName("/p/hot"), []byte("x"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := producer.Publish(d); err != nil {
+		b.Fatal(err)
+	}
+	consumer.FetchName(ndn.MustParseName("/p/hot"), func(FetchResult) {})
+	sim.Run()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		consumer.FetchName(ndn.MustParseName("/p/hot"), func(FetchResult) {})
+		sim.Run()
+	}
+}
+
+// BenchmarkEndToEndFetchDisguised measures fetches answered through the
+// always-delay countermeasure (hit + artificial delay event).
+func BenchmarkEndToEndFetchDisguised(b *testing.B) {
+	manager, err := core.NewDelayManager(core.NewContentSpecificDelay())
+	if err != nil {
+		b.Fatal(err)
+	}
+	sim, consumer, producer := benchTopology(b, manager)
+	d, err := ndn.NewData(ndn.MustParseName("/p/private/hot"), []byte("x"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	d.Private = true
+	if err := producer.Publish(d); err != nil {
+		b.Fatal(err)
+	}
+	consumer.FetchName(ndn.MustParseName("/p/private/hot"), func(FetchResult) {})
+	sim.Run()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		consumer.FetchName(ndn.MustParseName("/p/private/hot"), func(FetchResult) {})
+		sim.Run()
+	}
+}

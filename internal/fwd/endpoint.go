@@ -1,0 +1,227 @@
+package fwd
+
+import (
+	"errors"
+	"time"
+
+	"ndnprivacy/internal/cache"
+	"ndnprivacy/internal/ndn"
+	"ndnprivacy/internal/table"
+)
+
+// Consumer is an application endpoint that fetches content through a
+// host forwarder and measures round-trip times — exactly what both
+// honest users and the paper's adversary do.
+type Consumer struct {
+	fwd     *Forwarder
+	faceID  table.FaceID
+	pending map[string][]*pendingFetch
+}
+
+type pendingFetch struct {
+	sentAt  time.Duration
+	done    bool
+	handler func(FetchResult)
+}
+
+// FetchResult reports the outcome of one fetch.
+type FetchResult struct {
+	// Data is the received content; nil on timeout.
+	Data *ndn.Data
+	// RTT is the observed interest→data round-trip time.
+	RTT time.Duration
+	// TimedOut is true when the interest lifetime expired unanswered.
+	TimedOut bool
+}
+
+// NewConsumer attaches a consumer application to the host forwarder.
+func NewConsumer(host *Forwarder) (*Consumer, error) {
+	if host == nil {
+		return nil, errors.New("fwd: consumer requires a host forwarder")
+	}
+	c := &Consumer{
+		fwd:     host,
+		pending: make(map[string][]*pendingFetch),
+	}
+	c.faceID = host.AttachApp(c.deliver)
+	return c, nil
+}
+
+// Face returns the consumer's application face on its host.
+func (c *Consumer) Face() table.FaceID { return c.faceID }
+
+// Fetch issues an interest and invokes handler exactly once: with the
+// content and its RTT, or with TimedOut after the interest lifetime.
+// A zero nonce is replaced with a random one, as in real NDN stacks —
+// nonces must be unique across consumers or routers treat concurrent
+// fetches as loops.
+//
+// All consumer state is touched inside executor callbacks, so Fetch is
+// safe to call from any goroutine when the host runs on a real-time
+// executor.
+func (c *Consumer) Fetch(interest *ndn.Interest, handler func(FetchResult)) {
+	c.fwd.Sim().Schedule(0, func() { c.fetch(interest, handler) })
+}
+
+// fetch runs inside the executor.
+func (c *Consumer) fetch(interest *ndn.Interest, handler func(FetchResult)) {
+	if interest.Nonce == 0 {
+		cp := *interest
+		cp.Nonce = c.fwd.Sim().Rand().Uint64()
+		interest = &cp
+	}
+	sentAt := c.fwd.Sim().Now()
+	p := &pendingFetch{sentAt: sentAt, handler: handler}
+	key := interest.Name.Key()
+	c.pending[key] = append(c.pending[key], p)
+
+	lifetime := interest.Lifetime
+	if lifetime <= 0 {
+		lifetime = ndn.DefaultInterestLifetime
+	}
+	c.fwd.Sim().Schedule(lifetime, func() {
+		if p.done {
+			return
+		}
+		p.done = true
+		handler(FetchResult{TimedOut: true, RTT: c.fwd.Sim().Now() - sentAt})
+	})
+	c.fwd.SendInterest(c.faceID, interest)
+}
+
+// FetchName is Fetch for a plain interest with the given name.
+func (c *Consumer) FetchName(name ndn.Name, handler func(FetchResult)) {
+	c.Fetch(ndn.NewInterest(name, 0), handler)
+}
+
+// FetchReliable fetches with up to retries re-expressed interests (fresh
+// nonces) after timeouts — NDN's consumer-driven loss recovery, whose
+// interaction with router caching motivates Section V-A.
+func (c *Consumer) FetchReliable(interest *ndn.Interest, retries int, handler func(FetchResult, int)) {
+	var attempt func(triesLeft, used int)
+	attempt = func(triesLeft, used int) {
+		cp := *interest
+		cp.Nonce = 0 // fresh random nonce per attempt
+		c.Fetch(&cp, func(res FetchResult) {
+			if !res.TimedOut || triesLeft == 0 {
+				handler(res, used)
+				return
+			}
+			attempt(triesLeft-1, used+1)
+		})
+	}
+	attempt(retries, 0)
+}
+
+func (c *Consumer) deliver(pkt any) {
+	data, isData := pkt.(*ndn.Data)
+	if !isData {
+		return
+	}
+	now := c.fwd.Sim().Now()
+	// Resolve every pending fetch whose name is a prefix of the data
+	// name (the NDN matching rule).
+	for k := 0; k <= data.Name.Len(); k++ {
+		key := data.Name.Prefix(k).Key()
+		waiters, found := c.pending[key]
+		if !found {
+			continue
+		}
+		if !data.Matches(&ndn.Interest{Name: data.Name.Prefix(k)}) {
+			continue
+		}
+		for _, p := range waiters {
+			if p.done {
+				continue
+			}
+			p.done = true
+			p.handler(FetchResult{Data: data, RTT: now - p.sentAt})
+		}
+		delete(c.pending, key)
+	}
+}
+
+// Producer is an application endpoint that publishes signed content under
+// a prefix and answers interests for it.
+type Producer struct {
+	fwd    *Forwarder
+	faceID table.FaceID
+	prefix ndn.Name
+	signer *ndn.Signer
+	repo   *cache.Store
+	// ResponseDelay models content-generation cost per interest.
+	ResponseDelay time.Duration
+
+	served uint64
+}
+
+// NewProducer attaches a producer application serving the given prefix
+// on the host forwarder. signer may be nil for unsigned test content.
+func NewProducer(host *Forwarder, prefix ndn.Name, signer *ndn.Signer) (*Producer, error) {
+	if host == nil {
+		return nil, errors.New("fwd: producer requires a host forwarder")
+	}
+	p := &Producer{
+		fwd:    host,
+		prefix: prefix,
+		signer: signer,
+		repo:   cache.MustNewStore(0, nil),
+	}
+	p.faceID = host.AttachApp(p.deliver)
+	if err := host.RegisterPrefix(prefix, p.faceID); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// Face returns the producer's application face on its host.
+func (p *Producer) Face() table.FaceID { return p.faceID }
+
+// Prefix returns the registered prefix.
+func (p *Producer) Prefix() ndn.Name { return p.prefix }
+
+// Served returns how many interests the producer has answered.
+func (p *Producer) Served() uint64 { return p.served }
+
+// Publish signs (when a signer is configured) and stores content for
+// future interests. Content outside the producer's prefix is rejected.
+func (p *Producer) Publish(data *ndn.Data) error {
+	if !p.prefix.IsPrefixOf(data.Name) {
+		return errors.New("fwd: content name outside producer prefix")
+	}
+	if p.signer != nil {
+		p.signer.Sign(data)
+	}
+	p.repo.Insert(data, p.fwd.Sim().Now(), 0)
+	return nil
+}
+
+// PublishSegments segments, signs and stores a large object.
+func (p *Producer) PublishSegments(base ndn.Name, payload []byte, segmentSize int, private bool) ([]*ndn.Data, error) {
+	segs, err := ndn.Segment(base, payload, segmentSize, private)
+	if err != nil {
+		return nil, err
+	}
+	for _, s := range segs {
+		if err := p.Publish(s); err != nil {
+			return nil, err
+		}
+	}
+	return segs, nil
+}
+
+func (p *Producer) deliver(pkt any) {
+	interest, isInterest := pkt.(*ndn.Interest)
+	if !isInterest {
+		return
+	}
+	entry, found := p.repo.Match(interest, p.fwd.Sim().Now())
+	if !found {
+		return // no such content; the interest times out downstream
+	}
+	p.served++
+	data := entry.Data.Clone()
+	p.fwd.Sim().Schedule(p.ResponseDelay, func() {
+		p.fwd.SendData(p.faceID, data)
+	})
+}

@@ -1,0 +1,340 @@
+// Package fwd implements the NDN forwarding node of Section II: faces,
+// the Interest pipeline (Content Store → cache-management decision →
+// PIT → FIB) and the Data pipeline (PIT match → cache → downstream
+// fan-out), with scope enforcement, nonce-based loop suppression and the
+// privacy-preserving cache-management hook the paper's countermeasures
+// plug into. Consumer and Producer application endpoints live in
+// endpoint.go; topology helpers in topo.go.
+package fwd
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"ndnprivacy/internal/cache"
+	"ndnprivacy/internal/core"
+	"ndnprivacy/internal/ndn"
+	"ndnprivacy/internal/netsim"
+	"ndnprivacy/internal/table"
+)
+
+// Executor abstracts the forwarder's notion of time and deferred
+// execution. netsim.Simulator implements it with a virtual clock for
+// experiments; rt.Executor implements it with the wall clock so the same
+// forwarder code runs over real network connections (internal/netface).
+// Executors guarantee that scheduled callbacks never run concurrently —
+// forwarder state needs no locks.
+type Executor interface {
+	// Now returns the current time as an offset from the executor's
+	// epoch.
+	Now() time.Duration
+	// Schedule runs fn after delay, serialized with all other
+	// callbacks.
+	Schedule(delay time.Duration, fn func())
+	// Rand returns the executor's random source, safe to use from
+	// within callbacks.
+	Rand() *rand.Rand
+}
+
+var _ Executor = (*netsim.Simulator)(nil)
+
+// Config assembles a forwarder.
+type Config struct {
+	// Name identifies the node in diagnostics.
+	Name string
+	// Sim is the executor everything runs on — a *netsim.Simulator for
+	// experiments or an *rt.Executor for real-time operation.
+	Sim Executor
+	// Store is the node's Content Store; nil disables caching entirely
+	// (the paper's trivial countermeasure).
+	Store *cache.Store
+	// Manager is the cache-management algorithm; defaults to NoPrivacy.
+	Manager core.CacheManager
+	// ProcessingDelay models per-packet forwarding cost. Applied once
+	// per packet handled.
+	ProcessingDelay time.Duration
+	// PITCapacity bounds the Pending Interest Table; 0 means unbounded.
+	// Production routers bound it to contain interest-flooding attacks.
+	PITCapacity int
+}
+
+// Stats counts forwarder activity; all counters are cumulative.
+type Stats struct {
+	InterestsReceived uint64
+	DataReceived      uint64
+	CacheHits         uint64 // hits revealed immediately
+	DisguisedHits     uint64 // hits served after artificial delay
+	GeneratedMisses   uint64 // cached content deliberately treated as miss
+	RealMisses        uint64 // content genuinely absent
+	Forwarded         uint64 // interests sent upstream
+	Aggregated        uint64 // interests collapsed into existing PIT entries
+	DuplicatesDropped uint64
+	ScopeDropped      uint64 // interests not forwarded due to scope
+	NoRouteDropped    uint64
+	PITRejected       uint64 // interests refused by a full PIT
+	Unsolicited       uint64 // data without matching PIT entry
+}
+
+// Forwarder is one NDN node (router or host).
+type Forwarder struct {
+	name  string
+	sim   Executor
+	cs    *cache.Store
+	pit   *table.PIT
+	fib   *table.FIB
+	cm    core.CacheManager
+	delay time.Duration
+
+	faces    map[table.FaceID]*face
+	nextFace table.FaceID
+
+	stats Stats
+}
+
+type face struct {
+	id table.FaceID
+	// send transmits a packet out of this face.
+	send func(pkt any, size int)
+}
+
+// New builds a forwarder.
+func New(cfg Config) (*Forwarder, error) {
+	if cfg.Sim == nil {
+		return nil, errors.New("fwd: forwarder requires a simulator")
+	}
+	if cfg.Name == "" {
+		return nil, errors.New("fwd: forwarder requires a name")
+	}
+	cm := cfg.Manager
+	if cm == nil {
+		cm = core.NewNoPrivacy()
+	}
+	if grc, isGrouped := cm.(*core.GroupedRandomCache); isGrouped && cfg.Store != nil {
+		cfg.Store.SetEvictionHook(grc.OnContentEvicted)
+	}
+	pit := table.NewPIT()
+	pit.SetCapacity(cfg.PITCapacity)
+	return &Forwarder{
+		name:  cfg.Name,
+		sim:   cfg.Sim,
+		cs:    cfg.Store,
+		pit:   pit,
+		fib:   table.NewFIB(),
+		cm:    cm,
+		delay: cfg.ProcessingDelay,
+		faces: make(map[table.FaceID]*face),
+	}, nil
+}
+
+// Name returns the node name.
+func (f *Forwarder) Name() string { return f.name }
+
+// Stats returns a copy of the activity counters.
+func (f *Forwarder) Stats() Stats { return f.stats }
+
+// Store returns the node's Content Store (nil if caching is disabled).
+func (f *Forwarder) Store() *cache.Store { return f.cs }
+
+// Manager returns the node's cache-management algorithm.
+func (f *Forwarder) Manager() core.CacheManager { return f.cm }
+
+// Sim returns the executor the node runs on.
+func (f *Forwarder) Sim() Executor { return f.sim }
+
+// AttachPort connects a network link port as a new face. Packets arriving
+// on the port enter the forwarding pipeline after the processing delay.
+func (f *Forwarder) AttachPort(port *netsim.Port) table.FaceID {
+	id := f.allocFace(func(pkt any, size int) { port.Send(pkt, size) })
+	port.SetHandler(func(pkt any) { f.receive(id, pkt) })
+	return id
+}
+
+// AttachApp connects a local application as a face. deliver is called
+// with every packet the forwarder sends to the application. The
+// application injects packets with SendInterest/SendData. Local
+// delivery pays the node's processing delay, so app↔daemon round trips
+// take nonzero virtual time (the sub-millisecond RTTs of Figure 3(d)).
+func (f *Forwarder) AttachApp(deliver func(pkt any)) table.FaceID {
+	return f.allocFace(func(pkt any, _ int) {
+		f.sim.Schedule(f.delay, func() { deliver(pkt) })
+	})
+}
+
+// AttachCustom registers a face with a caller-supplied transmit function
+// and returns the face ID plus an inject function that delivers packets
+// (*ndn.Interest / *ndn.Data) into the forwarding pipeline as if they
+// arrived on that face. This is the extension point for transports the
+// forwarder doesn't know about — internal/netface uses it for TCP
+// connections. The inject function calls Executor.Schedule, so with a
+// real-time executor it is safe from any goroutine.
+func (f *Forwarder) AttachCustom(send func(pkt any, size int)) (table.FaceID, func(pkt any)) {
+	id := f.allocFace(send)
+	return id, func(pkt any) { f.receive(id, pkt) }
+}
+
+// RemoveFace detaches a face. Pending FIB entries naming it become inert
+// (packets toward a missing face are dropped); callers should also
+// remove or re-point routes.
+func (f *Forwarder) RemoveFace(id table.FaceID) {
+	delete(f.faces, id)
+}
+
+func (f *Forwarder) allocFace(send func(pkt any, size int)) table.FaceID {
+	f.nextFace++
+	id := f.nextFace
+	f.faces[id] = &face{id: id, send: send}
+	return id
+}
+
+// RegisterPrefix routes the prefix toward the given faces.
+func (f *Forwarder) RegisterPrefix(prefix ndn.Name, faces ...table.FaceID) error {
+	for _, id := range faces {
+		if _, found := f.faces[id]; !found {
+			return fmt.Errorf("fwd: %s: unknown face %d", f.name, id)
+		}
+	}
+	return f.fib.Insert(prefix, faces...)
+}
+
+// SendInterest injects an interest from a local application face into the
+// pipeline, paying the node's processing delay.
+func (f *Forwarder) SendInterest(from table.FaceID, interest *ndn.Interest) {
+	f.sim.Schedule(f.delay, func() { f.handleInterest(from, interest) })
+}
+
+// SendData injects a Data packet from a local application face (i.e., the
+// application is a producer answering an interest).
+func (f *Forwarder) SendData(from table.FaceID, data *ndn.Data) {
+	f.sim.Schedule(f.delay, func() { f.handleData(from, data) })
+}
+
+// receive dispatches one packet arriving from the network.
+func (f *Forwarder) receive(from table.FaceID, pkt any) {
+	f.sim.Schedule(f.delay, func() {
+		switch p := pkt.(type) {
+		case *ndn.Interest:
+			f.handleInterest(from, p)
+		case *ndn.Data:
+			f.handleData(from, p)
+		}
+	})
+}
+
+func (f *Forwarder) handleInterest(from table.FaceID, interest *ndn.Interest) {
+	f.stats.InterestsReceived++
+	now := f.sim.Now()
+
+	// Content Store lookup, mediated by the cache manager.
+	if f.cs != nil {
+		if entry, found := f.cs.Match(interest, now); found {
+			// Section VII: a hit refreshes the entry even when the
+			// response is disguised.
+			f.cs.Touch(entry.Data.Name)
+			decision := f.cm.OnCacheHit(entry, interest, now)
+			switch decision.Action {
+			case core.ActionServe:
+				f.stats.CacheHits++
+				f.sendData(from, entry.Data.Clone())
+				return
+			case core.ActionDelayedServe:
+				f.stats.DisguisedHits++
+				data := entry.Data.Clone()
+				f.sim.Schedule(decision.Delay, func() { f.sendData(from, data) })
+				return
+			case core.ActionMiss:
+				f.stats.GeneratedMisses++
+				// Fall through to the miss path: forward upstream.
+			}
+		} else {
+			f.stats.RealMisses++
+		}
+	} else {
+		f.stats.RealMisses++
+	}
+
+	// Scope: an interest with scope s may traverse at most s entities,
+	// source included. An interest that cannot be forwarded further and
+	// was not answered from the cache dies here, before leaving PIT
+	// state — a dangling PIT entry would wrongly collapse later honest
+	// interests for the same name.
+	if interest.Scope == 1 {
+		f.stats.ScopeDropped++
+		return
+	}
+
+	// PIT.
+	switch f.pit.Insert(interest, from, now) {
+	case table.Aggregated:
+		f.stats.Aggregated++
+		return
+	case table.DuplicateNonce:
+		f.stats.DuplicatesDropped++
+		return
+	case table.RejectedFull:
+		f.stats.PITRejected++
+		return
+	case table.InsertedNew:
+		// Forward upstream.
+	}
+
+	upstream := interest
+	if interest.Scope > 1 {
+		cp := *interest
+		cp.Scope--
+		upstream = &cp
+	}
+
+	nextHops, err := f.fib.Lookup(interest.Name)
+	if err != nil {
+		f.stats.NoRouteDropped++
+		return
+	}
+	for _, hop := range nextHops {
+		if hop == from {
+			continue // never reflect an interest to its source
+		}
+		outFace, found := f.faces[hop]
+		if !found {
+			continue
+		}
+		f.stats.Forwarded++
+		outFace.send(upstream, len(ndn.EncodeInterest(upstream)))
+	}
+}
+
+func (f *Forwarder) handleData(from table.FaceID, data *ndn.Data) {
+	f.stats.DataReceived++
+	now := f.sim.Now()
+
+	res, matched := f.pit.SatisfyWithInfo(data, now)
+	if !matched {
+		f.stats.Unsolicited++
+		return
+	}
+
+	// Cache unconditionally (the paper's routers cache all content) and
+	// let the manager initialize privacy state.
+	if f.cs != nil {
+		fetchDelay := now - res.FirstCreated
+		entry := f.cs.Insert(data, now, fetchDelay)
+		if res.PrivacyRequested && !entry.NonPrivateTrigger {
+			// Consumer-driven marking (Section V).
+			entry.Private = true
+		}
+		f.cm.OnContentCached(entry, fetchDelay, now)
+	}
+
+	for _, hop := range res.Faces {
+		f.sendData(hop, data.Clone())
+	}
+}
+
+func (f *Forwarder) sendData(to table.FaceID, data *ndn.Data) {
+	outFace, found := f.faces[to]
+	if !found {
+		return
+	}
+	outFace.send(data, ndn.WireSize(data))
+}

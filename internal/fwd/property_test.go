@@ -1,0 +1,196 @@
+package fwd
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"ndnprivacy/internal/core"
+	"ndnprivacy/internal/ndn"
+	"ndnprivacy/internal/netsim"
+)
+
+// Randomized-topology property tests: arbitrary chains with arbitrary
+// link parameters, loss, cache managers and fetch patterns must never
+// panic, never deliver wrong content, and always satisfy conservation
+// invariants (a consumer resolves each fetch exactly once; the producer
+// never answers more interests than the network forwarded).
+
+type chainSpec struct {
+	seed      int64
+	hops      int // routers between consumer host and producer host
+	lossPct   int // 0..20 (%)
+	latencyMS int // 1..20
+	objects   int // 1..20
+	fetches   int // 1..40
+	manager   int // 0..3 selects the cache manager
+}
+
+func (s chainSpec) normalize() chainSpec {
+	mod := func(v, n int) int {
+		if v < 0 {
+			v = -v
+		}
+		return v % n
+	}
+	s.hops = mod(s.hops, 4)
+	s.lossPct = mod(s.lossPct, 21)
+	s.latencyMS = mod(s.latencyMS, 20) + 1
+	s.objects = mod(s.objects, 20) + 1
+	s.fetches = mod(s.fetches, 40) + 1
+	s.manager = mod(s.manager, 4)
+	return s
+}
+
+func buildManager(kind int, rng *rand.Rand) (core.CacheManager, error) {
+	switch kind {
+	case 1:
+		return core.NewDelayManager(core.NewContentSpecificDelay())
+	case 2:
+		dist, err := core.NewUniformK(8)
+		if err != nil {
+			return nil, err
+		}
+		return core.NewRandomCache(dist, rng)
+	case 3:
+		dist, err := core.NewGeometricK(0.7, 16)
+		if err != nil {
+			return nil, err
+		}
+		return core.NewGroupedRandomCache(dist, rng, core.PrefixGroup(1))
+	default:
+		return core.NewNoPrivacy(), nil
+	}
+}
+
+// runChain executes the random scenario and reports invariant
+// violations as an error string (empty = all good).
+func runChain(s chainSpec) string {
+	s = s.normalize()
+	sim := netsim.New(s.seed)
+
+	host, err := NewBareHost(sim, "U")
+	if err != nil {
+		return err.Error()
+	}
+	nodes := []*Forwarder{host}
+	for h := 0; h < s.hops; h++ {
+		manager, err := buildManager(s.manager, sim.Rand())
+		if err != nil {
+			return err.Error()
+		}
+		r, err := NewRouter(sim, fmt.Sprintf("R%d", h), 8, manager)
+		if err != nil {
+			return err.Error()
+		}
+		nodes = append(nodes, r)
+	}
+	pHost, err := NewBareHost(sim, "P")
+	if err != nil {
+		return err.Error()
+	}
+	nodes = append(nodes, pHost)
+
+	cfg := netsim.LinkConfig{
+		Latency:  netsim.UniformJitter{Base: time.Duration(s.latencyMS) * time.Millisecond, Jitter: time.Millisecond},
+		LossProb: float64(s.lossPct) / 100,
+	}
+	if err := Chain(sim, nodes, cfg, "/p"); err != nil {
+		return err.Error()
+	}
+	producer, err := NewProducer(pHost, ndn.MustParseName("/p"), nil)
+	if err != nil {
+		return err.Error()
+	}
+	for i := 0; i < s.objects; i++ {
+		d, err := ndn.NewData(ndn.MustParseName(fmt.Sprintf("/p/obj/%d", i)), []byte(fmt.Sprintf("payload-%d", i)))
+		if err != nil {
+			return err.Error()
+		}
+		d.Private = i%2 == 0
+		if err := producer.Publish(d); err != nil {
+			return err.Error()
+		}
+	}
+	consumer, err := NewConsumer(host)
+	if err != nil {
+		return err.Error()
+	}
+
+	rng := rand.New(rand.NewSource(s.seed + 99))
+	resolved := 0
+	wrongPayload := 0
+	for f := 0; f < s.fetches; f++ {
+		obj := rng.Intn(s.objects)
+		interest := ndn.NewInterest(ndn.MustParseName(fmt.Sprintf("/p/obj/%d", obj)), 0)
+		interest.Lifetime = 500 * time.Millisecond
+		if rng.Intn(2) == 0 {
+			interest = interest.WithPrivacy(ndn.PrivacyRequested)
+		}
+		calls := 0
+		consumer.Fetch(interest, func(r FetchResult) {
+			calls++
+			if !r.TimedOut && string(r.Data.Payload) != fmt.Sprintf("payload-%d", obj) {
+				wrongPayload++
+			}
+		})
+		sim.Run()
+		if calls != 1 {
+			return fmt.Sprintf("fetch %d resolved %d times, want exactly 1", f, calls)
+		}
+		resolved++
+	}
+	if wrongPayload > 0 {
+		return fmt.Sprintf("%d fetches returned wrong content", wrongPayload)
+	}
+	if resolved != s.fetches {
+		return fmt.Sprintf("resolved %d of %d fetches", resolved, s.fetches)
+	}
+	// Conservation: the producer answers at most the number of fetches
+	// plus disguised re-fetches; it can never exceed total interests
+	// injected into the network.
+	if int(producer.Served()) > s.fetches {
+		return fmt.Sprintf("producer served %d > %d fetches", producer.Served(), s.fetches)
+	}
+	return ""
+}
+
+func TestRandomChainInvariants(t *testing.T) {
+	f := func(seed int64, hops, lossPct, latencyMS, objects, fetches, manager uint8) bool {
+		problem := runChain(chainSpec{
+			seed:      seed,
+			hops:      int(hops),
+			lossPct:   int(lossPct),
+			latencyMS: int(latencyMS),
+			objects:   int(objects),
+			fetches:   int(fetches),
+			manager:   int(manager),
+		})
+		if problem != "" {
+			t.Logf("seed=%d: %s", seed, problem)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRandomChainSpecificRegressions(t *testing.T) {
+	// Pin a few concrete shapes: no routers (host↔producer direct),
+	// heavy loss, every manager kind.
+	cases := []chainSpec{
+		{seed: 1, hops: 0, lossPct: 0, latencyMS: 2, objects: 3, fetches: 6, manager: 0},
+		{seed: 2, hops: 3, lossPct: 20, latencyMS: 5, objects: 10, fetches: 20, manager: 1},
+		{seed: 3, hops: 2, lossPct: 10, latencyMS: 1, objects: 5, fetches: 30, manager: 2},
+		{seed: 4, hops: 1, lossPct: 5, latencyMS: 19, objects: 19, fetches: 39, manager: 3},
+	}
+	for i, s := range cases {
+		if problem := runChain(s); problem != "" {
+			t.Errorf("case %d: %s", i, problem)
+		}
+	}
+}

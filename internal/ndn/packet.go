@@ -1,0 +1,179 @@
+package ndn
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Default protocol parameters. Lifetimes follow the CCNx node model the
+// paper references: pending interests expire after a few seconds, and
+// cached content carries an optional freshness period.
+const (
+	// DefaultInterestLifetime bounds how long a PIT entry may stay
+	// pending before it is flushed.
+	DefaultInterestLifetime = 4 * time.Second
+	// ScopeUnlimited lets an interest propagate without a hop bound.
+	ScopeUnlimited = 0
+	// ScopeLocal restricts an interest to the issuing host (scope 1).
+	ScopeLocal = 1
+	// ScopeNextHop allows an interest to traverse at most two NDN
+	// entities, source included (scope 2) — the value the Section III
+	// adversary abuses to probe the first-hop router's cache.
+	ScopeNextHop = 2
+)
+
+// ErrNoPayload is returned when constructing a Data packet with no content.
+var ErrNoPayload = errors.New("ndn: data packet requires a payload")
+
+// Privacy captures the consumer- and producer-driven privacy marking of
+// Section V. Producer marking travels with the Data packet (privacy bit or
+// the reserved /private/ name component); consumer marking travels with
+// the Interest.
+type Privacy uint8
+
+// Privacy marking values. Enums start at one so the zero value is the
+// explicit "unmarked" state.
+const (
+	// PrivacyUnmarked means no privacy preference was expressed.
+	PrivacyUnmarked Privacy = iota
+	// PrivacyRequested means the packet carries the privacy bit.
+	PrivacyRequested
+	// PrivacyDeclined means the sender explicitly requested no privacy
+	// handling (the "first non-private interest" trigger relies on
+	// distinguishing declined from unmarked).
+	PrivacyDeclined
+)
+
+// String implements fmt.Stringer.
+func (p Privacy) String() string {
+	switch p {
+	case PrivacyUnmarked:
+		return "unmarked"
+	case PrivacyRequested:
+		return "requested"
+	case PrivacyDeclined:
+		return "declined"
+	default:
+		return fmt.Sprintf("privacy(%d)", uint8(p))
+	}
+}
+
+// Interest is an NDN interest packet. Interests carry no source address:
+// delivery state lives in routers' PITs.
+type Interest struct {
+	// Name is the requested content name (or a prefix of it).
+	Name Name
+	// Nonce deduplicates looped interests.
+	Nonce uint64
+	// Scope bounds how many NDN entities the interest may traverse,
+	// source included. 0 means unlimited.
+	Scope uint8
+	// Lifetime bounds the pending time at each router.
+	Lifetime time.Duration
+	// Privacy is the consumer-driven privacy bit from Section V.
+	Privacy Privacy
+}
+
+// NewInterest builds an interest for name with the default lifetime and a
+// caller-supplied nonce.
+func NewInterest(name Name, nonce uint64) *Interest {
+	return &Interest{
+		Name:     name,
+		Nonce:    nonce,
+		Scope:    ScopeUnlimited,
+		Lifetime: DefaultInterestLifetime,
+	}
+}
+
+// WithScope returns a copy of the interest with the given scope.
+func (i *Interest) WithScope(scope uint8) *Interest {
+	cp := *i
+	cp.Scope = scope
+	return &cp
+}
+
+// WithPrivacy returns a copy of the interest with the given privacy mark.
+func (i *Interest) WithPrivacy(p Privacy) *Interest {
+	cp := *i
+	cp.Privacy = p
+	return &cp
+}
+
+// String implements fmt.Stringer.
+func (i *Interest) String() string {
+	return fmt.Sprintf("Interest(%s nonce=%x scope=%d privacy=%s)", i.Name, i.Nonce, i.Scope, i.Privacy)
+}
+
+// Data is an NDN content object. All content objects are signed by their
+// producer (Section II); verification uses the producer's key via the
+// Signer in sign.go.
+type Data struct {
+	// Name is the full content name.
+	Name Name
+	// Payload is the content bytes.
+	Payload []byte
+	// Producer identifies the signing producer (key locator).
+	Producer string
+	// Signature authenticates name, payload and producer.
+	Signature []byte
+	// Freshness bounds how long routers should treat a cached copy as
+	// fresh; zero means no bound.
+	Freshness time.Duration
+	// Private is the producer-driven privacy bit from Section V.
+	Private bool
+	// ContentID is the correlation identifier the paper proposes at the
+	// end of Section VI: producers populate it with identical values
+	// for semantically related content (even content whose names share
+	// no prefix), and routers use it to group Random-Cache state.
+	// Empty means unset.
+	ContentID string
+}
+
+// NewData builds an unsigned Data packet; use Signer.Sign to sign it.
+// The payload is copied.
+func NewData(name Name, payload []byte) (*Data, error) {
+	if len(payload) == 0 {
+		return nil, ErrNoPayload
+	}
+	cp := make([]byte, len(payload))
+	copy(cp, payload)
+	return &Data{Name: name, Payload: cp}, nil
+}
+
+// IsPrivate reports whether the producer marked this content private,
+// either through the privacy bit or the reserved name component.
+func (d *Data) IsPrivate() bool {
+	return d.Private || d.Name.HasPrivateMarker()
+}
+
+// Matches reports whether this content satisfies the given interest under
+// NDN's longest-prefix matching rule, including the Section V-A footnote:
+// content whose final component is an unpredictable (rand) component is
+// only returned to interests that name it explicitly.
+func (d *Data) Matches(interest *Interest) bool {
+	if !interest.Name.IsPrefixOf(d.Name) {
+		return false
+	}
+	// Footnote 5: /alice/skype/0/<rand> must not satisfy /alice/skype/.
+	if interest.Name.Len() < d.Name.Len() && hasUnpredictableSuffix(d.Name) {
+		return false
+	}
+	return true
+}
+
+// String implements fmt.Stringer.
+func (d *Data) String() string {
+	return fmt.Sprintf("Data(%s %dB producer=%s private=%t)", d.Name, len(d.Payload), d.Producer, d.IsPrivate())
+}
+
+// Clone returns a deep copy of the Data packet, so routers can cache
+// content without aliasing consumer-visible buffers.
+func (d *Data) Clone() *Data {
+	cp := *d
+	cp.Payload = make([]byte, len(d.Payload))
+	copy(cp.Payload, d.Payload)
+	cp.Signature = make([]byte, len(d.Signature))
+	copy(cp.Signature, d.Signature)
+	return &cp
+}

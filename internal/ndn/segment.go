@@ -1,0 +1,97 @@
+package ndn
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"strconv"
+)
+
+// Large pieces of content must be split into fragments (Section II):
+// fragment 137 of /youtube/alice/video-749.avi is named
+// /youtube/alice/video-749.avi/137. The adversary exploits exactly this
+// structure in Section III to amplify a weak single-object probe into a
+// near-certain multi-segment one.
+
+// ErrSegmentGap is returned by Reassemble when a segment is missing.
+var ErrSegmentGap = errors.New("ndn: missing segment")
+
+// Segment splits payload into Data packets of at most segmentSize bytes,
+// named base/0, base/1, .... Every packet inherits the producer privacy
+// bit. An empty payload yields a single empty-marker segment so that the
+// object remains fetchable.
+func Segment(base Name, payload []byte, segmentSize int, private bool) ([]*Data, error) {
+	if segmentSize <= 0 {
+		return nil, fmt.Errorf("ndn: segment size %d must be positive", segmentSize)
+	}
+	if len(payload) == 0 {
+		return nil, ErrNoPayload
+	}
+	count := (len(payload) + segmentSize - 1) / segmentSize
+	out := make([]*Data, 0, count)
+	for i := 0; i < count; i++ {
+		lo := i * segmentSize
+		hi := lo + segmentSize
+		if hi > len(payload) {
+			hi = len(payload)
+		}
+		d, err := NewData(SegmentName(base, uint64(i)), payload[lo:hi])
+		if err != nil {
+			return nil, err
+		}
+		d.Private = private
+		out = append(out, d)
+	}
+	return out, nil
+}
+
+// SegmentName returns the name of segment seq under base.
+func SegmentName(base Name, seq uint64) Name {
+	return base.AppendString(strconv.FormatUint(seq, 10))
+}
+
+// ParseSegment extracts (base, seq) from a segment name produced by
+// SegmentName. ok is false if the final component is not a decimal
+// sequence number.
+func ParseSegment(name Name) (base Name, seq uint64, ok bool) {
+	if name.IsEmpty() {
+		return Name{}, 0, false
+	}
+	last := string(name.Component(name.Len() - 1))
+	seq, err := strconv.ParseUint(last, 10, 64)
+	if err != nil {
+		return Name{}, 0, false
+	}
+	parent, _ := name.Parent()
+	return parent, seq, true
+}
+
+// Reassemble concatenates segment payloads in sequence order. Segments may
+// arrive in any order; duplicates are tolerated (last write wins) but a
+// gap in sequence numbers is an error.
+func Reassemble(segments []*Data) ([]byte, error) {
+	if len(segments) == 0 {
+		return nil, ErrNoPayload
+	}
+	bySeq := make(map[uint64][]byte, len(segments))
+	var maxSeq uint64
+	for _, s := range segments {
+		_, seq, ok := ParseSegment(s.Name)
+		if !ok {
+			return nil, fmt.Errorf("ndn: %s is not a segment name", s.Name)
+		}
+		bySeq[seq] = s.Payload
+		if seq > maxSeq {
+			maxSeq = seq
+		}
+	}
+	var buf bytes.Buffer
+	for seq := uint64(0); seq <= maxSeq; seq++ {
+		part, found := bySeq[seq]
+		if !found {
+			return nil, fmt.Errorf("%w: %d of %d", ErrSegmentGap, seq, maxSeq+1)
+		}
+		buf.Write(part)
+	}
+	return buf.Bytes(), nil
+}

@@ -1,0 +1,318 @@
+package ndn
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// TLV wire codec. The encoding follows the NDN packet format conventions:
+// every element is a (Type, Length, Value) triple whose Type and Length
+// use the NDN variable-size number encoding (1, 3, 5 or 9 bytes).
+//
+// The simulator exchanges decoded packets in memory for speed, but the
+// codec is exercised on every producer→consumer path in the examples and
+// integration tests so that packet sizes — and hence transmission delays —
+// reflect real serialized lengths.
+
+// TLV type assignments (loosely follows NDN's, with private-use types for
+// the paper-specific privacy fields).
+const (
+	tlvInterest         uint64 = 0x05
+	tlvData             uint64 = 0x06
+	tlvName             uint64 = 0x07
+	tlvComponent        uint64 = 0x08
+	tlvNonce            uint64 = 0x0A
+	tlvScope            uint64 = 0x0B
+	tlvInterestLifetime uint64 = 0x0C
+	tlvFreshness        uint64 = 0x19
+	tlvPayload          uint64 = 0x15
+	tlvProducer         uint64 = 0x1C
+	tlvSignature        uint64 = 0x17
+	tlvPrivacyMark      uint64 = 0xFD01 // private-use: Interest.Privacy / Data.Private
+	tlvContentID        uint64 = 0xFD02 // private-use: Data.ContentID (Section VI extension)
+)
+
+var (
+	// ErrTruncated is returned when the wire buffer ends inside an element.
+	ErrTruncated = errors.New("ndn: truncated TLV")
+	// ErrBadTLV is returned for structurally invalid encodings.
+	ErrBadTLV = errors.New("ndn: malformed TLV")
+)
+
+// appendVarNum appends an NDN variable-size number.
+func appendVarNum(b []byte, v uint64) []byte {
+	switch {
+	case v < 253:
+		return append(b, byte(v))
+	case v <= 0xFFFF:
+		b = append(b, 0xFD)
+		return binary.BigEndian.AppendUint16(b, uint16(v))
+	case v <= 0xFFFFFFFF:
+		b = append(b, 0xFE)
+		return binary.BigEndian.AppendUint32(b, uint32(v))
+	default:
+		b = append(b, 0xFF)
+		return binary.BigEndian.AppendUint64(b, v)
+	}
+}
+
+// readVarNum decodes a variable-size number, returning the value and the
+// number of bytes consumed.
+func readVarNum(b []byte) (uint64, int, error) {
+	if len(b) == 0 {
+		return 0, 0, ErrTruncated
+	}
+	switch first := b[0]; {
+	case first < 253:
+		return uint64(first), 1, nil
+	case first == 0xFD:
+		if len(b) < 3 {
+			return 0, 0, ErrTruncated
+		}
+		return uint64(binary.BigEndian.Uint16(b[1:3])), 3, nil
+	case first == 0xFE:
+		if len(b) < 5 {
+			return 0, 0, ErrTruncated
+		}
+		return uint64(binary.BigEndian.Uint32(b[1:5])), 5, nil
+	default:
+		if len(b) < 9 {
+			return 0, 0, ErrTruncated
+		}
+		return binary.BigEndian.Uint64(b[1:9]), 9, nil
+	}
+}
+
+func appendTLV(b []byte, typ uint64, value []byte) []byte {
+	b = appendVarNum(b, typ)
+	b = appendVarNum(b, uint64(len(value)))
+	return append(b, value...)
+}
+
+// readTLV decodes one TLV element, returning its type, value and total
+// bytes consumed.
+func readTLV(b []byte) (typ uint64, value []byte, n int, err error) {
+	typ, tn, err := readVarNum(b)
+	if err != nil {
+		return 0, nil, 0, err
+	}
+	length, ln, err := readVarNum(b[tn:])
+	if err != nil {
+		return 0, nil, 0, err
+	}
+	start := tn + ln
+	if uint64(len(b)-start) < length {
+		return 0, nil, 0, ErrTruncated
+	}
+	end := start + int(length)
+	return typ, b[start:end], end, nil
+}
+
+func encodeName(b []byte, n Name) []byte {
+	var inner []byte
+	for i := 0; i < n.Len(); i++ {
+		inner = appendTLV(inner, tlvComponent, n.Component(i))
+	}
+	return appendTLV(b, tlvName, inner)
+}
+
+func decodeName(value []byte) (Name, error) {
+	comps := make([][]byte, 0, 8)
+	for len(value) > 0 {
+		typ, v, n, err := readTLV(value)
+		if err != nil {
+			return Name{}, err
+		}
+		if typ != tlvComponent {
+			return Name{}, fmt.Errorf("%w: unexpected type %#x inside Name", ErrBadTLV, typ)
+		}
+		comps = append(comps, v)
+		value = value[n:]
+	}
+	return NewName(comps...), nil
+}
+
+func appendUintTLV(b []byte, typ, v uint64) []byte {
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], v)
+	// Trim leading zero bytes but keep at least one byte.
+	i := 0
+	for i < 7 && buf[i] == 0 {
+		i++
+	}
+	return appendTLV(b, typ, buf[i:])
+}
+
+func decodeUint(value []byte) (uint64, error) {
+	if len(value) == 0 || len(value) > 8 {
+		return 0, fmt.Errorf("%w: integer value of length %d", ErrBadTLV, len(value))
+	}
+	var v uint64
+	for _, by := range value {
+		v = v<<8 | uint64(by)
+	}
+	return v, nil
+}
+
+// EncodeInterest serializes an interest.
+func EncodeInterest(i *Interest) []byte {
+	var inner []byte
+	inner = encodeName(inner, i.Name)
+	inner = appendUintTLV(inner, tlvNonce, i.Nonce)
+	if i.Scope != ScopeUnlimited {
+		inner = appendUintTLV(inner, tlvScope, uint64(i.Scope))
+	}
+	if i.Lifetime > 0 {
+		inner = appendUintTLV(inner, tlvInterestLifetime, uint64(i.Lifetime/time.Millisecond))
+	}
+	if i.Privacy != PrivacyUnmarked {
+		inner = appendUintTLV(inner, tlvPrivacyMark, uint64(i.Privacy))
+	}
+	return appendTLV(nil, tlvInterest, inner)
+}
+
+// DecodeInterest parses a serialized interest.
+func DecodeInterest(wire []byte) (*Interest, error) {
+	typ, value, n, err := readTLV(wire)
+	if err != nil {
+		return nil, err
+	}
+	if typ != tlvInterest {
+		return nil, fmt.Errorf("%w: outer type %#x, want Interest", ErrBadTLV, typ)
+	}
+	if n != len(wire) {
+		return nil, fmt.Errorf("%w: %d trailing bytes after Interest", ErrBadTLV, len(wire)-n)
+	}
+	out := &Interest{}
+	sawName := false
+	for len(value) > 0 {
+		ityp, v, consumed, err := readTLV(value)
+		if err != nil {
+			return nil, err
+		}
+		switch ityp {
+		case tlvName:
+			out.Name, err = decodeName(v)
+			sawName = true
+		case tlvNonce:
+			out.Nonce, err = decodeUint(v)
+		case tlvScope:
+			var s uint64
+			s, err = decodeUint(v)
+			if err == nil && s > 255 {
+				err = fmt.Errorf("%w: scope %d out of range", ErrBadTLV, s)
+			}
+			out.Scope = uint8(s)
+		case tlvInterestLifetime:
+			var ms uint64
+			ms, err = decodeUint(v)
+			out.Lifetime = time.Duration(ms) * time.Millisecond
+		case tlvPrivacyMark:
+			var p uint64
+			p, err = decodeUint(v)
+			if err == nil && p > uint64(PrivacyDeclined) {
+				err = fmt.Errorf("%w: privacy mark %d out of range", ErrBadTLV, p)
+			}
+			out.Privacy = Privacy(p)
+		default:
+			// Unknown element: skip, for forward compatibility.
+		}
+		if err != nil {
+			return nil, err
+		}
+		value = value[consumed:]
+	}
+	if !sawName {
+		return nil, fmt.Errorf("%w: Interest without a Name", ErrBadTLV)
+	}
+	return out, nil
+}
+
+// EncodeData serializes a Data packet.
+func EncodeData(d *Data) []byte {
+	var inner []byte
+	inner = encodeName(inner, d.Name)
+	inner = appendTLV(inner, tlvPayload, d.Payload)
+	if d.Producer != "" {
+		inner = appendTLV(inner, tlvProducer, []byte(d.Producer))
+	}
+	if len(d.Signature) > 0 {
+		inner = appendTLV(inner, tlvSignature, d.Signature)
+	}
+	if d.Freshness > 0 {
+		inner = appendUintTLV(inner, tlvFreshness, uint64(d.Freshness/time.Millisecond))
+	}
+	if d.Private {
+		inner = appendUintTLV(inner, tlvPrivacyMark, 1)
+	}
+	if d.ContentID != "" {
+		inner = appendTLV(inner, tlvContentID, []byte(d.ContentID))
+	}
+	return appendTLV(nil, tlvData, inner)
+}
+
+// DecodeData parses a serialized Data packet.
+func DecodeData(wire []byte) (*Data, error) {
+	typ, value, n, err := readTLV(wire)
+	if err != nil {
+		return nil, err
+	}
+	if typ != tlvData {
+		return nil, fmt.Errorf("%w: outer type %#x, want Data", ErrBadTLV, typ)
+	}
+	if n != len(wire) {
+		return nil, fmt.Errorf("%w: %d trailing bytes after Data", ErrBadTLV, len(wire)-n)
+	}
+	out := &Data{}
+	sawName, sawPayload := false, false
+	for len(value) > 0 {
+		ityp, v, consumed, err := readTLV(value)
+		if err != nil {
+			return nil, err
+		}
+		switch ityp {
+		case tlvName:
+			out.Name, err = decodeName(v)
+			sawName = true
+		case tlvPayload:
+			out.Payload = append([]byte(nil), v...)
+			sawPayload = true
+		case tlvProducer:
+			out.Producer = string(v)
+		case tlvSignature:
+			out.Signature = append([]byte(nil), v...)
+		case tlvFreshness:
+			var ms uint64
+			ms, err = decodeUint(v)
+			out.Freshness = time.Duration(ms) * time.Millisecond
+		case tlvPrivacyMark:
+			var p uint64
+			p, err = decodeUint(v)
+			out.Private = p != 0
+		case tlvContentID:
+			out.ContentID = string(v)
+		default:
+			// Unknown element: skip.
+		}
+		if err != nil {
+			return nil, err
+		}
+		value = value[consumed:]
+	}
+	if !sawName {
+		return nil, fmt.Errorf("%w: Data without a Name", ErrBadTLV)
+	}
+	if !sawPayload {
+		return nil, fmt.Errorf("%w: Data without a Payload", ErrBadTLV)
+	}
+	return out, nil
+}
+
+// WireSize returns the serialized length of a Data packet without
+// materializing the buffer; the simulator uses it to compute transmission
+// delays.
+func WireSize(d *Data) int {
+	return len(EncodeData(d))
+}

@@ -1,0 +1,394 @@
+package ndn
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestInterestWireRoundTrip(t *testing.T) {
+	cases := []*Interest{
+		NewInterest(MustParseName("/cnn/news/2013may20"), 0xDEADBEEF),
+		NewInterest(MustParseName("/a"), 0).WithScope(ScopeNextHop),
+		NewInterest(MustParseName("/x/y"), 7).WithPrivacy(PrivacyRequested),
+		{Name: MustParseName("/z"), Nonce: 1<<64 - 1, Lifetime: 250 * time.Millisecond},
+		{Name: MustParseName("/"), Nonce: 3},
+	}
+	for _, in := range cases {
+		t.Run(in.Name.String(), func(t *testing.T) {
+			wire := EncodeInterest(in)
+			out, err := DecodeInterest(wire)
+			if err != nil {
+				t.Fatalf("DecodeInterest: %v", err)
+			}
+			if !out.Name.Equal(in.Name) || out.Nonce != in.Nonce ||
+				out.Scope != in.Scope || out.Lifetime != in.Lifetime ||
+				out.Privacy != in.Privacy {
+				t.Errorf("round trip mismatch:\n in: %+v\nout: %+v", in, out)
+			}
+		})
+	}
+}
+
+func TestDataWireRoundTrip(t *testing.T) {
+	signer, err := NewSigner("/bob", []byte("bob-key"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := NewData(MustParseName("/bob/file/0"), bytes.Repeat([]byte("ab"), 300))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Freshness = 2 * time.Second
+	d.Private = true
+	signer.Sign(d)
+
+	wire := EncodeData(d)
+	out, err := DecodeData(wire)
+	if err != nil {
+		t.Fatalf("DecodeData: %v", err)
+	}
+	if !out.Name.Equal(d.Name) || !bytes.Equal(out.Payload, d.Payload) ||
+		out.Producer != d.Producer || !bytes.Equal(out.Signature, d.Signature) ||
+		out.Freshness != d.Freshness || out.Private != d.Private {
+		t.Errorf("round trip mismatch:\n in: %v\nout: %v", d, out)
+	}
+	if err := signer.Verify(out); err != nil {
+		t.Errorf("signature did not survive the wire: %v", err)
+	}
+}
+
+func TestDecodeRejectsWrongOuterType(t *testing.T) {
+	i := NewInterest(MustParseName("/a"), 1)
+	if _, err := DecodeData(EncodeInterest(i)); err == nil {
+		t.Error("DecodeData accepted an Interest")
+	}
+	d, _ := NewData(MustParseName("/a"), []byte("x"))
+	if _, err := DecodeInterest(EncodeData(d)); err == nil {
+		t.Error("DecodeInterest accepted a Data")
+	}
+}
+
+func TestDecodeRejectsTruncation(t *testing.T) {
+	wire := EncodeInterest(NewInterest(MustParseName("/abc/def"), 99))
+	for cut := 1; cut < len(wire); cut++ {
+		if _, err := DecodeInterest(wire[:cut]); err == nil {
+			t.Errorf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestDecodeRejectsTrailingGarbage(t *testing.T) {
+	wire := EncodeInterest(NewInterest(MustParseName("/a"), 1))
+	wire = append(wire, 0x00)
+	if _, err := DecodeInterest(wire); err == nil {
+		t.Error("trailing garbage accepted")
+	}
+}
+
+func TestDecodeRejectsMissingFields(t *testing.T) {
+	// Interest with no Name: outer TLV wrapping only a nonce.
+	inner := appendUintTLV(nil, tlvNonce, 5)
+	wire := appendTLV(nil, tlvInterest, inner)
+	if _, err := DecodeInterest(wire); err == nil {
+		t.Error("Interest without Name accepted")
+	}
+	// Data with name but no payload.
+	var dInner []byte
+	dInner = encodeName(dInner, MustParseName("/a"))
+	dWire := appendTLV(nil, tlvData, dInner)
+	if _, err := DecodeData(dWire); err == nil {
+		t.Error("Data without Payload accepted")
+	}
+}
+
+func TestDecodeSkipsUnknownTLVs(t *testing.T) {
+	var inner []byte
+	inner = encodeName(inner, MustParseName("/a"))
+	inner = appendUintTLV(inner, tlvNonce, 9)
+	inner = appendTLV(inner, 0xF0, []byte("future extension"))
+	wire := appendTLV(nil, tlvInterest, inner)
+	out, err := DecodeInterest(wire)
+	if err != nil {
+		t.Fatalf("unknown TLV broke decoding: %v", err)
+	}
+	if out.Nonce != 9 {
+		t.Errorf("Nonce = %d, want 9", out.Nonce)
+	}
+}
+
+func TestVarNumBoundaries(t *testing.T) {
+	values := []uint64{0, 1, 252, 253, 254, 0xFFFF, 0x10000, 0xFFFFFFFF, 0x100000000, 1<<64 - 1}
+	for _, v := range values {
+		b := appendVarNum(nil, v)
+		got, n, err := readVarNum(b)
+		if err != nil {
+			t.Fatalf("readVarNum(%d): %v", v, err)
+		}
+		if got != v || n != len(b) {
+			t.Errorf("varnum %d: got %d consumed %d of %d", v, got, n, len(b))
+		}
+	}
+}
+
+func TestDecodeUintBounds(t *testing.T) {
+	if _, err := decodeUint(nil); err == nil {
+		t.Error("empty integer accepted")
+	}
+	if _, err := decodeUint(make([]byte, 9)); err == nil {
+		t.Error("9-byte integer accepted")
+	}
+	v, err := decodeUint([]byte{0x01, 0x00})
+	if err != nil || v != 256 {
+		t.Errorf("decodeUint(0100) = %d, %v; want 256", v, err)
+	}
+}
+
+func TestDecodeRejectsOutOfRangeEnums(t *testing.T) {
+	var inner []byte
+	inner = encodeName(inner, MustParseName("/a"))
+	inner = appendUintTLV(inner, tlvScope, 300)
+	wire := appendTLV(nil, tlvInterest, inner)
+	if _, err := DecodeInterest(wire); err == nil {
+		t.Error("scope 300 accepted")
+	}
+
+	inner = nil
+	inner = encodeName(inner, MustParseName("/a"))
+	inner = appendUintTLV(inner, tlvPrivacyMark, 17)
+	wire = appendTLV(nil, tlvInterest, inner)
+	if _, err := DecodeInterest(wire); err == nil {
+		t.Error("privacy mark 17 accepted")
+	}
+}
+
+func TestWireSizeMatchesEncoding(t *testing.T) {
+	d, _ := NewData(MustParseName("/bob/big"), make([]byte, 1200))
+	if got, want := WireSize(d), len(EncodeData(d)); got != want {
+		t.Errorf("WireSize = %d, want %d", got, want)
+	}
+}
+
+// Property: arbitrary interests survive the codec.
+func TestInterestWireProperty(t *testing.T) {
+	f := func(comps [][]byte, nonce uint64, scope uint8, privacy uint8, lifetimeMS uint16) bool {
+		for _, c := range comps {
+			if len(c) == 0 {
+				return true
+			}
+		}
+		in := &Interest{
+			Name:     NewName(comps...),
+			Nonce:    nonce,
+			Scope:    scope,
+			Lifetime: time.Duration(lifetimeMS) * time.Millisecond,
+			Privacy:  Privacy(privacy % 3),
+		}
+		out, err := DecodeInterest(EncodeInterest(in))
+		if err != nil {
+			return false
+		}
+		return out.Name.Equal(in.Name) && out.Nonce == in.Nonce &&
+			out.Scope == in.Scope && out.Lifetime == in.Lifetime &&
+			out.Privacy == in.Privacy
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: arbitrary data packets survive the codec.
+func TestDataWireProperty(t *testing.T) {
+	f := func(comps [][]byte, payload []byte, producer string, freshMS uint16, private bool) bool {
+		for _, c := range comps {
+			if len(c) == 0 {
+				return true
+			}
+		}
+		if len(payload) == 0 {
+			return true
+		}
+		in, err := NewData(NewName(comps...), payload)
+		if err != nil {
+			return false
+		}
+		in.Producer = producer
+		in.Freshness = time.Duration(freshMS) * time.Millisecond
+		in.Private = private
+		out, err := DecodeData(EncodeData(in))
+		if err != nil {
+			return false
+		}
+		return out.Name.Equal(in.Name) && bytes.Equal(out.Payload, in.Payload) &&
+			out.Producer == in.Producer && out.Freshness == in.Freshness &&
+			out.Private == in.Private
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: random byte strings never decode cleanly into both packet
+// types at once, and never panic.
+func TestDecodeFuzzProperty(t *testing.T) {
+	f := func(junk []byte) bool {
+		i, errI := DecodeInterest(junk)
+		d, errD := DecodeData(junk)
+		if errI == nil && errD == nil {
+			return false // outer types are distinct; both cannot succeed
+		}
+		_ = i
+		_ = d
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDataContentIDRoundTrip(t *testing.T) {
+	d, err := NewData(MustParseName("/siteA/page"), []byte("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.ContentID = "story-42"
+	out, err := DecodeData(EncodeData(d))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.ContentID != "story-42" {
+		t.Errorf("ContentID = %q, want story-42", out.ContentID)
+	}
+	// Unset content-id stays unset and adds no wire bytes.
+	plain, err := NewData(MustParseName("/siteA/page"), []byte("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(EncodeData(plain)) >= len(EncodeData(d)) {
+		t.Error("unset ContentID not omitted from the wire")
+	}
+	back, err := DecodeData(EncodeData(plain))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.ContentID != "" {
+		t.Errorf("ContentID = %q, want empty", back.ContentID)
+	}
+}
+
+func TestVerifyDetectsContentIDTampering(t *testing.T) {
+	// The content-id drives router-side privacy grouping (Section VI
+	// extension), so an adversary must not be able to strip or alter it.
+	s, err := NewSigner("/bob", []byte("key"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := NewData(MustParseName("/bob/doc"), []byte("content"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.ContentID = "story"
+	s.Sign(d)
+	stripped := d.Clone()
+	stripped.ContentID = ""
+	if err := s.Verify(stripped); !errors.Is(err, ErrBadSignature) {
+		t.Errorf("content-id stripping: err = %v, want ErrBadSignature", err)
+	}
+}
+
+func TestSignerRejectsBadInputs(t *testing.T) {
+	if _, err := NewSigner("", []byte("k")); err == nil {
+		t.Error("empty producer accepted")
+	}
+	if _, err := NewSigner("/p", nil); err == nil {
+		t.Error("empty key accepted")
+	}
+}
+
+func TestSignVerify(t *testing.T) {
+	s, err := NewSigner("/bob", []byte("secret"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, _ := NewData(MustParseName("/bob/doc"), []byte("content"))
+	s.Sign(d)
+	if d.Producer != "/bob" {
+		t.Errorf("Sign did not stamp producer: %q", d.Producer)
+	}
+	if err := s.Verify(d); err != nil {
+		t.Errorf("Verify of freshly signed packet: %v", err)
+	}
+}
+
+func TestVerifyDetectsTampering(t *testing.T) {
+	s, _ := NewSigner("/bob", []byte("secret"))
+	d, _ := NewData(MustParseName("/bob/doc"), []byte("content"))
+	s.Sign(d)
+
+	tampered := d.Clone()
+	tampered.Payload[0] ^= 0xFF
+	if err := s.Verify(tampered); !errors.Is(err, ErrBadSignature) {
+		t.Errorf("payload tampering: err = %v, want ErrBadSignature", err)
+	}
+
+	renamed := d.Clone()
+	renamed.Name = MustParseName("/bob/other")
+	if err := s.Verify(renamed); !errors.Is(err, ErrBadSignature) {
+		t.Errorf("name tampering: err = %v, want ErrBadSignature", err)
+	}
+
+	flipped := d.Clone()
+	flipped.Private = true
+	if err := s.Verify(flipped); !errors.Is(err, ErrBadSignature) {
+		t.Errorf("privacy-bit tampering: err = %v, want ErrBadSignature", err)
+	}
+}
+
+func TestVerifyRejectsWrongProducer(t *testing.T) {
+	bob, _ := NewSigner("/bob", []byte("bob-key"))
+	eve, _ := NewSigner("/eve", []byte("eve-key"))
+	d, _ := NewData(MustParseName("/bob/doc"), []byte("content"))
+	bob.Sign(d)
+	if err := eve.Verify(d); !errors.Is(err, ErrBadSignature) {
+		t.Errorf("cross-producer verify: err = %v, want ErrBadSignature", err)
+	}
+}
+
+func TestUnpredictableNameDeterministic(t *testing.T) {
+	ssA, _ := NewSharedSecret([]byte("shared"))
+	ssB, _ := NewSharedSecret([]byte("shared"))
+	base := MustParseName("/alice/skype/0")
+	if !ssA.UnpredictableName(base, 5).Equal(ssB.UnpredictableName(base, 5)) {
+		t.Error("same secret + seq produced different names")
+	}
+	if ssA.UnpredictableName(base, 5).Equal(ssA.UnpredictableName(base, 6)) {
+		t.Error("different seq produced identical names")
+	}
+	other, _ := NewSharedSecret([]byte("other"))
+	if ssA.UnpredictableName(base, 5).Equal(other.UnpredictableName(base, 5)) {
+		t.Error("different secrets produced identical names")
+	}
+}
+
+func TestUnpredictableNameExtendsBase(t *testing.T) {
+	ss, _ := NewSharedSecret([]byte("k"))
+	base := MustParseName("/alice/skype/0")
+	n := ss.UnpredictableName(base, 0)
+	if !base.IsPrefixOf(n) || n.Len() != base.Len()+1 {
+		t.Errorf("unpredictable name %q does not extend base %q by one component", n, base)
+	}
+	if !hasUnpredictableSuffix(n) {
+		t.Error("suffix not recognized as unpredictable")
+	}
+	if hasUnpredictableSuffix(base) {
+		t.Error("base falsely recognized as unpredictable")
+	}
+}
+
+func TestNewSharedSecretRejectsEmpty(t *testing.T) {
+	if _, err := NewSharedSecret(nil); err == nil {
+		t.Error("empty shared secret accepted")
+	}
+}

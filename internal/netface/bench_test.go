@@ -1,0 +1,86 @@
+package netface
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"ndnprivacy/internal/fwd"
+	"ndnprivacy/internal/ndn"
+	"ndnprivacy/internal/rt"
+)
+
+// BenchmarkFetchOverPipe measures a full interest→data round trip over
+// an in-memory connection pair with real-time executors — the per-fetch
+// overhead of the wire codec, framing, goroutine handoff and executor
+// serialization combined.
+func BenchmarkFetchOverPipe(b *testing.B) {
+	consumerFwd, consumerExec := benchForwarder(b, "consumer")
+	producerFwd, _ := benchForwarder(b, "producer")
+	defer consumerExec.Close()
+
+	left, right := net.Pipe()
+	consumerFace, err := Attach(consumerFwd, left, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer consumerFace.Close()
+	producerFace, err := Attach(producerFwd, right, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer producerFace.Close()
+
+	prefix := ndn.MustParseName("/p")
+	if err := RunOn(consumerFwd, func() error {
+		return consumerFwd.RegisterPrefix(prefix, consumerFace.ID())
+	}); err != nil {
+		b.Fatal(err)
+	}
+	var consumer *fwd.Consumer
+	if err := RunOn(consumerFwd, func() error {
+		var err error
+		consumer, err = fwd.NewConsumer(consumerFwd)
+		return err
+	}); err != nil {
+		b.Fatal(err)
+	}
+	if err := RunOn(producerFwd, func() error {
+		producer, err := fwd.NewProducer(producerFwd, prefix, nil)
+		if err != nil {
+			return err
+		}
+		d, err := ndn.NewData(ndn.MustParseName("/p/bench"), make([]byte, 1024))
+		if err != nil {
+			return err
+		}
+		return producer.Publish(d)
+	}); err != nil {
+		b.Fatal(err)
+	}
+
+	resCh := make(chan fwd.FetchResult, 1)
+	b.SetBytes(1024)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		interest := ndn.NewInterest(ndn.MustParseName("/p/bench"), 0)
+		interest.Lifetime = 5 * time.Second
+		consumer.Fetch(interest, func(r fwd.FetchResult) { resCh <- r })
+		res := <-resCh
+		if res.TimedOut {
+			b.Fatal("fetch timed out")
+		}
+	}
+}
+
+func benchForwarder(b *testing.B, name string) (*fwd.Forwarder, *rt.Executor) {
+	b.Helper()
+	exec := rt.New(int64(len(name)))
+	f, err := fwd.New(fwd.Config{Name: name, Sim: exec})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(exec.Close)
+	return f, exec
+}

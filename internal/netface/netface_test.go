@@ -1,0 +1,312 @@
+package netface
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"ndnprivacy/internal/cache"
+	"ndnprivacy/internal/fwd"
+	"ndnprivacy/internal/ndn"
+	"ndnprivacy/internal/rt"
+)
+
+// newRTForwarder builds a forwarder on a fresh real-time executor.
+func newRTForwarder(t *testing.T, name string, withStore bool) (*fwd.Forwarder, *rt.Executor) {
+	t.Helper()
+	exec := rt.New(int64(len(name)) + 42)
+	t.Cleanup(exec.Close)
+	cfg := fwd.Config{Name: name, Sim: exec}
+	if withStore {
+		cfg.Store = cache.MustNewStore(1024, cache.NewLRU())
+	}
+	f, err := fwd.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f, exec
+}
+
+// fetchOverRT performs a synchronous fetch with a real-time deadline.
+func fetchOverRT(t *testing.T, consumer *fwd.Consumer, name ndn.Name, lifetime time.Duration) fwd.FetchResult {
+	t.Helper()
+	interest := ndn.NewInterest(name, 0)
+	interest.Lifetime = lifetime
+	resCh := make(chan fwd.FetchResult, 1)
+	consumer.Fetch(interest, func(r fwd.FetchResult) { resCh <- r })
+	select {
+	case res := <-resCh:
+		return res
+	case <-time.After(lifetime + 2*time.Second):
+		t.Fatal("fetch never resolved")
+		return fwd.FetchResult{}
+	}
+}
+
+func TestAttachValidation(t *testing.T) {
+	f, _ := newRTForwarder(t, "x", false)
+	if _, err := Attach(nil, nil, nil); err == nil {
+		t.Error("nil forwarder accepted")
+	}
+	if _, err := Attach(f, nil, nil); err == nil {
+		t.Error("nil conn accepted")
+	}
+}
+
+func TestFetchOverPipe(t *testing.T) {
+	// consumer host ←pipe→ producer host, both on real-time executors.
+	consumerFwd, _ := newRTForwarder(t, "consumer", false)
+	producerFwd, _ := newRTForwarder(t, "producer", false)
+
+	left, right := net.Pipe()
+	consumerFace, err := Attach(consumerFwd, left, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer consumerFace.Close()
+	producerFace, err := Attach(producerFwd, right, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer producerFace.Close()
+
+	prefix := ndn.MustParseName("/p")
+	if err := RunOn(consumerFwd, func() error {
+		return consumerFwd.RegisterPrefix(prefix, consumerFace.ID())
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var producer *fwd.Producer
+	if err := RunOn(producerFwd, func() error {
+		var err error
+		producer, err = fwd.NewProducer(producerFwd, prefix, nil)
+		if err != nil {
+			return err
+		}
+		d, err := ndn.NewData(ndn.MustParseName("/p/hello"), []byte("over the wire"))
+		if err != nil {
+			return err
+		}
+		return producer.Publish(d)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var consumer *fwd.Consumer
+	if err := RunOn(consumerFwd, func() error {
+		var err error
+		consumer, err = fwd.NewConsumer(consumerFwd)
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	res := fetchOverRT(t, consumer, ndn.MustParseName("/p/hello"), 2*time.Second)
+	if res.TimedOut {
+		t.Fatal("fetch over pipe timed out")
+	}
+	if string(res.Data.Payload) != "over the wire" {
+		t.Errorf("payload = %q", res.Data.Payload)
+	}
+	if res.RTT <= 0 {
+		t.Errorf("RTT = %v", res.RTT)
+	}
+}
+
+func TestTCPRouterTopology(t *testing.T) {
+	// consumer ─TCP─ router(with cache) ─TCP─ producer: a real three-
+	// process-shaped NDN deployment in one test, exercising listener,
+	// dialer, caching and the full pipeline over loopback.
+	routerFwd, _ := newRTForwarder(t, "router", true)
+	consumerFwd, _ := newRTForwarder(t, "consumer", false)
+	producerFwd, _ := newRTForwarder(t, "producer", false)
+
+	prefix := ndn.MustParseName("/cnn")
+
+	// The router listens; when the producer dials in, the router routes
+	// the prefix toward that face.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	accepted := make(chan *Face, 2)
+	listener, err := Listen(routerFwd, ln, func(face *Face) {
+		accepted <- face
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer listener.Close()
+
+	// Producer dials the router and registers nothing (it only answers).
+	producerSide, err := Dial(producerFwd, "tcp", listener.Addr().String(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer producerSide.Close()
+	producerRouterFace := <-accepted
+	if err := RunOn(routerFwd, func() error {
+		return routerFwd.RegisterPrefix(prefix, producerRouterFace.ID())
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	var producer *fwd.Producer
+	if err := RunOn(producerFwd, func() error {
+		var err error
+		producer, err = fwd.NewProducer(producerFwd, prefix, nil)
+		if err != nil {
+			return err
+		}
+		d, err := ndn.NewData(ndn.MustParseName("/cnn/news"), []byte("tcp payload"))
+		if err != nil {
+			return err
+		}
+		return producer.Publish(d)
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Consumer dials the router.
+	consumerSide, err := Dial(consumerFwd, "tcp", listener.Addr().String(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer consumerSide.Close()
+	<-accepted // the router's face toward the consumer
+	var consumer *fwd.Consumer
+	if err := RunOn(consumerFwd, func() error {
+		if err := consumerFwd.RegisterPrefix(prefix, consumerSide.ID()); err != nil {
+			return err
+		}
+		var err error
+		consumer, err = fwd.NewConsumer(consumerFwd)
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	first := fetchOverRT(t, consumer, ndn.MustParseName("/cnn/news"), 2*time.Second)
+	if first.TimedOut {
+		t.Fatal("first fetch timed out")
+	}
+	second := fetchOverRT(t, consumer, ndn.MustParseName("/cnn/news"), 2*time.Second)
+	if second.TimedOut {
+		t.Fatal("second fetch timed out")
+	}
+	if string(second.Data.Payload) != "tcp payload" {
+		t.Errorf("payload = %q", second.Data.Payload)
+	}
+	// The second fetch must be served by the router's cache.
+	waitForStat(t, routerFwd, func(s fwd.Stats) bool { return s.CacheHits >= 1 })
+	var served uint64
+	if err := RunOn(producerFwd, func() error {
+		served = producer.Served()
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if served != 1 {
+		t.Errorf("producer served %d interests, want 1 (cache absorbed the second)", served)
+	}
+}
+
+// waitForStat polls a forwarder stat through its executor.
+func waitForStat(t *testing.T, f *fwd.Forwarder, ok func(fwd.Stats) bool) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		var s fwd.Stats
+		done := make(chan struct{})
+		f.Sim().Schedule(0, func() { s = f.Stats(); close(done) })
+		<-done
+		if ok(s) {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatal("stat condition never met")
+}
+
+func TestFaceCloseDetaches(t *testing.T) {
+	aFwd, _ := newRTForwarder(t, "a", false)
+	bFwd, _ := newRTForwarder(t, "b", false)
+	left, right := net.Pipe()
+	var closeErr error
+	closed := make(chan struct{})
+	aFace, err := Attach(aFwd, left, func(err error) {
+		closeErr = err
+		close(closed)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bFace, err := Attach(bFwd, right, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bFace.Close()
+
+	if err := aFace.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-closed:
+	case <-time.After(2 * time.Second):
+		t.Fatal("onClose never ran")
+	}
+	if closeErr != nil {
+		t.Errorf("local close reported error: %v", closeErr)
+	}
+	select {
+	case <-aFace.Done():
+	case <-time.After(time.Second):
+		t.Fatal("Done not closed")
+	}
+	if err := aFace.Close(); err != nil {
+		t.Errorf("second Close: %v", err)
+	}
+}
+
+func TestRemoteCloseReported(t *testing.T) {
+	aFwd, _ := newRTForwarder(t, "a", false)
+	bFwd, _ := newRTForwarder(t, "b", false)
+	left, right := net.Pipe()
+	closed := make(chan error, 1)
+	if _, err := Attach(aFwd, left, func(err error) { closed <- err }); err != nil {
+		t.Fatal(err)
+	}
+	bFace, err := Attach(bFwd, right, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = bFace.Close() // remote side goes away
+	select {
+	case err := <-closed:
+		if err == nil {
+			t.Log("remote close surfaced as clean EOF") // net.Pipe yields io.EOF→nil-able; accept either
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("remote close never noticed")
+	}
+}
+
+func TestGarbageOnWireClosesFace(t *testing.T) {
+	f, _ := newRTForwarder(t, "victim", false)
+	left, right := net.Pipe()
+	closed := make(chan error, 1)
+	if _, err := Attach(f, left, func(err error) { closed <- err }); err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		// A complete TLV with an unknown outer type (0x42, length 3).
+		_, _ = right.Write([]byte{0x42, 0x03, 'z', 'z', 'z'})
+	}()
+	select {
+	case err := <-closed:
+		if err == nil {
+			t.Error("garbage close reported no cause")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("garbage never killed the face")
+	}
+}

@@ -1,0 +1,55 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+)
+
+func BenchmarkScheduleRun(b *testing.B) {
+	s := New(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		s.Schedule(time.Duration(n%1000)*time.Microsecond, func() {})
+		if n%1024 == 1023 {
+			s.Run()
+		}
+	}
+	s.Run()
+}
+
+func BenchmarkLinkThroughput(b *testing.B) {
+	s := New(1)
+	link, err := NewLink(s, LinkConfig{
+		Latency:   UniformJitter{Base: time.Millisecond, Jitter: 100 * time.Microsecond},
+		Bandwidth: 125_000_000,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	delivered := 0
+	link.Port(1).SetHandler(func(any) { delivered++ })
+	b.ReportAllocs()
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		link.Port(0).Send(n, 1200)
+		if n%1024 == 1023 {
+			s.Run()
+		}
+	}
+	s.Run()
+	if delivered != b.N {
+		b.Fatalf("delivered %d of %d", delivered, b.N)
+	}
+}
+
+func BenchmarkLogNormalSample(b *testing.B) {
+	m := LogNormalJitter{Base: 2 * time.Millisecond, MedianJitter: time.Millisecond, Sigma: 0.5}
+	s := New(1)
+	rng := s.Rand()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		m.Sample(rng)
+	}
+}

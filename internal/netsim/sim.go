@@ -1,0 +1,127 @@
+// Package netsim is a deterministic discrete-event network simulator: a
+// virtual clock, an event heap, seeded randomness, and point-to-point
+// links with configurable propagation latency, jitter, bandwidth and
+// loss. The NDN forwarding stack runs unmodified on top of it, which is
+// what lets the repository reproduce the paper's timing experiments
+// (Figure 3) without physical LAN/WAN testbeds: the attacks depend only
+// on relative delays and jitter, which the simulator models explicitly.
+package netsim
+
+import (
+	"container/heap"
+	"math/rand"
+	"time"
+)
+
+// Simulator owns the virtual clock and the pending event queue. It is
+// strictly single-threaded: all node logic runs inside event callbacks.
+type Simulator struct {
+	now    time.Duration
+	events eventHeap
+	rng    *rand.Rand
+	seq    uint64
+	steps  uint64
+}
+
+// New creates a simulator whose randomness derives from seed, so that
+// every run with the same seed is bit-for-bit reproducible.
+func New(seed int64) *Simulator {
+	return &Simulator{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current virtual time.
+func (s *Simulator) Now() time.Duration { return s.now }
+
+// Rand returns the simulator's deterministic RNG. Callbacks must use this
+// single source to keep runs reproducible.
+func (s *Simulator) Rand() *rand.Rand { return s.rng }
+
+// Steps returns the number of executed events.
+func (s *Simulator) Steps() uint64 { return s.steps }
+
+// Pending returns the number of queued events.
+func (s *Simulator) Pending() int { return len(s.events) }
+
+// Schedule queues fn to run after delay. Negative delays are clamped to
+// zero (run "now", after currently executing events at this timestamp).
+func (s *Simulator) Schedule(delay time.Duration, fn func()) {
+	if delay < 0 {
+		delay = 0
+	}
+	s.seq++
+	heap.Push(&s.events, &event{at: s.now + delay, seq: s.seq, fn: fn})
+}
+
+// Run executes events until the queue drains.
+func (s *Simulator) Run() {
+	for len(s.events) > 0 {
+		s.step()
+	}
+}
+
+// RunFor executes events until the virtual clock would pass deadline
+// (absolute) or the queue drains, then sets the clock to the deadline.
+func (s *Simulator) RunFor(deadline time.Duration) {
+	for len(s.events) > 0 && s.events[0].at <= deadline {
+		s.step()
+	}
+	if s.now < deadline {
+		s.now = deadline
+	}
+}
+
+// RunSteps executes at most n events; it returns how many actually ran.
+func (s *Simulator) RunSteps(n uint64) uint64 {
+	var ran uint64
+	for ran < n && len(s.events) > 0 {
+		s.step()
+		ran++
+	}
+	return ran
+}
+
+func (s *Simulator) step() {
+	evPtr, ok := heap.Pop(&s.events).(*event)
+	if !ok {
+		return
+	}
+	s.now = evPtr.at
+	s.steps++
+	evPtr.fn()
+}
+
+type event struct {
+	at  time.Duration
+	seq uint64 // FIFO tiebreak for equal timestamps
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *eventHeap) Push(x any) {
+	ev, ok := x.(*event)
+	if !ok {
+		return
+	}
+	*h = append(*h, ev)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}

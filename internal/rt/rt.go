@@ -1,0 +1,153 @@
+// Package rt provides a wall-clock implementation of the forwarder's
+// Executor contract, so the exact same NDN forwarding and cache-privacy
+// code that runs under the discrete-event simulator also runs over real
+// network connections (see internal/netface).
+//
+// The executor serializes every scheduled callback under one run mutex,
+// preserving the single-threaded execution model forwarder state relies
+// on, while remaining safe to call from any goroutine — socket reader
+// goroutines, timers, and application code alike. Callbacks may freely
+// call Schedule (bookkeeping uses a separate lock, so re-entrant
+// scheduling cannot deadlock).
+package rt
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Executor runs callbacks on the wall clock. Create with New; the zero
+// value is not usable.
+type Executor struct {
+	epoch time.Time
+	rng   *rand.Rand
+
+	// runMu serializes callback execution; it is never held while
+	// touching the bookkeeping below, so callbacks can re-enter
+	// Schedule.
+	runMu sync.Mutex
+
+	// stateMu guards closed/pending and the idle condition.
+	stateMu sync.Mutex
+	closed  bool
+	pending map[*time.Timer]struct{}
+	idle    *sync.Cond
+}
+
+// New creates an executor whose Now starts at zero and whose randomness
+// derives from seed.
+func New(seed int64) *Executor {
+	src, _ := rand.NewSource(seed).(rand.Source64) // math/rand sources implement Source64
+	e := &Executor{
+		epoch:   time.Now(),
+		rng:     rand.New(&lockedSource{src: src}),
+		pending: make(map[*time.Timer]struct{}),
+	}
+	e.idle = sync.NewCond(&e.stateMu)
+	return e
+}
+
+// Now implements fwd.Executor: the wall-clock offset since creation.
+func (e *Executor) Now() time.Duration { return time.Since(e.epoch) }
+
+// Rand implements fwd.Executor. The returned source is safe for
+// concurrent use.
+func (e *Executor) Rand() *rand.Rand { return e.rng }
+
+// Schedule implements fwd.Executor: fn runs after delay, serialized with
+// every other callback. Callbacks scheduled after Close are dropped.
+// Safe to call from within callbacks.
+func (e *Executor) Schedule(delay time.Duration, fn func()) {
+	e.stateMu.Lock()
+	if e.closed {
+		e.stateMu.Unlock()
+		return
+	}
+	var timer *time.Timer
+	timer = time.AfterFunc(delay, func() {
+		e.runMu.Lock()
+		if !e.isClosed() {
+			fn()
+		}
+		e.runMu.Unlock()
+
+		e.stateMu.Lock()
+		delete(e.pending, timer)
+		if len(e.pending) == 0 {
+			e.idle.Broadcast()
+		}
+		e.stateMu.Unlock()
+	})
+	e.pending[timer] = struct{}{}
+	e.stateMu.Unlock()
+}
+
+// Run executes fn immediately, serialized with scheduled callbacks. Use
+// it to touch forwarder state from application goroutines. Do not call
+// it from within a callback (callbacks are already serialized).
+func (e *Executor) Run(fn func()) {
+	e.runMu.Lock()
+	defer e.runMu.Unlock()
+	if e.isClosed() {
+		return
+	}
+	fn()
+}
+
+func (e *Executor) isClosed() bool {
+	e.stateMu.Lock()
+	defer e.stateMu.Unlock()
+	return e.closed
+}
+
+// WaitIdle blocks until no callbacks are pending (or the executor is
+// closed). Tests use it to quiesce.
+func (e *Executor) WaitIdle() {
+	e.stateMu.Lock()
+	defer e.stateMu.Unlock()
+	for len(e.pending) > 0 && !e.closed {
+		e.idle.Wait()
+	}
+}
+
+// Close stops all pending timers and drops future Schedule calls. It is
+// idempotent and safe to call even while callbacks are executing (they
+// complete first; Close does not wait for them).
+func (e *Executor) Close() {
+	e.stateMu.Lock()
+	defer e.stateMu.Unlock()
+	if e.closed {
+		return
+	}
+	e.closed = true
+	for timer := range e.pending {
+		timer.Stop()
+		delete(e.pending, timer)
+	}
+	e.idle.Broadcast()
+}
+
+// lockedSource makes a rand.Source64 safe for concurrent use.
+type lockedSource struct {
+	mu  sync.Mutex
+	src rand.Source64
+}
+
+func (s *lockedSource) Int63() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.src.Int63()
+}
+
+func (s *lockedSource) Uint64() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.src.Uint64()
+}
+
+func (s *lockedSource) Seed(seed int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.src.Seed(seed)
+}

@@ -1,0 +1,138 @@
+package rt
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestScheduleRunsCallback(t *testing.T) {
+	e := New(1)
+	defer e.Close()
+	done := make(chan struct{})
+	e.Schedule(time.Millisecond, func() { close(done) })
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("callback never ran")
+	}
+}
+
+func TestNowAdvances(t *testing.T) {
+	e := New(1)
+	defer e.Close()
+	before := e.Now()
+	time.Sleep(10 * time.Millisecond)
+	if after := e.Now(); after <= before {
+		t.Errorf("Now did not advance: %v → %v", before, after)
+	}
+}
+
+func TestCallbacksAreSerialized(t *testing.T) {
+	e := New(1)
+	defer e.Close()
+	var inCallback int32
+	var violations int32
+	var wg sync.WaitGroup
+	for i := 0; i < 200; i++ {
+		wg.Add(1)
+		e.Schedule(time.Duration(i%5)*time.Millisecond, func() {
+			defer wg.Done()
+			if atomic.AddInt32(&inCallback, 1) != 1 {
+				atomic.AddInt32(&violations, 1)
+			}
+			time.Sleep(50 * time.Microsecond)
+			atomic.AddInt32(&inCallback, -1)
+		})
+	}
+	wg.Wait()
+	if violations != 0 {
+		t.Errorf("%d concurrent callback executions", violations)
+	}
+}
+
+func TestRunSerializedWithCallbacks(t *testing.T) {
+	e := New(1)
+	defer e.Close()
+	counter := 0
+	var wg sync.WaitGroup
+	for i := 0; i < 100; i++ {
+		wg.Add(2)
+		e.Schedule(0, func() { counter++; wg.Done() })
+		go func() {
+			e.Run(func() { counter++ })
+			wg.Done()
+		}()
+	}
+	wg.Wait()
+	e.WaitIdle()
+	e.Run(func() {
+		if counter != 200 {
+			t.Errorf("counter = %d, want 200 (lost updates imply a race)", counter)
+		}
+	})
+}
+
+func TestWaitIdle(t *testing.T) {
+	e := New(1)
+	defer e.Close()
+	ran := false
+	e.Schedule(20*time.Millisecond, func() { ran = true })
+	e.WaitIdle()
+	e.Run(func() {
+		if !ran {
+			t.Error("WaitIdle returned before the callback ran")
+		}
+	})
+}
+
+func TestCloseDropsPending(t *testing.T) {
+	e := New(1)
+	var ran int32
+	e.Schedule(50*time.Millisecond, func() { atomic.AddInt32(&ran, 1) })
+	e.Close()
+	time.Sleep(80 * time.Millisecond)
+	if atomic.LoadInt32(&ran) != 0 {
+		t.Error("callback ran after Close")
+	}
+	// Scheduling after Close is a silent no-op.
+	e.Schedule(0, func() { atomic.AddInt32(&ran, 1) })
+	e.Run(func() { atomic.AddInt32(&ran, 1) })
+	time.Sleep(20 * time.Millisecond)
+	if atomic.LoadInt32(&ran) != 0 {
+		t.Error("work executed on a closed executor")
+	}
+	e.Close() // idempotent
+}
+
+func TestRandConcurrentSafety(t *testing.T) {
+	e := New(7)
+	defer e.Close()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				e.Rand().Uint64()
+				e.Rand().Int63()
+			}
+		}()
+	}
+	wg.Wait() // the race detector validates this test
+}
+
+func TestLockedSourceSeed(t *testing.T) {
+	src, ok := rand.NewSource(1).(rand.Source64)
+	if !ok {
+		t.Fatal("rand.NewSource does not implement Source64")
+	}
+	s := &lockedSource{src: src}
+	a := s.Uint64()
+	s.Seed(1)
+	if b := s.Uint64(); a != b {
+		t.Errorf("re-seeded source diverged: %d vs %d", a, b)
+	}
+}

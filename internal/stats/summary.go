@@ -1,0 +1,109 @@
+package stats
+
+import (
+	"math"
+	"time"
+)
+
+// Summary accumulates streaming first- and second-moment statistics using
+// Welford's algorithm, which is numerically stable for long runs.
+type Summary struct {
+	n    uint64
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add records one observation.
+func (s *Summary) Add(x float64) {
+	s.n++
+	if s.n == 1 {
+		s.min, s.max = x, x
+	} else {
+		if x < s.min {
+			s.min = x
+		}
+		if x > s.max {
+			s.max = x
+		}
+	}
+	delta := x - s.mean
+	s.mean += delta / float64(s.n)
+	s.m2 += delta * (x - s.mean)
+}
+
+// AddDuration records a time.Duration observation in milliseconds.
+func (s *Summary) AddDuration(d time.Duration) {
+	s.Add(float64(d) / float64(time.Millisecond))
+}
+
+// N returns the number of observations.
+func (s *Summary) N() uint64 { return s.n }
+
+// Mean returns the sample mean, or 0 with no observations.
+func (s *Summary) Mean() float64 { return s.mean }
+
+// Variance returns the unbiased sample variance.
+func (s *Summary) Variance() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	return s.m2 / float64(s.n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func (s *Summary) StdDev() float64 { return math.Sqrt(s.Variance()) }
+
+// Min returns the smallest observation, or 0 with no observations.
+func (s *Summary) Min() float64 { return s.min }
+
+// Max returns the largest observation, or 0 with no observations.
+func (s *Summary) Max() float64 { return s.max }
+
+// Merge folds another summary into s, as if every observation of other had
+// been Added to s. Min/Max are combined exactly; mean and variance use the
+// parallel-variance formula.
+func (s *Summary) Merge(other *Summary) {
+	if other.n == 0 {
+		return
+	}
+	if s.n == 0 {
+		*s = *other
+		return
+	}
+	if other.min < s.min {
+		s.min = other.min
+	}
+	if other.max > s.max {
+		s.max = other.max
+	}
+	n := float64(s.n + other.n)
+	delta := other.mean - s.mean
+	s.m2 += other.m2 + delta*delta*float64(s.n)*float64(other.n)/n
+	s.mean += delta * float64(other.n) / n
+	s.n += other.n
+}
+
+// Ratio is a hit/total counter pair used for cache-hit-rate accounting.
+type Ratio struct {
+	Hits  uint64
+	Total uint64
+}
+
+// RecordHit increments both counters.
+func (r *Ratio) RecordHit() { r.Hits++; r.Total++ }
+
+// RecordMiss increments only the total.
+func (r *Ratio) RecordMiss() { r.Total++ }
+
+// Value returns Hits/Total as a fraction in [0, 1], or 0 when empty.
+func (r *Ratio) Value() float64 {
+	if r.Total == 0 {
+		return 0
+	}
+	return float64(r.Hits) / float64(r.Total)
+}
+
+// Percent returns the hit rate as a percentage.
+func (r *Ratio) Percent() float64 { return r.Value() * 100 }

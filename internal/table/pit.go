@@ -1,0 +1,216 @@
+package table
+
+import (
+	"time"
+
+	"ndnprivacy/internal/ndn"
+)
+
+// InsertOutcome describes what happened when an interest reached the PIT.
+type InsertOutcome int
+
+// PIT insertion outcomes.
+const (
+	// InsertedNew means no pending entry existed: the interest must be
+	// forwarded upstream.
+	InsertedNew InsertOutcome = iota + 1
+	// Aggregated means a pending entry for the same name existed; only
+	// the arrival face was recorded ("collapsing", Section II).
+	Aggregated
+	// DuplicateNonce means this exact interest (name+nonce) was already
+	// seen — a loop or a retransmission duplicate — and must be dropped.
+	DuplicateNonce
+	// RejectedFull means the table is at capacity and cannot admit a
+	// new pending name; the interest must be dropped.
+	RejectedFull
+)
+
+// String implements fmt.Stringer.
+func (o InsertOutcome) String() string {
+	switch o {
+	case InsertedNew:
+		return "new"
+	case Aggregated:
+		return "aggregated"
+	case DuplicateNonce:
+		return "duplicate-nonce"
+	case RejectedFull:
+		return "rejected-full"
+	default:
+		return "unknown"
+	}
+}
+
+// pitEntry tracks one pending name.
+type pitEntry struct {
+	name    ndn.Name
+	faces   map[FaceID]struct{}
+	nonces  map[uint64]struct{}
+	expires time.Duration // virtual time
+	// created is when the entry was first inserted; the forwarder uses
+	// it to measure the interest-in→content-out delay γ_C.
+	created time.Duration
+	// privacy records whether the entry-creating interest carried the
+	// consumer privacy bit (Section V consumer-driven marking).
+	privacy bool
+}
+
+// PIT is the Pending Interest Table. Time is supplied by the caller as a
+// virtual-clock offset so the table works under the discrete-event
+// simulator. PIT is not safe for concurrent use.
+type PIT struct {
+	entries  map[string]*pitEntry
+	capacity int
+	rejected uint64
+}
+
+// NewPIT returns an empty, unbounded PIT.
+func NewPIT() *PIT {
+	return &PIT{entries: make(map[string]*pitEntry)}
+}
+
+// SetCapacity bounds the number of distinct pending names; 0 restores
+// unbounded. PIT state is attacker-fillable (one entry per distinct
+// uncached name), so production routers bound it — interest flooding
+// then degrades service for new names instead of exhausting memory.
+func (p *PIT) SetCapacity(n int) {
+	if n < 0 {
+		n = 0
+	}
+	p.capacity = n
+}
+
+// Rejected returns how many interests were refused because the table was
+// full.
+func (p *PIT) Rejected() uint64 { return p.rejected }
+
+// Len returns the number of distinct pending names.
+func (p *PIT) Len() int { return len(p.entries) }
+
+// Insert records that interest arrived on face at virtual time now.
+func (p *PIT) Insert(interest *ndn.Interest, face FaceID, now time.Duration) InsertOutcome {
+	key := interest.Name.Key()
+	lifetime := interest.Lifetime
+	if lifetime <= 0 {
+		lifetime = ndn.DefaultInterestLifetime
+	}
+	entry, found := p.entries[key]
+	if found && now >= entry.expires {
+		// Stale entry: treat as absent.
+		delete(p.entries, key)
+		found = false
+	}
+	if !found {
+		if p.capacity > 0 && len(p.entries) >= p.capacity {
+			// Reclaim expired entries before refusing admission.
+			p.Expire(now)
+			if len(p.entries) >= p.capacity {
+				p.rejected++
+				return RejectedFull
+			}
+		}
+		p.entries[key] = &pitEntry{
+			name:    interest.Name,
+			faces:   map[FaceID]struct{}{face: {}},
+			nonces:  map[uint64]struct{}{interest.Nonce: {}},
+			expires: now + lifetime,
+			created: now,
+			privacy: interest.Privacy == ndn.PrivacyRequested,
+		}
+		return InsertedNew
+	}
+	if _, dup := entry.nonces[interest.Nonce]; dup {
+		return DuplicateNonce
+	}
+	entry.nonces[interest.Nonce] = struct{}{}
+	entry.faces[face] = struct{}{}
+	if exp := now + lifetime; exp > entry.expires {
+		entry.expires = exp
+	}
+	return Aggregated
+}
+
+// SatisfyResult describes the pending entries one Data packet consumed.
+type SatisfyResult struct {
+	// Faces is the union of downstream faces awaiting the content.
+	Faces []FaceID
+	// FirstCreated is the earliest creation time among consumed
+	// entries; now − FirstCreated is the router's observed fetch delay.
+	FirstCreated time.Duration
+	// PrivacyRequested is true when the earliest-created consumed entry
+	// was created by a privacy-bit interest.
+	PrivacyRequested bool
+}
+
+// Satisfy consumes every pending entry that the given content satisfies
+// and returns the union of their downstream faces. Matching follows the
+// NDN rule: a pending interest for X is satisfied by content named X' iff
+// X is a prefix of X' (honoring the unpredictable-suffix restriction via
+// ndn.Data.Matches). Expired entries never match.
+func (p *PIT) Satisfy(data *ndn.Data, now time.Duration) []FaceID {
+	res, matched := p.SatisfyWithInfo(data, now)
+	if !matched {
+		return nil
+	}
+	return res.Faces
+}
+
+// SatisfyWithInfo is Satisfy plus the timing/privacy metadata the
+// forwarder needs for caching decisions.
+func (p *PIT) SatisfyWithInfo(data *ndn.Data, now time.Duration) (SatisfyResult, bool) {
+	faceSet := make(map[FaceID]struct{})
+	var res SatisfyResult
+	matched := false
+	// Candidate entries are exactly the prefixes of the data name.
+	for k := 0; k <= data.Name.Len(); k++ {
+		prefix := data.Name.Prefix(k)
+		entry, found := p.entries[prefix.Key()]
+		if !found {
+			continue
+		}
+		if now >= entry.expires {
+			delete(p.entries, prefix.Key())
+			continue
+		}
+		probe := &ndn.Interest{Name: entry.name}
+		if !data.Matches(probe) {
+			continue
+		}
+		if !matched || entry.created < res.FirstCreated {
+			res.FirstCreated = entry.created
+			res.PrivacyRequested = entry.privacy
+		}
+		matched = true
+		for f := range entry.faces {
+			faceSet[f] = struct{}{}
+		}
+		delete(p.entries, prefix.Key())
+	}
+	if !matched {
+		return SatisfyResult{}, false
+	}
+	res.Faces = make([]FaceID, 0, len(faceSet))
+	for f := range faceSet {
+		res.Faces = append(res.Faces, f)
+	}
+	return res, true
+}
+
+// HasPending reports whether an unexpired entry exists for exactly name.
+func (p *PIT) HasPending(name ndn.Name, now time.Duration) bool {
+	entry, found := p.entries[name.Key()]
+	return found && now < entry.expires
+}
+
+// Expire removes every entry whose lifetime has passed and returns the
+// number removed.
+func (p *PIT) Expire(now time.Duration) int {
+	removed := 0
+	for key, entry := range p.entries {
+		if now >= entry.expires {
+			delete(p.entries, key)
+			removed++
+		}
+	}
+	return removed
+}

@@ -1,0 +1,65 @@
+package trace
+
+import (
+	"testing"
+
+	"ndnprivacy/internal/core"
+)
+
+func BenchmarkGeneratorNext(b *testing.B) {
+	// Inexhaustible request budget over a bounded object population
+	// (the default config would scale objects with requests and blow
+	// up the Zipf table).
+	cfg := DefaultGeneratorConfig(1, 1<<30)
+	cfg.Objects = 1 << 20
+	gen, err := NewGenerator(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		if _, more := gen.Next(); !more {
+			b.Fatal("generator exhausted")
+		}
+	}
+}
+
+func BenchmarkZipfSample(b *testing.B) {
+	z, err := NewZipf(1<<20, 0.8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	gen, err := NewGenerator(DefaultGeneratorConfig(1, 10))
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := gen.rng
+	b.ReportAllocs()
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		z.Sample(rng)
+	}
+}
+
+// BenchmarkReplayThroughput measures trace-replay speed in requests/sec
+// (reported as ns/op per request).
+func BenchmarkReplayThroughput(b *testing.B) {
+	const chunk = 10000
+	gen, err := NewGenerator(DefaultGeneratorConfig(1, chunk))
+	if err != nil {
+		b.Fatal(err)
+	}
+	dm, err := core.NewDelayManager(core.NewContentSpecificDelay())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		if _, err := Replay(gen, ReplayConfig{CacheSize: 1000, Manager: dm}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(chunk), "requests/replay")
+}

@@ -1,0 +1,435 @@
+package trace
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"ndnprivacy/internal/core"
+	"ndnprivacy/internal/netsim"
+)
+
+func TestNewZipfValidation(t *testing.T) {
+	if _, err := NewZipf(0, 0.8); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, err := NewZipf(10, -1); err == nil {
+		t.Error("negative exponent accepted")
+	}
+}
+
+func TestZipfProbSumsToOne(t *testing.T) {
+	z, err := NewZipf(1000, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	for i := 0; i < z.N(); i++ {
+		sum += z.Prob(i)
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("probabilities sum to %g", sum)
+	}
+	if z.Prob(-1) != 0 || z.Prob(1000) != 0 {
+		t.Error("out-of-range Prob nonzero")
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	z, err := NewZipf(100, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rank 0 must be much more likely than rank 99.
+	if z.Prob(0) < 10*z.Prob(99) {
+		t.Errorf("insufficient skew: P(0)=%g P(99)=%g", z.Prob(0), z.Prob(99))
+	}
+	// Monotone nonincreasing.
+	for i := 1; i < 100; i++ {
+		if z.Prob(i) > z.Prob(i-1)+1e-15 {
+			t.Fatalf("Prob not monotone at %d", i)
+		}
+	}
+}
+
+func TestZipfSampleMatchesProb(t *testing.T) {
+	z, err := NewZipf(50, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	const n = 200000
+	counts := make([]int, 50)
+	for i := 0; i < n; i++ {
+		s := z.Sample(rng)
+		if s < 0 || s >= 50 {
+			t.Fatalf("sample %d out of range", s)
+		}
+		counts[s]++
+	}
+	for i := 0; i < 50; i += 7 {
+		got := float64(counts[i]) / n
+		want := z.Prob(i)
+		if math.Abs(got-want) > 0.01 {
+			t.Errorf("rank %d: empirical %g, want %g", i, got, want)
+		}
+	}
+}
+
+func TestZipfUniformDegenerate(t *testing.T) {
+	z, err := NewZipf(10, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if math.Abs(z.Prob(i)-0.1) > 1e-12 {
+			t.Errorf("s=0 Prob(%d) = %g, want 0.1", i, z.Prob(i))
+		}
+	}
+}
+
+func TestGeneratorValidation(t *testing.T) {
+	bad := []GeneratorConfig{
+		{Users: 0, Requests: 1, Objects: 1, Duration: time.Hour},
+		{Users: 1, Requests: 0, Objects: 1, Duration: time.Hour},
+		{Users: 1, Requests: 1, Objects: 0, Duration: time.Hour},
+		{Users: 1, Requests: 1, Objects: 1, Duration: 0},
+		{Users: 1, Requests: 1, Objects: 1, Duration: time.Hour, PrivateFraction: 1.5},
+	}
+	for i, cfg := range bad {
+		if _, err := NewGenerator(cfg); err == nil {
+			t.Errorf("case %d accepted: %+v", i, cfg)
+		}
+	}
+}
+
+func TestDefaultGeneratorConfig(t *testing.T) {
+	cfg := DefaultGeneratorConfig(1, 10000)
+	if cfg.Users != 185 {
+		t.Errorf("Users = %d, want 185 (IRCache trace)", cfg.Users)
+	}
+	if cfg.Objects != 25000 {
+		t.Errorf("Objects = %d, want 25000 (2.5 × requests)", cfg.Objects)
+	}
+	if cfg.Duration != 24*time.Hour {
+		t.Errorf("Duration = %v, want 24h", cfg.Duration)
+	}
+	if _, err := NewGenerator(cfg); err != nil {
+		t.Errorf("default config invalid: %v", err)
+	}
+}
+
+func TestGeneratorStreamProperties(t *testing.T) {
+	cfg := DefaultGeneratorConfig(7, 5000)
+	gen, err := NewGenerator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var count int
+	var prev time.Duration
+	users := make(map[int]bool)
+	privates := 0
+	for {
+		req, more := gen.Next()
+		if !more {
+			break
+		}
+		count++
+		if req.At < prev {
+			t.Fatal("timestamps not monotone")
+		}
+		prev = req.At
+		if req.User < 0 || req.User >= 185 {
+			t.Fatalf("user %d out of range", req.User)
+		}
+		users[req.User] = true
+		if req.Private {
+			privates++
+		}
+		if req.Name.IsEmpty() {
+			t.Fatal("empty name")
+		}
+	}
+	if count != 5000 {
+		t.Errorf("generated %d requests, want 5000", count)
+	}
+	if len(users) < 150 {
+		t.Errorf("only %d distinct users", len(users))
+	}
+	// ~10% of content is private; popular content dominates requests so
+	// the request-level fraction can drift — allow a broad band.
+	frac := float64(privates) / float64(count)
+	if frac < 0.02 || frac > 0.3 {
+		t.Errorf("private request fraction = %g, want near 0.1", frac)
+	}
+	// The trace should span roughly the configured day.
+	if prev < 12*time.Hour || prev > 48*time.Hour {
+		t.Errorf("trace span = %v, want ≈ 24h", prev)
+	}
+}
+
+func TestGeneratorResetReproduces(t *testing.T) {
+	gen, err := NewGenerator(DefaultGeneratorConfig(3, 1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var first []Request
+	for {
+		req, more := gen.Next()
+		if !more {
+			break
+		}
+		first = append(first, req)
+	}
+	gen.Reset()
+	for i := range first {
+		req, more := gen.Next()
+		if !more {
+			t.Fatalf("stream ended early at %d", i)
+		}
+		same := req.At == first[i].At && req.User == first[i].User &&
+			req.Name.Equal(first[i].Name) && req.Private == first[i].Private &&
+			req.Object == first[i].Object
+		if !same {
+			t.Fatalf("request %d differs after Reset: %+v vs %+v", i, req, first[i])
+		}
+	}
+}
+
+func TestObjectIsPrivateDeterministic(t *testing.T) {
+	gen, err := NewGenerator(DefaultGeneratorConfig(3, 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for obj := 0; obj < 100; obj++ {
+		if gen.ObjectIsPrivate(obj) != gen.ObjectIsPrivate(obj) {
+			t.Fatal("per-object privacy not deterministic")
+		}
+	}
+	cfg := DefaultGeneratorConfig(3, 100)
+	cfg.PrivateFraction = 0
+	allPublic, err := NewGenerator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.PrivateFraction = 1
+	allPrivate, err := NewGenerator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for obj := 0; obj < 50; obj++ {
+		if allPublic.ObjectIsPrivate(obj) {
+			t.Fatal("fraction 0 produced private object")
+		}
+		if !allPrivate.ObjectIsPrivate(obj) {
+			t.Fatal("fraction 1 produced public object")
+		}
+	}
+}
+
+func TestObjectName(t *testing.T) {
+	n := ObjectName(1234)
+	if n.String() != "/web/site12/obj1234" {
+		t.Errorf("ObjectName(1234) = %s", n)
+	}
+}
+
+func TestReplayValidation(t *testing.T) {
+	gen, err := NewGenerator(DefaultGeneratorConfig(1, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Replay(nil, ReplayConfig{Manager: core.NewNoPrivacy()}); err == nil {
+		t.Error("nil generator accepted")
+	}
+	if _, err := Replay(gen, ReplayConfig{}); err == nil {
+		t.Error("nil manager accepted")
+	}
+	if _, err := Replay(gen, ReplayConfig{Manager: core.NewNoPrivacy(), Policy: "bogus"}); err == nil {
+		t.Error("bogus policy accepted")
+	}
+}
+
+func TestReplayNoPrivacyUnlimited(t *testing.T) {
+	gen, err := NewGenerator(DefaultGeneratorConfig(1, 20000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := Replay(gen, ReplayConfig{CacheSize: 0, Manager: core.NewNoPrivacy()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Requests != 20000 {
+		t.Errorf("Requests = %d", stats.Requests)
+	}
+	// With unlimited cache, hits = requests − distinct objects seen.
+	if stats.Hits+stats.RealMisses != stats.Requests {
+		t.Error("hits + misses != requests under no-privacy")
+	}
+	hr := stats.HitRate()
+	if hr < 38 || hr > 58 {
+		t.Errorf("unlimited-cache hit rate = %g%%, want ≈ 45–50%% (paper's Inf column)", hr)
+	}
+	if stats.Evictions != 0 {
+		t.Errorf("Evictions = %d on unlimited cache", stats.Evictions)
+	}
+}
+
+func TestReplayHitRateGrowsWithCache(t *testing.T) {
+	gen, err := NewGenerator(DefaultGeneratorConfig(2, 20000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := -1.0
+	for _, size := range []int{200, 800, 3200, 0} {
+		stats, err := Replay(gen, ReplayConfig{CacheSize: size, Manager: core.NewNoPrivacy()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		hr := stats.HitRate()
+		if hr < prev {
+			t.Errorf("hit rate decreased at cache size %d: %g < %g", size, hr, prev)
+		}
+		prev = hr
+	}
+}
+
+func TestReplayAlwaysDelayCostsVisibleHits(t *testing.T) {
+	gen, err := NewGenerator(DefaultGeneratorConfig(3, 20000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	noPriv, err := Replay(gen, ReplayConfig{CacheSize: 2000, Manager: core.NewNoPrivacy()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dm, err := core.NewDelayManager(core.NewContentSpecificDelay())
+	if err != nil {
+		t.Fatal(err)
+	}
+	delayed, err := Replay(gen, ReplayConfig{CacheSize: 2000, Manager: dm})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if delayed.HitRate() >= noPriv.HitRate() {
+		t.Errorf("always-delay hit rate %g not below no-privacy %g", delayed.HitRate(), noPriv.HitRate())
+	}
+	if delayed.DisguisedHits == 0 {
+		t.Error("no disguised hits recorded")
+	}
+	// Bandwidth is preserved: hits+disguised ≈ no-privacy hits.
+	if math.Abs(delayed.BandwidthSavedRate()-noPriv.HitRate()) > 2 {
+		t.Errorf("bandwidth saved %g%% deviates from no-privacy hit rate %g%%",
+			delayed.BandwidthSavedRate(), noPriv.HitRate())
+	}
+}
+
+func TestReplayOrderingAcrossAlgorithms(t *testing.T) {
+	// Figure 5(a)'s ordering at a mid cache size: NoPrivacy ≥
+	// Exponential ≥ Uniform ≥ AlwaysDelay.
+	gen, err := NewGenerator(DefaultGeneratorConfig(4, 30000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const k, eps = 5, 0.005
+	run := func(m core.CacheManager) float64 {
+		t.Helper()
+		stats, err := Replay(gen, ReplayConfig{CacheSize: 3200, Manager: m})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return stats.HitRate()
+	}
+
+	noPriv := run(core.NewNoPrivacy())
+	dm, err := core.NewDelayManager(core.NewContentSpecificDelay())
+	if err != nil {
+		t.Fatal(err)
+	}
+	alwaysDelay := run(dm)
+
+	rng := netsim.New(99).Rand()
+	uniDist, err := core.NewUniformForPrivacy(k, 2*float64(k)*eps) // paper pairing: δ tied to ε budget
+	if err != nil {
+		// Fall back to the paper's explicit parameters.
+		t.Fatal(err)
+	}
+	uni, err := core.NewRandomCache(uniDist, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uniform := run(uni)
+
+	alpha, err := core.GeometricAlphaForEpsilon(k, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	expoDist, err := core.NewGeometricUnbounded(alpha)
+	if err != nil {
+		t.Fatal(err)
+	}
+	expo, err := core.NewRandomCache(expoDist, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exponential := run(expo)
+
+	if noPriv < exponential {
+		t.Errorf("ordering violated: no-privacy %g < exponential %g", noPriv, exponential)
+	}
+	if exponential < alwaysDelay-0.5 {
+		t.Errorf("ordering violated: exponential %g < always-delay %g", exponential, alwaysDelay)
+	}
+	if uniform < alwaysDelay-0.5 {
+		t.Errorf("ordering violated: uniform %g < always-delay %g", uniform, alwaysDelay)
+	}
+	if noPriv-alwaysDelay < 1 {
+		t.Errorf("always-delay cost invisible: %g vs %g", alwaysDelay, noPriv)
+	}
+}
+
+func TestReplayDeterministic(t *testing.T) {
+	gen, err := NewGenerator(DefaultGeneratorConfig(5, 5000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Replay(gen, ReplayConfig{CacheSize: 500, Manager: core.NewNoPrivacy()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Replay(gen, ReplayConfig{CacheSize: 500, Manager: core.NewNoPrivacy()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("replays differ: %+v vs %+v", a, b)
+	}
+}
+
+// Property: accounting identity — every request is exactly one of hit,
+// disguised hit, generated miss, real miss.
+func TestReplayAccountingProperty(t *testing.T) {
+	f := func(seed int64, sizeSel uint8) bool {
+		cfg := DefaultGeneratorConfig(seed, 2000)
+		gen, err := NewGenerator(cfg)
+		if err != nil {
+			return false
+		}
+		dm, err := core.NewDelayManager(core.NewContentSpecificDelay())
+		if err != nil {
+			return false
+		}
+		size := []int{0, 100, 500}[int(sizeSel)%3]
+		stats, err := Replay(gen, ReplayConfig{CacheSize: size, Manager: dm})
+		if err != nil {
+			return false
+		}
+		total := stats.Hits + stats.DisguisedHits + stats.GeneratedMisses + stats.RealMisses
+		return total == stats.Requests
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}

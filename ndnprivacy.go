@@ -1,0 +1,389 @@
+// Package ndnprivacy is a Go implementation of the system described in
+// "Cache Privacy in Named-Data Networking" (ICDCS 2013): an NDN
+// forwarding stack on a deterministic network simulator, the cache
+// timing attacks the paper demonstrates, and the full family of
+// privacy-preserving cache-management countermeasures with their formal
+// (k, ε, δ)-privacy analysis.
+//
+// The package is a facade: it re-exports the library's public surface
+// from the internal implementation packages.
+//
+//   - Naming and packets: Name, Interest, Data, Signer, SharedSecret
+//     (unpredictable names for interactive traffic, Section V-A).
+//   - Content Store: Store with LRU/FIFO/LFU eviction.
+//   - Cache management (the paper's contribution): NoPrivacy,
+//     DelayManager with Constant/ContentSpecific/Dynamic delay,
+//     RandomCache with Uniform/Geometric/Naive thresholds,
+//     GroupedRandomCache for correlated content, plus the closed-form
+//     privacy and utility analysis of Section VI.
+//   - Forwarding: Forwarder (CS/PIT/FIB pipeline), Consumer, Producer,
+//     and topology helpers over the netsim discrete-event simulator.
+//   - Workloads: the IRCache-like synthetic trace generator and the
+//     replay engine behind the Figure 5 evaluation.
+//   - Attacks: timing and scope probers and the four Figure 3 scenarios.
+//
+// See README.md for a quickstart and DESIGN.md for the system inventory.
+package ndnprivacy
+
+import (
+	"ndnprivacy/internal/attack"
+	"ndnprivacy/internal/cache"
+	"ndnprivacy/internal/core"
+	"ndnprivacy/internal/fwd"
+	"ndnprivacy/internal/ndn"
+	"ndnprivacy/internal/netface"
+	"ndnprivacy/internal/netsim"
+	"ndnprivacy/internal/rt"
+	"ndnprivacy/internal/session"
+	"ndnprivacy/internal/stats"
+	"ndnprivacy/internal/table"
+	"ndnprivacy/internal/trace"
+)
+
+// Naming, packets, signing (Section II primitives).
+type (
+	// Name is a hierarchical NDN content name.
+	Name = ndn.Name
+	// Component is one opaque name component.
+	Component = ndn.Component
+	// Interest is an NDN interest packet.
+	Interest = ndn.Interest
+	// Data is an NDN content object.
+	Data = ndn.Data
+	// Privacy is the consumer/producer privacy marking on packets.
+	Privacy = ndn.Privacy
+	// Signer signs and verifies content objects.
+	Signer = ndn.Signer
+	// SharedSecret derives unpredictable per-packet names (Section V-A).
+	SharedSecret = ndn.SharedSecret
+)
+
+// Privacy marking values.
+const (
+	PrivacyUnmarked  = ndn.PrivacyUnmarked
+	PrivacyRequested = ndn.PrivacyRequested
+	PrivacyDeclined  = ndn.PrivacyDeclined
+)
+
+// Interest scope values.
+const (
+	ScopeUnlimited = ndn.ScopeUnlimited
+	ScopeLocal     = ndn.ScopeLocal
+	ScopeNextHop   = ndn.ScopeNextHop
+)
+
+// Name and packet constructors.
+var (
+	NewName         = ndn.NewName
+	ParseName       = ndn.ParseName
+	MustParseName   = ndn.MustParseName
+	NewInterest     = ndn.NewInterest
+	NewData         = ndn.NewData
+	NewSigner       = ndn.NewSigner
+	NewSharedSecret = ndn.NewSharedSecret
+	Segment         = ndn.Segment
+	SegmentName     = ndn.SegmentName
+	ParseSegment    = ndn.ParseSegment
+	Reassemble      = ndn.Reassemble
+	EncodeInterest  = ndn.EncodeInterest
+	DecodeInterest  = ndn.DecodeInterest
+	EncodeData      = ndn.EncodeData
+	DecodeData      = ndn.DecodeData
+)
+
+// Content Store.
+type (
+	// Store is an NDN Content Store with pluggable eviction.
+	Store = cache.Store
+	// CacheEntry is one cached object plus privacy metadata.
+	CacheEntry = cache.Entry
+	// EvictionPolicy decides what a full store evicts.
+	EvictionPolicy = cache.Policy
+)
+
+// Content Store constructors.
+var (
+	NewStore  = cache.NewStore
+	NewLRU    = cache.NewLRU
+	NewFIFO   = cache.NewFIFO
+	NewLFU    = cache.NewLFU
+	NewPolicy = cache.NewPolicy
+)
+
+// Cache management — the paper's contribution (Sections V and VI).
+type (
+	// CacheManager is the CM of the paper's system model.
+	CacheManager = core.CacheManager
+	// Decision is a CM's verdict for one cache hit.
+	Decision = core.Decision
+	// Action enumerates serve / delayed-serve / generated-miss.
+	Action = core.Action
+	// DelayStrategy picks artificial delays for private hits.
+	DelayStrategy = core.DelayStrategy
+	// KDistribution is the Random-Cache threshold distribution.
+	KDistribution = core.KDistribution
+	// PrivacyBound is a (k, ε, δ)-privacy guarantee.
+	PrivacyBound = core.PrivacyBound
+	// Distribution is a finite outcome distribution for
+	// indistinguishability analysis.
+	Distribution = core.Distribution
+)
+
+// Cache-hit actions.
+const (
+	ActionServe        = core.ActionServe
+	ActionDelayedServe = core.ActionDelayedServe
+	ActionMiss         = core.ActionMiss
+)
+
+// Cache-management constructors and analysis.
+var (
+	NewNoPrivacy            = core.NewNoPrivacy
+	NewDelayManager         = core.NewDelayManager
+	NewConstantDelay        = core.NewConstantDelay
+	NewContentSpecificDelay = core.NewContentSpecificDelay
+	NewDynamicDelay         = core.NewDynamicDelay
+	NewRandomCache          = core.NewRandomCache
+	NewGroupedRandomCache   = core.NewGroupedRandomCache
+	NewUniformK             = core.NewUniformK
+	NewGeometricK           = core.NewGeometricK
+	NewGeometricUnbounded   = core.NewGeometricUnbounded
+	NewNaiveK               = core.NewNaiveK
+	PrefixGroup             = core.PrefixGroup
+	ContentIDGroup          = core.ContentIDGroup
+	ExactGroup              = core.ExactGroup
+	EffectivePrivacy        = core.EffectivePrivacy
+
+	// Theorems VI.1–VI.4 and parameter solvers.
+	ExpectedMisses          = core.ExpectedMisses
+	Utility                 = core.Utility
+	UniformPrivacy          = core.UniformPrivacy
+	ExponentialPrivacy      = core.ExponentialPrivacy
+	UniformDomainForDelta   = core.UniformDomainForDelta
+	GeometricAlphaForEps    = core.GeometricAlphaForEpsilon
+	GeometricDomainForDelta = core.GeometricDomainForDelta
+	NewUniformForPrivacy    = core.NewUniformForPrivacy
+	NewGeometricForPrivacy  = core.NewGeometricForPrivacy
+	MaxEpsilonForDelta      = core.MaxEpsilonForDelta
+
+	// (ε, δ)-probabilistic indistinguishability (Definition IV.1).
+	MinDeltaForEpsilon = core.MinDeltaForEpsilon
+	MinEpsilonForDelta = core.MinEpsilonForDelta
+	Indistinguishable  = core.Indistinguishable
+	ProbeOutcomeDist   = core.ProbeOutcomeDist
+
+	// AuditCacheManager estimates any manager's (ε, δ) empirically.
+	AuditCacheManager = core.Audit
+)
+
+// Privacy auditing.
+type (
+	// AuditConfig parameterizes an empirical privacy audit.
+	AuditConfig = core.AuditConfig
+	// AuditOutcome holds the empirical state distributions.
+	AuditOutcome = core.AuditOutcome
+)
+
+// Interactive sessions (Section V-A as a protocol).
+type (
+	// SessionEndpoint is one side of an unpredictable-name session.
+	SessionEndpoint = session.Endpoint
+	// SessionConfig assembles an endpoint.
+	SessionConfig = session.Config
+	// SessionFrame reports one received frame.
+	SessionFrame = session.FrameResult
+)
+
+// Session constructors.
+var (
+	NewSessionEndpoint = session.NewEndpoint
+	NewSessionPair     = session.Pair
+)
+
+// Forwarding and topology.
+type (
+	// Forwarder is one NDN node (router or host).
+	Forwarder = fwd.Forwarder
+	// ForwarderConfig assembles a Forwarder.
+	ForwarderConfig = fwd.Config
+	// ForwarderStats counts node activity.
+	ForwarderStats = fwd.Stats
+	// Consumer fetches content and measures RTTs.
+	Consumer = fwd.Consumer
+	// Producer publishes signed content under a prefix.
+	Producer = fwd.Producer
+	// FetchResult is one fetch outcome.
+	FetchResult = fwd.FetchResult
+	// FaceID identifies a forwarder face.
+	FaceID = table.FaceID
+)
+
+// Forwarding constructors.
+var (
+	NewForwarder = fwd.New
+	NewRouter    = fwd.NewRouter
+	NewHost      = fwd.NewHost
+	NewBareHost  = fwd.NewBareHost
+	Connect      = fwd.Connect
+	Chain        = fwd.Chain
+	NewConsumer  = fwd.NewConsumer
+	NewProducer  = fwd.NewProducer
+)
+
+// Executor is the forwarder's time/scheduling contract, satisfied by
+// both the virtual-clock Simulator and the wall-clock RealTimeExecutor.
+type Executor = fwd.Executor
+
+// Real-time operation: run the same forwarder over real connections.
+type (
+	// RealTimeExecutor schedules on the wall clock.
+	RealTimeExecutor = rt.Executor
+	// NetFace is a forwarder face over a net.Conn (NDN TLV stream).
+	NetFace = netface.Face
+	// NetListener accepts connections as forwarder faces.
+	NetListener = netface.Listener
+)
+
+// Real-time constructors.
+var (
+	NewRealTimeExecutor = rt.New
+	AttachConn          = netface.Attach
+	ListenFaces         = netface.Listen
+	DialFace            = netface.Dial
+	// RunOnForwarder executes fn inside a live forwarder's executor and
+	// waits — the safe way to install routes or attach applications on
+	// a real-time forwarder.
+	RunOnForwarder = netface.RunOn
+)
+
+// TLV stream framing for custom transports.
+type (
+	// WirePacket is a decoded NDN packet (Interest xor Data).
+	WirePacket = ndn.Packet
+	// PacketReader reads TLV packets off a byte stream.
+	PacketReader = ndn.PacketReader
+	// PacketWriter writes TLV packets onto a byte stream.
+	PacketWriter = ndn.PacketWriter
+)
+
+// Stream constructors.
+var (
+	NewPacketReader = ndn.NewPacketReader
+	NewPacketWriter = ndn.NewPacketWriter
+	DecodePacket    = ndn.DecodePacket
+	EncodePacket    = ndn.EncodePacket
+)
+
+// Network simulation.
+type (
+	// Simulator is the deterministic discrete-event engine.
+	Simulator = netsim.Simulator
+	// Link is a point-to-point link with latency/loss models.
+	Link = netsim.Link
+	// LinkConfig describes a link.
+	LinkConfig = netsim.LinkConfig
+	// LatencyModel samples per-packet propagation delays.
+	LatencyModel = netsim.LatencyModel
+	// FixedLatency is a constant-delay model.
+	FixedLatency = netsim.Fixed
+	// UniformJitter adds bounded uniform jitter.
+	UniformJitter = netsim.UniformJitter
+	// LogNormalJitter adds heavy-tailed jitter.
+	LogNormalJitter = netsim.LogNormalJitter
+	// LossModel decides per-packet drops, possibly statefully.
+	LossModel = netsim.LossModel
+	// GilbertElliott is the two-state bursty loss model.
+	GilbertElliott = netsim.GilbertElliott
+)
+
+// Simulator constructors.
+var (
+	NewSimulator      = netsim.New
+	NewLink           = netsim.NewLink
+	NewGilbertElliott = netsim.NewGilbertElliott
+)
+
+// Attacks (Section III).
+type (
+	// Prober drives the adversary's probe sequences.
+	Prober = attack.Prober
+	// AttackScenarioConfig scales a Figure 3 scenario.
+	AttackScenarioConfig = attack.ScenarioConfig
+	// AttackResult holds labeled delay samples and accuracy.
+	AttackResult = attack.Result
+)
+
+// Attack constructors and scenarios.
+var (
+	NewProber                 = attack.NewProber
+	RunLANAttack              = attack.RunLAN
+	RunWANAttack              = attack.RunWAN
+	RunProducerPrivacyAttack  = attack.RunProducerPrivacy
+	RunLocalHostAttack        = attack.RunLocalHost
+	RunConversationDetection  = attack.RunConversationDetection
+	SegmentSuccessProbability = attack.SegmentSuccessProbability
+)
+
+// ConversationConfig parameterizes the two-party detection experiment.
+type ConversationConfig = attack.ConversationConfig
+
+// Workloads (Section VII).
+type (
+	// TraceGenerator produces the synthetic IRCache-like stream.
+	TraceGenerator = trace.Generator
+	// TraceGeneratorConfig shapes the workload.
+	TraceGeneratorConfig = trace.GeneratorConfig
+	// TraceRequest is one trace record.
+	TraceRequest = trace.Request
+	// ReplayConfig drives one replay.
+	ReplayConfig = trace.ReplayConfig
+	// ReplayStats aggregates a replay.
+	ReplayStats = trace.ReplayStats
+	// Zipf samples skewed popularity ranks.
+	Zipf = trace.Zipf
+)
+
+// Workload constructors.
+var (
+	NewTraceGenerator     = trace.NewGenerator
+	DefaultTraceConfig    = trace.DefaultGeneratorConfig
+	ReplayTrace           = trace.Replay
+	NewZipf               = trace.NewZipf
+	TraceObjectName       = trace.ObjectName
+	DefaultRouterProcess  = fwd.DefaultRouterProcessing
+	DefaultHostProcessing = fwd.DefaultHostProcessing
+
+	// Real proxy-log support: replay Squid/IRCache access logs (the
+	// paper's actual trace format) through the same pipeline.
+	NewSquidReader = trace.NewSquidReader
+	ReplaySquidLog = trace.ReplaySquidLog
+	WriteSquidLog  = trace.WriteSquidLog
+	URLToName      = trace.URLToName
+)
+
+// Squid log types.
+type (
+	// SquidOptions controls log-to-trace conversion.
+	SquidOptions = trace.SquidOptions
+	// SquidReader streams requests from a proxy access log.
+	SquidReader = trace.SquidReader
+)
+
+// Measurement utilities.
+type (
+	// Histogram is a fixed-bin histogram for delay PDFs.
+	Histogram = stats.Histogram
+	// Empirical is a sorted sample set.
+	Empirical = stats.Empirical
+	// Summary accumulates streaming moments.
+	Summary = stats.Summary
+)
+
+// Measurement constructors.
+var (
+	NewHistogram      = stats.NewHistogram
+	NewEmpirical      = stats.NewEmpirical
+	BayesAccuracy     = stats.BayesAccuracy
+	TotalVariation    = stats.TotalVariation
+	ThresholdAccuracy = stats.ThresholdAccuracy
+)

@@ -1,0 +1,197 @@
+package ndnprivacy_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"ndnprivacy"
+)
+
+// These tests exercise the public facade exactly the way README's
+// quickstart does — they are the contract a downstream user relies on.
+
+func TestFacadeQuickstartFlow(t *testing.T) {
+	sim := ndnprivacy.NewSimulator(42)
+
+	manager, err := ndnprivacy.NewDelayManager(ndnprivacy.NewContentSpecificDelay())
+	if err != nil {
+		t.Fatal(err)
+	}
+	router, err := ndnprivacy.NewRouter(sim, "R", 1024, manager)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aliceHost, err := ndnprivacy.NewBareHost(sim, "alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	producerHost, err := ndnprivacy.NewBareHost(sim, "producer")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	edge := ndnprivacy.LinkConfig{
+		Latency: ndnprivacy.UniformJitter{Base: time.Millisecond, Jitter: 100 * time.Microsecond},
+	}
+	far := ndnprivacy.LinkConfig{
+		Latency: ndnprivacy.LogNormalJitter{Base: 20 * time.Millisecond, MedianJitter: time.Millisecond, Sigma: 0.4},
+	}
+	aliceFace, _, _, err := ndnprivacy.Connect(sim, aliceHost, router, edge)
+	if err != nil {
+		t.Fatal(err)
+	}
+	routerFace, _, _, err := ndnprivacy.Connect(sim, router, producerHost, far)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prefix := ndnprivacy.MustParseName("/cnn")
+	if err := aliceHost.RegisterPrefix(prefix, aliceFace); err != nil {
+		t.Fatal(err)
+	}
+	if err := router.RegisterPrefix(prefix, routerFace); err != nil {
+		t.Fatal(err)
+	}
+
+	signer, err := ndnprivacy.NewSigner("/cnn", []byte("key"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	producer, err := ndnprivacy.NewProducer(producerHost, prefix, signer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	article, err := ndnprivacy.NewData(ndnprivacy.MustParseName("/cnn/private/story"), []byte("scoop"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := producer.Publish(article); err != nil {
+		t.Fatal(err)
+	}
+
+	alice, err := ndnprivacy.NewConsumer(aliceHost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var first, second ndnprivacy.FetchResult
+	alice.FetchName(ndnprivacy.MustParseName("/cnn/private/story"), func(r ndnprivacy.FetchResult) { first = r })
+	sim.Run()
+	alice.FetchName(ndnprivacy.MustParseName("/cnn/private/story"), func(r ndnprivacy.FetchResult) { second = r })
+	sim.Run()
+
+	if first.TimedOut || second.TimedOut {
+		t.Fatalf("fetches failed: %+v %+v", first, second)
+	}
+	if err := signer.Verify(second.Data); err != nil {
+		t.Errorf("signature verification through the facade: %v", err)
+	}
+	// The /private/ name component makes this producer-marked private:
+	// the always-delay router must not answer observably faster from
+	// cache.
+	if second.RTT < first.RTT-5*time.Millisecond {
+		t.Errorf("private cache hit leaked: %v vs %v", second.RTT, first.RTT)
+	}
+	if got := router.Stats().DisguisedHits; got != 1 {
+		t.Errorf("DisguisedHits = %d, want 1", got)
+	}
+}
+
+func TestFacadeAnalysisSurface(t *testing.T) {
+	dist, err := ndnprivacy.NewGeometricForPrivacy(5, 0.005, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := ndnprivacy.Utility(dist, 100)
+	if u <= 0 || u >= 1 {
+		t.Errorf("Utility = %g", u)
+	}
+	bound := ndnprivacy.ExponentialPrivacy(5, dist.Alpha(), dist.DomainSize())
+	if bound.Epsilon > 0.005+1e-9 || bound.Delta > 0.05+1e-9 {
+		t.Errorf("bound %v exceeds target", bound)
+	}
+	uni, err := ndnprivacy.NewUniformForPrivacy(5, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ndnprivacy.UniformPrivacy(5, uni.DomainSize()); math.Abs(got.Delta-0.05) > 1e-9 {
+		t.Errorf("uniform δ = %g", got.Delta)
+	}
+}
+
+func TestFacadeAttackSurface(t *testing.T) {
+	res, err := ndnprivacy.RunLANAttack(ndnprivacy.AttackScenarioConfig{Seed: 3, Objects: 20, Runs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Accuracy < 0.99 {
+		t.Errorf("facade LAN attack accuracy = %g", res.Accuracy)
+	}
+	if p := ndnprivacy.SegmentSuccessProbability(0.59, 8); math.Abs(p-0.999) > 0.001 {
+		t.Errorf("amplification = %g", p)
+	}
+}
+
+func TestFacadeTraceSurface(t *testing.T) {
+	gen, err := ndnprivacy.NewTraceGenerator(ndnprivacy.DefaultTraceConfig(1, 3000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := ndnprivacy.ReplayTrace(gen, ndnprivacy.ReplayConfig{
+		CacheSize: 300,
+		Manager:   ndnprivacy.NewNoPrivacy(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Requests != 3000 {
+		t.Errorf("Requests = %d", stats.Requests)
+	}
+	name, err := ndnprivacy.URLToName("http://example.com/x")
+	if err != nil || name.String() != "/web/example.com/x" {
+		t.Errorf("URLToName = %v, %v", name, err)
+	}
+}
+
+func TestFacadeSessionSurface(t *testing.T) {
+	sim := ndnprivacy.NewSimulator(5)
+	a, err := ndnprivacy.NewBareHost(sim, "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ndnprivacy.NewBareHost(sim, "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	epA, epB, err := ndnprivacy.NewSessionPair(a, b,
+		ndnprivacy.MustParseName("/a"), ndnprivacy.MustParseName("/b"), []byte("secret"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !epA.LocalName(3).Equal(epB.RemoteName(3)) {
+		t.Error("session name derivation asymmetric through facade")
+	}
+}
+
+func TestFacadeAuditSurface(t *testing.T) {
+	outcome, err := ndnprivacy.AuditCacheManager(ndnprivacy.AuditConfig{
+		Build: func(rng *rand.Rand) (ndnprivacy.CacheManager, error) {
+			dist, err := ndnprivacy.NewUniformK(10)
+			if err != nil {
+				return nil, err
+			}
+			return ndnprivacy.NewRandomCache(dist, rng)
+		},
+		PriorRequests: 1,
+		Probes:        12,
+		Trials:        20000,
+		Seed:          1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Theorem VI.1: δ = 2·1/10 = 0.2 (ε slack for sampling noise).
+	if got := outcome.DeltaAt(0.15); math.Abs(got-0.2) > 0.05 {
+		t.Errorf("facade audit δ = %g, want ≈ 0.2", got)
+	}
+}
