@@ -1,0 +1,92 @@
+// Command ndnlint runs ndnprivacy's project-specific static analysis
+// over the packages matching the given go-list patterns (default ./...):
+// simulator determinism, seeded randomness, map-iteration order, lock
+// copying, and wire-format error hygiene. See internal/lint for the
+// individual checks and the //ndnlint:allow suppression syntax.
+//
+// Usage:
+//
+//	ndnlint [-json] [-list] [-c check[,check]] [packages...]
+//
+// Exit status is 0 when the tree is clean, 1 when findings were
+// reported, and 2 when analysis itself failed.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"ndnprivacy/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	flags := flag.NewFlagSet("ndnlint", flag.ContinueOnError)
+	jsonOut := flags.Bool("json", false, "emit findings as a JSON array for tooling")
+	list := flags.Bool("list", false, "list available checks and exit")
+	only := flags.String("c", "", "comma-separated checks to run (default: all)")
+	if err := flags.Parse(args); err != nil {
+		return 2
+	}
+
+	if *list {
+		for _, a := range lint.All {
+			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	checks := lint.All
+	if *only != "" {
+		checks = nil
+		for _, name := range strings.Split(*only, ",") {
+			a := lint.ByName(strings.TrimSpace(name))
+			if a == nil {
+				fmt.Fprintf(os.Stderr, "ndnlint: unknown check %q (try -list)\n", name)
+				return 2
+			}
+			checks = append(checks, a)
+		}
+	}
+
+	pkgs, err := lint.Load("", flags.Args()...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ndnlint: %v\n", err)
+		return 2
+	}
+
+	var findings []lint.Finding
+	for _, pkg := range pkgs {
+		findings = append(findings, pkg.Check(checks)...)
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if findings == nil {
+			findings = []lint.Finding{} // emit [] rather than null
+		}
+		if err := enc.Encode(findings); err != nil {
+			fmt.Fprintf(os.Stderr, "ndnlint: %v\n", err)
+			return 2
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Println(f)
+		}
+	}
+
+	if len(findings) > 0 {
+		if !*jsonOut {
+			fmt.Fprintf(os.Stderr, "ndnlint: %d finding(s) in %d package(s)\n", len(findings), len(pkgs))
+		}
+		return 1
+	}
+	return 0
+}

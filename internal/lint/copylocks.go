@@ -1,0 +1,122 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CopyLocks flags receivers, parameters, and plain assignments that copy
+// a value whose type (transitively) contains a sync.Mutex or other sync
+// primitive by value. A copied lock guards nothing: the copy and the
+// original serialize independently, which is exactly the kind of latent
+// race that only shows up once the sharded caches and parallel sweeps
+// on the roadmap land. "Lite" relative to go vet's copylocks: it covers
+// the shapes that appear in reviewed code (receivers, params, x = y /
+// x := y copies) rather than every possible value conversion.
+var CopyLocks = &Analyzer{
+	Name: "copylocks",
+	Doc:  "flag receivers, parameters, and assignments that copy a lock-bearing struct by value",
+	Hint: "pass and store a pointer to the lock-bearing struct instead of copying it",
+	Run:  runCopyLocks,
+}
+
+// syncValueTypes are the sync primitives that must never be copied after
+// first use.
+var syncValueTypes = map[string]bool{
+	"Mutex":     true,
+	"RWMutex":   true,
+	"WaitGroup": true,
+	"Once":      true,
+	"Cond":      true,
+	"Pool":      true,
+	"Map":       true,
+}
+
+func runCopyLocks(pass *Pass) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch node := n.(type) {
+			case *ast.FuncDecl:
+				if node.Recv != nil {
+					checkLockFields(pass, node.Recv, "receiver")
+				}
+				checkLockFields(pass, node.Type.Params, "parameter")
+			case *ast.FuncLit:
+				checkLockFields(pass, node.Type.Params, "parameter")
+			case *ast.AssignStmt:
+				for _, rhs := range node.Rhs {
+					checkLockCopyExpr(pass, rhs)
+				}
+			case *ast.ValueSpec:
+				for _, v := range node.Values {
+					checkLockCopyExpr(pass, v)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// checkLockFields reports fields (receivers or parameters) whose
+// declared type carries a lock by value.
+func checkLockFields(pass *Pass, fields *ast.FieldList, kind string) {
+	if fields == nil {
+		return
+	}
+	for _, field := range fields.List {
+		t := pass.Info.TypeOf(field.Type)
+		if t == nil || !containsLock(t, nil) {
+			continue
+		}
+		pass.Reportf(field.Type.Pos(), "%s of type %s copies a lock by value", kind, t.String())
+	}
+}
+
+// checkLockCopyExpr reports rhs when it copies an existing lock-bearing
+// value. Composite literals, function calls, and &-expressions create or
+// reference rather than copy, so they pass.
+func checkLockCopyExpr(pass *Pass, rhs ast.Expr) {
+	switch ast.Unparen(rhs).(type) {
+	case *ast.Ident, *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+	default:
+		return
+	}
+	t := pass.Info.TypeOf(rhs)
+	if t == nil || !containsLock(t, nil) {
+		return
+	}
+	pass.Reportf(rhs.Pos(), "assignment copies lock-bearing value of type %s", t.String())
+}
+
+// containsLock reports whether t holds a sync primitive by value,
+// looking through named types, struct fields, and array elements.
+// Pointers, slices, maps, channels, and interfaces share rather than
+// copy, so recursion stops there.
+func containsLock(t types.Type, seen map[types.Type]bool) bool {
+	if seen[t] {
+		return false
+	}
+	if seen == nil {
+		seen = make(map[types.Type]bool)
+	}
+	seen[t] = true
+	switch u := t.(type) {
+	case *types.Named:
+		obj := u.Obj()
+		if obj.Pkg() != nil && obj.Pkg().Path() == "sync" && syncValueTypes[obj.Name()] {
+			return true
+		}
+		return containsLock(u.Underlying(), seen)
+	case *types.Alias:
+		return containsLock(types.Unalias(u), seen)
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if containsLock(u.Field(i).Type(), seen) {
+				return true
+			}
+		}
+	case *types.Array:
+		return containsLock(u.Elem(), seen)
+	}
+	return false
+}

@@ -1,0 +1,53 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// SimDeterminism forbids reading or arming the wall clock inside the
+// deterministic packages. Simulated code must take time from the
+// executor's virtual clock (netsim.Simulator.Now / fwd.Executor.Now);
+// one stray time.Now in a hot path silently skews every timing
+// distribution the repo reproduces. internal/rt and internal/netface
+// are the designated real-time boundary and are not checked.
+var SimDeterminism = &Analyzer{
+	Name: "simdeterminism",
+	Doc:  "forbid wall-clock use (time.Now, time.Sleep, timers, ...) in deterministic packages",
+	Hint: "take time from the injected Executor/Simulator virtual clock, or move the code behind the internal/rt / internal/netface real-time boundary",
+	Run:  runSimDeterminism,
+}
+
+// wallClockFuncs are the package-level time functions that observe or
+// depend on the wall clock. time.Duration arithmetic and constants stay
+// legal: only these entry points leak real time.
+var wallClockFuncs = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+}
+
+func runSimDeterminism(pass *Pass) {
+	if !isDeterministicPkg(pass.Pkg.Path()) {
+		return
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			fn := funcObj(pass.Info, id)
+			if fn == nil || pkgPathOf(fn) != "time" || !wallClockFuncs[fn.Name()] {
+				return true
+			}
+			pass.Reportf(id.Pos(), "time.%s reads the wall clock inside deterministic package %s", fn.Name(), pass.Pkg.Path())
+			return true
+		})
+	}
+}

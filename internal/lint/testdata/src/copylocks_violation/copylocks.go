@@ -1,0 +1,39 @@
+// Fixture: lock-bearing structs copied by value. Checked under the
+// import path ndnprivacy/internal/util.
+package util
+
+import "sync"
+
+// Counter embeds a mutex by value.
+type Counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+// Wrapper carries a Counter by value, so it is lock-bearing too.
+type Wrapper struct {
+	c Counter
+}
+
+// Value has a value receiver on a lock-bearing struct: one finding.
+func (c Counter) Value() int { return c.n }
+
+// Merge takes a lock-bearing parameter by value: one finding.
+func Merge(into *Counter, from Wrapper) {
+	into.n += from.c.n
+}
+
+// Snapshot copies a lock-bearing value in an assignment: one finding.
+func Snapshot(c *Counter) int {
+	cp := *c
+	return cp.n
+}
+
+// Shared passes pointers everywhere: all legal.
+func Shared(c *Counter) *Counter {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+	other := c
+	return other
+}

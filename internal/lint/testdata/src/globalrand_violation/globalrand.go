@@ -1,0 +1,19 @@
+// Fixture: process-global math/rand functions are forbidden everywhere,
+// not only in the deterministic packages. Checked under the import path
+// ndnprivacy/internal/util.
+package util
+
+import "math/rand"
+
+// Jitter leans on the global source three times: three findings.
+func Jitter(n int) float64 {
+	rand.Seed(42)
+	k := rand.Intn(n)
+	return float64(k) * rand.Float64()
+}
+
+// Seeded builds and uses an injected source: all legal.
+func Seeded(seed int64, n int) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(n)
+}

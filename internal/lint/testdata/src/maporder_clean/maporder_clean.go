@@ -1,0 +1,42 @@
+// Fixture: map iteration patterns that keep determinism. Checked under
+// the import path ndnprivacy/internal/fwd; expects zero findings.
+package fwd
+
+import (
+	"fmt"
+	"sort"
+)
+
+// SortedCollect appends in map order but sorts before use.
+func SortedCollect(set map[string]int) []string {
+	var keys []string
+	for k := range set {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// SortedDump iterates pre-sorted keys; the map range only collects.
+func SortedDump(hits map[string]int) {
+	keys := make([]string, 0, len(hits))
+	for k := range hits {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Println(k, hits[k])
+	}
+}
+
+// Tally is order-independent: counting and deleting are fine.
+func Tally(hits map[string]int) int {
+	total := 0
+	for k, n := range hits {
+		total += n
+		if n == 0 {
+			delete(hits, k)
+		}
+	}
+	return total
+}

@@ -1,0 +1,15 @@
+// Fixture: the //ndnlint:allow escape hatch silences findings on the
+// same line and on the line below a standalone directive. Checked under
+// the import path ndnprivacy/internal/netsim; expects zero findings.
+package netsim
+
+import "time"
+
+// Stamp is wall-clock on purpose: both suppression positions are used.
+func Stamp(d time.Duration) time.Duration {
+	start := time.Now() //ndnlint:allow simdeterminism — calibration probe runs outside the sim
+	//ndnlint:allow simdeterminism, maporder — directive on the line above, extra check name tolerated
+	time.Sleep(d)
+	//ndnlint:allow all
+	return time.Since(start)
+}

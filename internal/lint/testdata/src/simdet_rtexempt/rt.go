@@ -1,0 +1,9 @@
+// Fixture: the same wall-clock calls are legal at the real-time
+// boundary. Checked under the import path ndnprivacy/internal/rt;
+// expects zero findings.
+package rt
+
+import "time"
+
+// Epoch reads the wall clock, which rt exists to do.
+func Epoch() time.Time { return time.Now() }

@@ -1,0 +1,15 @@
+// Fixture: wall-clock use inside a deterministic package. Checked under
+// the import path ndnprivacy/internal/netsim.
+package netsim
+
+import "time"
+
+// Elapsed reads the wall clock twice and sleeps: three findings.
+func Elapsed(d time.Duration) time.Duration {
+	start := time.Now()
+	time.Sleep(d)
+	return time.Since(start)
+}
+
+// Legal time.Duration arithmetic must stay silent.
+func Double(d time.Duration) time.Duration { return 2 * d }

@@ -1,0 +1,21 @@
+// Fixture: discarded errors from the NDN wire-format package. Checked
+// under the import path ndnprivacy/internal/fwd.
+package fwd
+
+import "ndnprivacy/internal/ndn"
+
+// Sloppy drops two wire errors: two findings.
+func Sloppy(p ndn.Packet, s *ndn.Signer) {
+	ndn.EncodePacket(p)
+	defer s.Verify(p)
+}
+
+// Careful handles, explicitly discards, or calls error-free API: legal.
+func Careful(p ndn.Packet, s *ndn.Signer) ([]byte, error) {
+	if err := s.Verify(p); err != nil {
+		return nil, err
+	}
+	_, _ = ndn.DecodePacket(p.B) // deliberate, reviewable discard
+	ndn.MustEncode(p)
+	return ndn.EncodePacket(p)
+}

@@ -1,0 +1,74 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// WireErr flags statements that call an internal/ndn function or method
+// returning an error and drop every result: `ndn.EncodePacket(p)` as a
+// bare statement, or behind go/defer. A swallowed encode/decode/parse
+// error fabricates malformed packets mid-experiment and corrupts the
+// measured distributions without failing anything. Explicitly assigning
+// the error to _ is treated as a deliberate, reviewable decision and is
+// not flagged.
+var WireErr = &Analyzer{
+	Name: "wireerr",
+	Doc:  "flag discarded error returns from internal/ndn encode/decode/parse functions",
+	Hint: "handle or propagate the error; write `_ = ...` (or //ndnlint:allow wireerr) only when discarding is provably safe",
+	Run:  runWireErr,
+}
+
+func runWireErr(pass *Pass) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			var call *ast.CallExpr
+			switch stmt := n.(type) {
+			case *ast.ExprStmt:
+				call, _ = stmt.X.(*ast.CallExpr)
+			case *ast.GoStmt:
+				call = stmt.Call
+			case *ast.DeferStmt:
+				call = stmt.Call
+			}
+			if call == nil {
+				return true
+			}
+			fn := calleeFunc(pass.Info, call)
+			if fn == nil || !isNDNWirePkg(pkgPathOf(fn)) || !lastResultIsError(fn) {
+				return true
+			}
+			pass.Reportf(call.Pos(), "error returned by %s.%s is silently discarded", fn.Pkg().Name(), fn.Name())
+			return true
+		})
+	}
+}
+
+// calleeFunc resolves the function a call statically invokes, through
+// either a selector (pkg.F, recv.M) or a plain identifier.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		return funcObj(info, fun.Sel)
+	case *ast.Ident:
+		return funcObj(info, fun)
+	}
+	return nil
+}
+
+// isNDNWirePkg reports whether path names the NDN wire-format package.
+func isNDNWirePkg(path string) bool {
+	return path == "internal/ndn" || strings.HasSuffix(path, "/internal/ndn")
+}
+
+// lastResultIsError reports whether fn's final result is the builtin
+// error type.
+func lastResultIsError(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Results().Len() == 0 {
+		return false
+	}
+	last := sig.Results().At(sig.Results().Len() - 1).Type()
+	return types.Identical(last, types.Universe.Lookup("error").Type())
+}

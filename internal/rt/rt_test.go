@@ -124,6 +124,39 @@ func TestRandConcurrentSafety(t *testing.T) {
 	wg.Wait() // the race detector validates this test
 }
 
+// TestConcurrentScheduleCloseStress hammers the executor from many
+// goroutines — scheduling (including re-entrantly from callbacks),
+// running, drawing randomness — while Close lands mid-flight. The race
+// detector validates the lockedSource and the runMu/stateMu split; the
+// assertions validate that nothing executes after Close returns funny
+// results. This is the audit for the bookkeeping around rt.go's timer
+// map and locked RNG.
+func TestConcurrentScheduleCloseStress(t *testing.T) {
+	for round := 0; round < 10; round++ {
+		e := New(int64(round))
+		var wg sync.WaitGroup
+		for g := 0; g < 8; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				for i := 0; i < 50; i++ {
+					e.Schedule(time.Duration(i%3)*time.Millisecond, func() {
+						e.Rand().Uint64()
+						e.Schedule(0, func() {}) // re-entrant schedule
+					})
+					e.Run(func() { e.Rand().Int63() })
+					_ = e.Now()
+				}
+			}(g)
+		}
+		// Close while schedulers are still running.
+		time.Sleep(time.Duration(round) * 100 * time.Microsecond)
+		e.Close()
+		wg.Wait()
+		e.WaitIdle() // must not hang on a closed executor
+	}
+}
+
 func TestLockedSourceSeed(t *testing.T) {
 	src, ok := rand.NewSource(1).(rand.Source64)
 	if !ok {

@@ -1,6 +1,7 @@
 package table
 
 import (
+	"sort"
 	"time"
 
 	"ndnprivacy/internal/ndn"
@@ -189,10 +190,13 @@ func (p *PIT) SatisfyWithInfo(data *ndn.Data, now time.Duration) (SatisfyResult,
 	if !matched {
 		return SatisfyResult{}, false
 	}
+	// Sort so downstream sends happen in a seed-stable order: map
+	// iteration would reorder same-timestamp deliveries run to run.
 	res.Faces = make([]FaceID, 0, len(faceSet))
 	for f := range faceSet {
 		res.Faces = append(res.Faces, f)
 	}
+	sort.Slice(res.Faces, func(i, j int) bool { return res.Faces[i] < res.Faces[j] })
 	return res, true
 }
 

@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# check.sh — the full verification gate: formatting, vet, build,
+# project-specific static analysis (ndnlint), and race-enabled tests.
+# CI runs exactly this script; run it locally before sending a PR.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== gofmt"
+unformatted=$(gofmt -l .)
+if [[ -n "$unformatted" ]]; then
+    echo "gofmt needed:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "== go vet"
+go vet ./...
+
+echo "== go build"
+go build ./...
+
+echo "== ndnlint"
+go run ./cmd/ndnlint ./...
+
+echo "== go test -race"
+go test -race ./...
+
+echo "check.sh: all gates passed"
