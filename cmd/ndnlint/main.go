@@ -1,12 +1,14 @@
 // Command ndnlint runs ndnprivacy's project-specific static analysis
 // over the packages matching the given go-list patterns (default ./...):
 // simulator determinism, seeded randomness, map-iteration order, lock
-// copying, and wire-format error hygiene. See internal/lint for the
-// individual checks and the //ndnlint:allow suppression syntax.
+// copying, wire-format error hygiene, inferred mutex guard discipline,
+// seed taint flow, shadowed errors, and duration unit provenance. See
+// internal/lint for the individual checks and the //ndnlint:allow
+// suppression syntax.
 //
 // Usage:
 //
-//	ndnlint [-json] [-list] [-c check[,check]] [packages...]
+//	ndnlint [-json] [-sarif] [-list] [-c check[,check]] [packages...]
 //
 // Exit status is 0 when the tree is clean, 1 when findings were
 // reported, and 2 when analysis itself failed.
@@ -29,6 +31,7 @@ func main() {
 func run(args []string) int {
 	flags := flag.NewFlagSet("ndnlint", flag.ContinueOnError)
 	jsonOut := flags.Bool("json", false, "emit findings as a JSON array for tooling")
+	sarifOut := flags.Bool("sarif", false, "emit findings as SARIF 2.1.0 for code scanning")
 	list := flags.Bool("list", false, "list available checks and exit")
 	only := flags.String("c", "", "comma-separated checks to run (default: all)")
 	if err := flags.Parse(args); err != nil {
@@ -66,7 +69,13 @@ func run(args []string) int {
 		findings = append(findings, pkg.Check(checks)...)
 	}
 
-	if *jsonOut {
+	switch {
+	case *sarifOut:
+		if err := writeSARIF(os.Stdout, checks, findings); err != nil {
+			fmt.Fprintf(os.Stderr, "ndnlint: %v\n", err)
+			return 2
+		}
+	case *jsonOut:
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if findings == nil {
@@ -76,14 +85,14 @@ func run(args []string) int {
 			fmt.Fprintf(os.Stderr, "ndnlint: %v\n", err)
 			return 2
 		}
-	} else {
+	default:
 		for _, f := range findings {
 			fmt.Println(f)
 		}
 	}
 
 	if len(findings) > 0 {
-		if !*jsonOut {
+		if !*jsonOut && !*sarifOut {
 			fmt.Fprintf(os.Stderr, "ndnlint: %d finding(s) in %d package(s)\n", len(findings), len(pkgs))
 		}
 		return 1

@@ -1,0 +1,148 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"ndnprivacy/internal/lint"
+)
+
+// SARIF 2.1.0 output for GitHub code scanning. Only the subset the
+// upload-sarif action consumes is emitted: one run, one rule per
+// analyzer, one result per finding with a physical location relative
+// to the working directory (the repo root in CI).
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+	Help             sarifMessage `json:"help,omitempty"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	Level     string          `json:"level"`
+	Message   sarifMessage    `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysicalLocation `json:"physicalLocation"`
+}
+
+type sarifPhysicalLocation struct {
+	ArtifactLocation sarifArtifactLocation `json:"artifactLocation"`
+	Region           sarifRegion           `json:"region"`
+}
+
+type sarifArtifactLocation struct {
+	URI       string `json:"uri"`
+	URIBaseID string `json:"uriBaseId"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+// writeSARIF renders findings as a SARIF log. Rules cover every check
+// that was run (not just those that fired) so code scanning shows the
+// full rule set; results reference rules by id.
+func writeSARIF(w io.Writer, checks []*lint.Analyzer, findings []lint.Finding) error {
+	rules := make([]sarifRule, 0, len(checks))
+	for _, a := range checks {
+		r := sarifRule{
+			ID:               a.Name,
+			ShortDescription: sarifMessage{Text: a.Doc},
+		}
+		if a.Hint != "" {
+			r.Help = sarifMessage{Text: "fix: " + a.Hint}
+		}
+		rules = append(rules, r)
+	}
+	sort.Slice(rules, func(i, j int) bool { return rules[i].ID < rules[j].ID })
+
+	cwd, _ := os.Getwd()
+	results := make([]sarifResult, 0, len(findings))
+	for _, f := range findings {
+		msg := f.Message
+		if f.Hint != "" {
+			msg += " (fix: " + f.Hint + ")"
+		}
+		results = append(results, sarifResult{
+			RuleID:  f.Check,
+			Level:   "error",
+			Message: sarifMessage{Text: msg},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysicalLocation{
+					ArtifactLocation: sarifArtifactLocation{
+						URI:       sarifURI(cwd, f.File),
+						URIBaseID: "SRCROOT",
+					},
+					Region: sarifRegion{
+						StartLine:   f.Line,
+						StartColumn: f.Column,
+					},
+				},
+			}},
+		})
+	}
+
+	log := sarifLog{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs: []sarifRun{{
+			Tool: sarifTool{Driver: sarifDriver{
+				Name:           "ndnlint",
+				InformationURI: "https://github.com/ndnprivacy/ndnprivacy",
+				Rules:          rules,
+			}},
+			Results: results,
+		}},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(log)
+}
+
+// sarifURI renders a finding's file path relative to base with forward
+// slashes, as code scanning expects repo-relative artifact URIs.
+func sarifURI(base, file string) string {
+	if base != "" {
+		if rel, err := filepath.Rel(base, file); err == nil && !filepath.IsAbs(rel) && rel != ".." && !hasDotDotPrefix(rel) {
+			file = rel
+		}
+	}
+	return filepath.ToSlash(file)
+}
+
+func hasDotDotPrefix(p string) bool {
+	return len(p) >= 3 && p[:3] == ".."+string(filepath.Separator)
+}

@@ -1,0 +1,243 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"ndnprivacy/internal/lint/cfg"
+)
+
+// DurUnits flags time.Duration conversions of bare numbers: a
+// `time.Duration(n)` where n is a plain int/float variable with no
+// duration provenance silently means *nanoseconds*, which is how a
+// "50" that was meant as milliseconds becomes a 50ns timer feeding
+// rt/netsim scheduling. A conversion passes when the dataflow can see
+// units somewhere: the operand's definitions (followed backward through
+// reaching definitions) involve a time.Duration value or unit constant
+// (`gap := rng.ExpFloat64() * float64(meanDelay)`), the operand's type
+// is a named type (domain types like netsim.Fixed carry their own
+// units), the operand is a compile-time constant, or the conversion is
+// immediately scaled by a unit (`time.Duration(ms) * time.Millisecond`).
+var DurUnits = &Analyzer{
+	Name: "durunits",
+	Doc:  "flag time.Duration(x) where x is a bare number with no unit provenance (implicit nanoseconds)",
+	Hint: "multiply by a unit (time.Duration(n) * time.Millisecond) or derive the operand from a time.Duration value",
+	Run:  runDurUnits,
+}
+
+func runDurUnits(pass *Pass) {
+	for _, file := range pass.Files {
+		for _, fs := range funcScopes(file) {
+			checkDurUnits(pass, fs)
+		}
+	}
+}
+
+func checkDurUnits(pass *Pass, fs funcScope) {
+	g := fs.graph()
+	reach := cfg.NewReaching(g, pass.Info, cfg.ParamVars(pass.Info, fs.recv, fs.ftype))
+	parents := parentMap(fs.body)
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			walkNoFuncLit(n, func(m ast.Node) bool {
+				call, ok := m.(*ast.CallExpr)
+				if !ok || len(call.Args) != 1 {
+					return true
+				}
+				if !isDurationConversion(pass.Info, call) {
+					return true
+				}
+				operand := ast.Unparen(call.Args[0])
+				if scaledByUnit(pass.Info, enclosingExpr(parents, call)) {
+					return true
+				}
+				if isConstExpr(pass.Info, operand) {
+					return true // the author wrote the number explicitly
+				}
+				if hasUnitProvenance(pass.Info, reach, operand, n, make(map[*ast.Ident]bool)) {
+					return true
+				}
+				pass.Reportf(call.Pos(), "time.Duration(%s) converts a bare number (implicit nanoseconds); no unit in its dataflow", exprLabel(operand))
+				return true
+			})
+		}
+	}
+}
+
+// parentMap records each AST node's parent within root.
+func parentMap(root ast.Node) map[ast.Node]ast.Node {
+	parents := make(map[ast.Node]ast.Node)
+	var stack []ast.Node
+	ast.Inspect(root, func(m ast.Node) bool {
+		if m == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if len(stack) > 0 {
+			parents[m] = stack[len(stack)-1]
+		}
+		stack = append(stack, m)
+		return true
+	})
+	return parents
+}
+
+// enclosingExpr returns n's nearest non-paren ancestor.
+func enclosingExpr(parents map[ast.Node]ast.Node, n ast.Node) ast.Node {
+	p := parents[n]
+	for {
+		if _, ok := p.(*ast.ParenExpr); !ok {
+			return p
+		}
+		p = parents[p]
+	}
+}
+
+// isDurationConversion reports whether call converts to time.Duration.
+func isDurationConversion(info *types.Info, call *ast.CallExpr) bool {
+	tv, ok := info.Types[call.Fun]
+	if !ok || !tv.IsType() {
+		return false
+	}
+	return isDurationType(tv.Type)
+}
+
+// isDurationType reports whether t is time.Duration itself.
+func isDurationType(t types.Type) bool {
+	named, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "time" && obj.Name() == "Duration"
+}
+
+// scaledByUnit reports whether the conversion's enclosing expression
+// multiplies it by a duration-typed value (time.Duration(ms) *
+// time.Millisecond and friends).
+func scaledByUnit(info *types.Info, parent ast.Node) bool {
+	be, ok := parent.(*ast.BinaryExpr)
+	if !ok || be.Op != token.MUL {
+		return false
+	}
+	for _, side := range []ast.Expr{be.X, be.Y} {
+		if t := info.TypeOf(side); t != nil && isDurationType(t) {
+			if _, isConv := unwrapDurationConv(info, side); !isConv {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// unwrapDurationConv reports whether e is itself a time.Duration(...)
+// conversion (so `time.Duration(a) * time.Duration(b)` is not treated
+// as unit-scaled by either side).
+func unwrapDurationConv(info *types.Info, e ast.Expr) (*ast.CallExpr, bool) {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return nil, false
+	}
+	if !isDurationConversion(info, call) {
+		return nil, false
+	}
+	return call, true
+}
+
+// hasUnitProvenance reports whether units are visible anywhere in e's
+// dataflow: a duration-typed subexpression, a named (non-basic) operand
+// type, a compile-time constant, or — through reaching definitions —
+// any definition whose right-hand side has provenance. Values the
+// analysis cannot see (parameters, globals, call results without
+// duration operands) are treated as unit-less: a seed of provenance
+// must be syntactically present somewhere in the local flow.
+func hasUnitProvenance(info *types.Info, reach *cfg.Reaching, e ast.Expr, at ast.Node, seen map[*ast.Ident]bool) bool {
+	e = ast.Unparen(e)
+	if t := info.TypeOf(e); t != nil {
+		if _, ok := types.Unalias(t).(*types.Named); ok {
+			return true // named domain type (netsim.Fixed, time.Duration)
+		}
+	}
+
+	// Any duration-typed subexpression inside e — float64(d), int64(u.Jitter),
+	// d.cfg.Timeout — is a unit seed.
+	found := false
+	walkNoFuncLit(e, func(m ast.Node) bool {
+		if expr, ok := m.(ast.Expr); ok {
+			if t := info.TypeOf(expr); t != nil && isDurationType(t) {
+				found = true
+			}
+		}
+		return !found
+	})
+	if found {
+		return true
+	}
+
+	// Follow plain variables backward through their definitions. The
+	// seen set is keyed by definition site, so loop-carried updates
+	// (x += d in a loop) terminate while still letting a compound
+	// assignment look through to the variable's earlier definitions.
+	switch x := e.(type) {
+	case *ast.Ident:
+		v, ok := info.Uses[x].(*types.Var)
+		if !ok {
+			return false
+		}
+		for _, d := range reach.DefsOf(v, at) {
+			if d.Ident == nil || seen[d.Ident] {
+				continue // parameter entry def, or already traced
+			}
+			seen[d.Ident] = true
+			if d.Rhs != nil && hasUnitProvenance(info, reach, d.Rhs, d.Node, seen) {
+				return true
+			}
+			// x += e and x++ also carry the variable's prior value.
+			if isCompoundDef(d.Node) && hasUnitProvenance(info, reach, x, d.Node, seen) {
+				return true
+			}
+		}
+		return false
+	case *ast.BinaryExpr:
+		return hasUnitProvenance(info, reach, x.X, at, seen) ||
+			hasUnitProvenance(info, reach, x.Y, at, seen)
+	case *ast.UnaryExpr:
+		return hasUnitProvenance(info, reach, x.X, at, seen)
+	case *ast.CallExpr:
+		// Conversions and calls: provenance flows through arguments
+		// (float64(d), math.Exp(mu + ...)).
+		for _, arg := range x.Args {
+			if hasUnitProvenance(info, reach, arg, at, seen) {
+				return true
+			}
+		}
+		return false
+	default:
+		return false
+	}
+}
+
+// isConstExpr reports whether e is a compile-time constant (literal,
+// named constant, or constant arithmetic).
+func isConstExpr(info *types.Info, e ast.Expr) bool {
+	if tv, ok := info.Types[e]; ok && tv.Value != nil {
+		return true
+	}
+	if id, ok := ast.Unparen(e).(*ast.Ident); ok {
+		if _, isConst := info.Uses[id].(*types.Const); isConst {
+			return true
+		}
+	}
+	return false
+}
+
+// exprLabel renders a short label for the flagged operand.
+func exprLabel(e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x.Name
+	default:
+		return "..."
+	}
+}

@@ -1,0 +1,86 @@
+package lint
+
+import (
+	"go/ast"
+
+	"ndnprivacy/internal/lint/cfg"
+)
+
+// ErrShadow flags error values that are dead on arrival: an assignment
+// to an error variable that every CFG path overwrites before anything
+// reads it. The classic shape is two sequential multi-value calls
+// sharing one err (`a, err := f(); b, err := g(); check(err)`) — f's
+// error is silently gone, which in this codebase means a wire or cache
+// failure mid-experiment never surfaces. Liveness is solved over the
+// function's CFG, so an error that is checked on one branch but
+// clobbered on another is (correctly) not reported. Variables captured
+// by closures or whose address is taken are skipped, as are named
+// results (the return reads them) and bare `var err error`
+// declarations that branches fill in.
+var ErrShadow = &Analyzer{
+	Name: "errshadow",
+	Doc:  "flag error assignments that are overwritten on every path before being read",
+	Hint: "check the error before the next assignment overwrites it, or assign to _ to discard it explicitly",
+	Run:  runErrShadow,
+}
+
+func runErrShadow(pass *Pass) {
+	for _, file := range pass.Files {
+		for _, fs := range funcScopes(file) {
+			checkErrShadow(pass, fs)
+		}
+	}
+}
+
+func checkErrShadow(pass *Pass, fs funcScope) {
+	g := fs.graph()
+	captured := cfg.CapturedVars(fs.body, pass.Info)
+	addrTaken := cfg.AddressTakenVars(fs.body, pass.Info)
+
+	// Named results are read by every return; captured variables can be
+	// read whenever the closure runs. Both are live everywhere.
+	alwaysLive := cfg.ResultVars(pass.Info, fs.ftype)
+	for v := range captured {
+		alwaysLive = append(alwaysLive, v)
+	}
+	live := cfg.NewLiveness(g, pass.Info, alwaysLive)
+
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			if isBareDecl(n) {
+				continue // var err error — a slot branches fill in
+			}
+			defs, _ := cfg.Refs(n, pass.Info)
+			for _, d := range defs {
+				if d.Ident == nil || !isErrorType(d.Obj.Type()) {
+					continue
+				}
+				if captured[d.Obj] || addrTaken[d.Obj] || !fs.declaredIn(d.Obj) {
+					continue
+				}
+				if live.LiveAfter(d.Obj, n) {
+					continue
+				}
+				pass.Reportf(d.Ident.Pos(), "error assigned to %s is overwritten on every path before it is read", d.Ident.Name)
+			}
+		}
+	}
+}
+
+// isBareDecl reports whether n declares variables without initializers.
+func isBareDecl(n ast.Node) bool {
+	ds, ok := n.(*ast.DeclStmt)
+	if !ok {
+		return false
+	}
+	gd, ok := ds.Decl.(*ast.GenDecl)
+	if !ok {
+		return false
+	}
+	for _, spec := range gd.Specs {
+		if vs, ok := spec.(*ast.ValueSpec); ok && len(vs.Values) > 0 {
+			return false
+		}
+	}
+	return true
+}

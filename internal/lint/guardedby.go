@@ -1,0 +1,341 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"ndnprivacy/internal/lint/cfg"
+)
+
+// GuardedBy infers, per struct field, which sync.Mutex/RWMutex field of
+// the same struct guards it, and flags accesses that skip the lock. The
+// inference is usage-driven: when a field is read or written with some
+// mutex of its struct held at two or more distinct sites, that mutex is
+// taken to be the field's guard, and every remaining access that does
+// not hold it is reported. Lock state is tracked flow-sensitively with
+// a must-hold dataflow over the function's CFG (a lock held on only one
+// branch into a point does not count), and `defer mu.Unlock()` keeps
+// the lock held through every exit.
+//
+// Two usage conventions keep the check quiet where a lock is genuinely
+// unnecessary: functions whose name ends in "Locked"/"locked" are
+// assumed to run with the guard already held and are skipped entirely,
+// and accesses through a variable this same function freshly
+// constructed (x := &T{...}) are exempt — the value is not shared yet.
+var GuardedBy = &Analyzer{
+	Name: "guardedby",
+	Doc:  "flag struct-field accesses that skip the mutex the rest of the code holds for that field",
+	Hint: "take the inferred mutex around the access, rename the helper with a Locked suffix, or //ndnlint:allow guardedby with the invariant that makes the access safe",
+	Run:  runGuardedBy,
+}
+
+// guardedThreshold is how many lock-held access sites it takes before a
+// mutex is inferred to guard a field.
+const guardedThreshold = 2
+
+// lockName identifies one mutex: a field path on a specific base
+// variable ("e" + "stateMu" for e.stateMu).
+type lockName struct {
+	base *types.Var
+	path string
+}
+
+// lockSet is the must-hold lock state at one program point.
+type lockSet map[lockName]bool
+
+func (s lockSet) clone() lockSet {
+	c := make(lockSet, len(s))
+	for k := range s {
+		c[k] = true
+	}
+	return c
+}
+
+// intersect removes locks not present in o, reporting change.
+func (s lockSet) intersect(o lockSet) bool {
+	changed := false
+	for k := range s {
+		if !o[k] {
+			delete(s, k)
+			changed = true
+		}
+	}
+	return changed
+}
+
+// fieldKey identifies a field of a named struct type.
+type fieldKey struct {
+	typ   *types.Named
+	field string
+}
+
+// fieldAccess is one observed access to a struct field.
+type fieldAccess struct {
+	pos token.Pos
+	// held are the mutex field paths of the same struct held on the
+	// same base variable at the access point.
+	held map[string]bool
+	// exempt accesses count for nothing: constructor-pattern bases.
+	exempt bool
+}
+
+func runGuardedBy(pass *Pass) {
+	// Mutex-bearing structs declared in this package, with their mutex
+	// field names.
+	mutexFields := make(map[*types.Named]map[string]bool)
+	scope := pass.Pkg.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok {
+			continue
+		}
+		named, st := namedStruct(tn.Type())
+		if named == nil {
+			continue
+		}
+		for i := 0; i < st.NumFields(); i++ {
+			f := st.Field(i)
+			if isSyncLock(f.Type()) {
+				if mutexFields[named] == nil {
+					mutexFields[named] = make(map[string]bool)
+				}
+				mutexFields[named][f.Name()] = true
+			}
+		}
+	}
+	if len(mutexFields) == 0 {
+		return
+	}
+
+	accesses := make(map[fieldKey][]fieldAccess)
+	for _, file := range pass.Files {
+		for _, fs := range funcScopes(file) {
+			if n := fs.name(); strings.HasSuffix(n, "Locked") || strings.HasSuffix(n, "locked") {
+				continue // runs with the caller's lock held by convention
+			}
+			collectLockUsage(pass, fs, mutexFields, accesses)
+		}
+	}
+
+	reportUnguarded(pass, accesses)
+}
+
+// collectLockUsage runs the must-hold lock analysis over one function
+// and records every mutex-struct field access with the lock state in
+// force at that point.
+func collectLockUsage(pass *Pass, fs funcScope, mutexFields map[*types.Named]map[string]bool, accesses map[fieldKey][]fieldAccess) {
+	g := fs.graph()
+	fresh := make(map[*types.Var]bool) // memoized constructor-pattern bases
+
+	// Forward must-analysis to fixpoint: in = ∩ out(preds); nil means
+	// "not yet reached" (top).
+	out := make(map[*cfg.Block]lockSet, len(g.Blocks))
+	work := []*cfg.Block{g.Entry}
+	queued := make(map[*cfg.Block]bool)
+	queued[g.Entry] = true
+	in := func(b *cfg.Block) lockSet {
+		if b == g.Entry {
+			return lockSet{}
+		}
+		var s lockSet
+		for _, p := range b.Preds {
+			po := out[p]
+			if po == nil {
+				continue
+			}
+			if s == nil {
+				s = po.clone()
+			} else {
+				s.intersect(po)
+			}
+		}
+		if s == nil {
+			s = lockSet{}
+		}
+		return s
+	}
+	for len(work) > 0 {
+		b := work[0]
+		work = work[1:]
+		queued[b] = false
+		s := in(b)
+		for _, n := range b.Nodes {
+			applyLockOps(pass.Info, n, s)
+		}
+		if !equalLockSets(out[b], s) {
+			out[b] = s
+			for _, succ := range b.Succs {
+				if !queued[succ] {
+					queued[succ] = true
+					work = append(work, succ)
+				}
+			}
+		}
+	}
+
+	// Second pass: walk each block with the solved entry state and
+	// record accesses before applying the node's own lock operations.
+	for _, b := range g.Blocks {
+		s := in(b)
+		for _, n := range b.Nodes {
+			recordAccesses(pass, fs, n, s, mutexFields, fresh, accesses)
+			applyLockOps(pass.Info, n, s)
+		}
+	}
+}
+
+// applyLockOps updates the must-hold set with the lock and unlock calls
+// in node n. Deferred unlocks do not release: they run at function
+// exit, after every access the graph can see.
+func applyLockOps(info *types.Info, n ast.Node, s lockSet) {
+	if _, isDefer := n.(*ast.DeferStmt); isDefer {
+		return
+	}
+	walkNoFuncLit(n, func(m ast.Node) bool {
+		call, ok := m.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fn := funcObj(info, sel.Sel)
+		if fn == nil || pkgPathOf(fn) != "sync" {
+			return true
+		}
+		base, path, ok := fieldChain(info, sel.X)
+		if !ok {
+			return true
+		}
+		switch fn.Name() {
+		case "Lock", "RLock":
+			s[lockName{base, path}] = true
+		case "Unlock", "RUnlock":
+			delete(s, lockName{base, path})
+		}
+		return true
+	})
+}
+
+// recordAccesses logs every field access in n on a mutex-bearing struct
+// declared in this package, with the lock state s in force.
+func recordAccesses(pass *Pass, fs funcScope, n ast.Node, s lockSet, mutexFields map[*types.Named]map[string]bool, fresh map[*types.Var]bool, accesses map[fieldKey][]fieldAccess) {
+	walkNoFuncLit(n, func(m ast.Node) bool {
+		sel, ok := m.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		selection := pass.Info.Selections[sel]
+		if selection == nil || selection.Kind() != types.FieldVal {
+			return true
+		}
+		base, path, ok := fieldChain(pass.Info, sel)
+		if !ok || strings.Contains(path, ".") {
+			return true // only direct fields of the struct
+		}
+		named, _ := namedStruct(base.Type())
+		mutexes := mutexFields[named]
+		if mutexes == nil || mutexes[path] {
+			return true // not a guarded struct, or the mutex itself
+		}
+		held := make(map[string]bool)
+		for mf := range mutexes {
+			if s[lockName{base, mf}] {
+				held[mf] = true
+			}
+		}
+		exempt, cached := fresh[base]
+		if !cached {
+			exempt = freshlyConstructed(fs, pass.Info, base)
+			fresh[base] = exempt
+		}
+		accesses[fieldKey{named, path}] = append(accesses[fieldKey{named, path}], fieldAccess{
+			pos:    sel.Sel.Pos(),
+			held:   held,
+			exempt: exempt,
+		})
+		return true
+	})
+}
+
+// reportUnguarded infers each field's guard from the recorded accesses
+// and flags the sites that skip it.
+func reportUnguarded(pass *Pass, accesses map[fieldKey][]fieldAccess) {
+	keys := make([]fieldKey, 0, len(accesses))
+	for k := range accesses {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.typ.Obj().Name() != b.typ.Obj().Name() {
+			return a.typ.Obj().Name() < b.typ.Obj().Name()
+		}
+		return a.field < b.field
+	})
+	for _, k := range keys {
+		sites := accesses[k]
+		// Count held sites per mutex.
+		counts := make(map[string]int)
+		for _, a := range sites {
+			if a.exempt {
+				continue
+			}
+			for m := range a.held {
+				counts[m]++
+			}
+		}
+		guard, guardCount := "", 0
+		mutexNames := make([]string, 0, len(counts))
+		for m := range counts {
+			mutexNames = append(mutexNames, m)
+		}
+		sort.Strings(mutexNames)
+		for _, m := range mutexNames {
+			if counts[m] > guardCount {
+				guard, guardCount = m, counts[m]
+			}
+		}
+		if guardCount < guardedThreshold {
+			continue
+		}
+		typeName := k.typ.Obj().Name()
+		for _, a := range sites {
+			if a.exempt || a.held[guard] {
+				continue
+			}
+			pass.Reportf(a.pos, "%s.%s is accessed without %s.%s, which guards it at %d other site(s)",
+				typeName, k.field, typeName, guard, guardCount)
+		}
+	}
+}
+
+// equalLockSets reports whether a and b hold exactly the same locks. A
+// nil set (block not yet reached) equals nothing.
+func equalLockSets(a, b lockSet) bool {
+	if a == nil || len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// isSyncLock reports whether t is sync.Mutex or sync.RWMutex.
+func isSyncLock(t types.Type) bool {
+	named, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+}

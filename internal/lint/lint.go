@@ -85,13 +85,19 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
-// All is every check this linter ships, in reporting order.
+// All is every check this linter ships, in reporting order. The first
+// five are single-node AST checks; the last four are flow-sensitive,
+// built on the internal/lint/cfg dataflow engine.
 var All = []*Analyzer{
 	SimDeterminism,
 	GlobalRand,
 	MapOrder,
 	CopyLocks,
 	WireErr,
+	GuardedBy,
+	SeedFlow,
+	ErrShadow,
+	DurUnits,
 }
 
 // ByName returns the named analyzer, or nil.

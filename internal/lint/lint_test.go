@@ -31,6 +31,18 @@ var fixtures = map[string]string{
 	"copylocks_violation":  "ndnprivacy/internal/util",
 	"wireerr_violation":    "ndnprivacy/internal/fwd",
 	"clean":                "ndnprivacy/internal/netsim",
+	"guardedby_violation":  "ndnprivacy/internal/util",
+	"guardedby_clean":      "ndnprivacy/internal/util",
+	"guardedby_allow":      "ndnprivacy/internal/util",
+	"seedflow_violation":   "ndnprivacy/internal/netsim",
+	"seedflow_clean":       "ndnprivacy/internal/netsim",
+	"seedflow_allow":       "ndnprivacy/internal/netsim",
+	"errshadow_violation":  "ndnprivacy/internal/util",
+	"errshadow_clean":      "ndnprivacy/internal/util",
+	"errshadow_allow":      "ndnprivacy/internal/util",
+	"durunits_violation":   "ndnprivacy/internal/util",
+	"durunits_clean":       "ndnprivacy/internal/util",
+	"durunits_allow":       "ndnprivacy/internal/util",
 }
 
 // expectFiring names the fixtures that must produce at least one finding
@@ -41,11 +53,21 @@ var expectFiring = map[string]string{
 	"maporder_violation":   "maporder",
 	"copylocks_violation":  "copylocks",
 	"wireerr_violation":    "wireerr",
+	"guardedby_violation":  "guardedby",
+	"seedflow_violation":   "seedflow",
+	"errshadow_violation":  "errshadow",
+	"durunits_violation":   "durunits",
 }
 
 // expectClean names the fixtures that must stay silent: clean idiomatic
-// code, the suppression negative fixture, and the rt boundary.
-var expectClean = []string{"clean", "simdet_allow", "simdet_rtexempt", "maporder_clean"}
+// code, the suppression negative fixtures, and the rt boundary.
+var expectClean = []string{
+	"clean", "simdet_allow", "simdet_rtexempt", "maporder_clean",
+	"guardedby_clean", "guardedby_allow",
+	"seedflow_clean", "seedflow_allow",
+	"errshadow_clean", "errshadow_allow",
+	"durunits_clean", "durunits_allow",
+}
 
 func TestGolden(t *testing.T) {
 	imp := newFixtureImporter(t, filepath.Join("testdata", "src"))

@@ -1,0 +1,170 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"ndnprivacy/internal/lint/cfg"
+)
+
+// SeedFlow is the taint complement to globalrand: inside the
+// deterministic packages it checks where the seed handed to
+// rand.NewSource / rand.NewPCG actually comes from. A scenario's
+// randomness must be data-flow-reachable from a seed parameter or a
+// config field so the -seed flag reaches every RNG; a literal seed
+// buried in library code makes "different seeds" silently share a
+// stream, and a wall-clock-derived seed makes identical seeds diverge.
+// The argument expression is traced backward through the function's
+// reaching definitions: reaching a parameter, receiver, struct field,
+// or any value the analysis cannot see (call results, globals) passes;
+// an argument that reduces to nothing but compile-time constants — or
+// that touches the time package on the way — is flagged.
+var SeedFlow = &Analyzer{
+	Name: "seedflow",
+	Doc:  "flag RNG seeds in deterministic packages that are constants or wall-clock-derived instead of flowing from a seed parameter/config",
+	Hint: "thread the scenario seed (config field or parameter) into the rand.NewSource argument; derive per-component seeds from it arithmetically",
+	Run:  runSeedFlow,
+}
+
+// seedSinkFuncs are the math/rand constructors whose arguments are
+// seeds.
+var seedSinkFuncs = map[string]bool{
+	"NewSource": true, // math/rand, math/rand/v2
+	"NewPCG":    true, // math/rand/v2
+}
+
+func runSeedFlow(pass *Pass) {
+	if !isDeterministicPkg(pass.Pkg.Path()) {
+		return
+	}
+	for _, file := range pass.Files {
+		for _, fs := range funcScopes(file) {
+			checkSeedFlow(pass, fs)
+		}
+	}
+}
+
+func checkSeedFlow(pass *Pass, fs funcScope) {
+	g := fs.graph()
+	reach := cfg.NewReaching(g, pass.Info, cfg.ParamVars(pass.Info, fs.recv, fs.ftype))
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			walkNoFuncLit(n, func(m ast.Node) bool {
+				call, ok := m.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := calleeFunc(pass.Info, call)
+				if fn == nil || !seedSinkFuncs[fn.Name()] {
+					return true
+				}
+				if p := pkgPathOf(fn); p != "math/rand" && p != "math/rand/v2" {
+					return true
+				}
+				for _, arg := range call.Args {
+					tr := traceSeed(pass.Info, reach, arg, n, make(map[*ast.Ident]bool))
+					switch {
+					case tr.wallClock:
+						pass.Reportf(arg.Pos(), "seed for rand.%s derives from the wall clock; fixed-seed runs will diverge", fn.Name())
+					case !tr.external:
+						pass.Reportf(arg.Pos(), "seed for rand.%s reduces to a compile-time constant; it is unreachable from any scenario seed", fn.Name())
+					}
+				}
+				return true
+			})
+		}
+	}
+}
+
+// seedTrace is what backward-tracing a seed expression found.
+type seedTrace struct {
+	// external: the value (possibly partially) flows from outside the
+	// constant pool — a parameter, field, global, or call result.
+	external bool
+	// wallClock: a time-package call feeds the value.
+	wallClock bool
+}
+
+func (t *seedTrace) merge(o seedTrace) {
+	t.external = t.external || o.external
+	t.wallClock = t.wallClock || o.wallClock
+}
+
+// traceSeed classifies expression e as observed at node at, following
+// local variables backward through their reaching definitions. seen is
+// keyed by definition site so loop-carried updates terminate.
+func traceSeed(info *types.Info, reach *cfg.Reaching, e ast.Expr, at ast.Node, seen map[*ast.Ident]bool) seedTrace {
+	var tr seedTrace
+	e = ast.Unparen(e)
+
+	// A wall-clock source anywhere in the expression taints it even if
+	// the subexpression is constant-folded away.
+	walkNoFuncLit(e, func(m ast.Node) bool {
+		if id, ok := m.(*ast.Ident); ok {
+			if fn := funcObj(info, id); fn != nil && pkgPathOf(fn) == "time" {
+				tr.wallClock = true
+			}
+		}
+		return true
+	})
+
+	if tv, ok := info.Types[e]; ok && tv.Value != nil {
+		return tr // compile-time constant: not external
+	}
+	switch x := e.(type) {
+	case *ast.Ident:
+		if _, isConst := info.Uses[x].(*types.Const); isConst {
+			return tr // named constant: still constant
+		}
+		v, ok := info.Uses[x].(*types.Var)
+		if !ok {
+			tr.external = true // func value or similar: out of scope
+			return tr
+		}
+		defs := reach.DefsOf(v, at)
+		if len(defs) == 0 {
+			tr.external = true // global or captured: can't see it, trust it
+			return tr
+		}
+		for _, d := range defs {
+			if d.Ident == nil {
+				tr.external = true // parameter entry definition
+				continue
+			}
+			if seen[d.Ident] {
+				continue // already traced this definition site
+			}
+			seen[d.Ident] = true
+			if d.Rhs == nil && !isCompoundDef(d.Node) {
+				tr.external = true // opaque binding (range, tuple call)
+				continue
+			}
+			if d.Rhs != nil {
+				tr.merge(traceSeed(info, reach, d.Rhs, d.Node, seen))
+			}
+			if isCompoundDef(d.Node) {
+				tr.merge(traceSeed(info, reach, x, d.Node, seen))
+			}
+		}
+		return tr
+	case *ast.BinaryExpr:
+		tr.merge(traceSeed(info, reach, x.X, at, seen))
+		tr.merge(traceSeed(info, reach, x.Y, at, seen))
+		return tr
+	case *ast.UnaryExpr:
+		tr.merge(traceSeed(info, reach, x.X, at, seen))
+		return tr
+	case *ast.CallExpr:
+		if tv, ok := info.Types[x.Fun]; ok && tv.IsType() && len(x.Args) == 1 {
+			tr.merge(traceSeed(info, reach, x.Args[0], at, seen))
+			return tr
+		}
+		tr.external = true // function result: assume it carries the seed
+		return tr
+	default:
+		// Selectors (cfg.Seed), index expressions, channel receives:
+		// values from outside the local constant pool.
+		tr.external = true
+		return tr
+	}
+}

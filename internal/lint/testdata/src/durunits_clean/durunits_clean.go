@@ -1,0 +1,40 @@
+// Package util holds duration-construction idioms the durunits
+// analyzer must accept: explicit unit multipliers, operands whose
+// dataflow contains a time.Duration, named domain types, and
+// compile-time constants.
+package util
+
+import "time"
+
+// Fixed is a named domain type that carries its own unit semantics.
+type Fixed time.Duration
+
+// Scaled multiplies the conversion by a unit: the idiomatic form.
+func Scaled(ms int64) time.Duration {
+	return time.Duration(ms) * time.Millisecond
+}
+
+// FromDuration's operand derives from a duration — float math on
+// float64(d) keeps the unit provenance.
+func FromDuration(d time.Duration, factor float64) time.Duration {
+	f := float64(d) * factor
+	return time.Duration(f)
+}
+
+// Jittered mixes a duration into the operand via a conversion chain.
+func Jittered(base time.Duration, steps int64) time.Duration {
+	return base + time.Duration(int64(base)/max(steps, 1))
+}
+
+// Named converts a domain type that already encodes the unit.
+func Named(f Fixed) time.Duration {
+	return time.Duration(f)
+}
+
+// Constant operands are the author's explicit choice.
+const tickNs = 100
+
+// Tick builds from a named constant.
+func Tick() time.Duration {
+	return time.Duration(tickNs)
+}

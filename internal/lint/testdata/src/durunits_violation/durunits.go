@@ -1,0 +1,19 @@
+// Package util exercises the durunits analyzer: time.Duration built
+// from bare numbers silently means nanoseconds.
+package util
+
+import "time"
+
+// Timeout converts a bare int parameter: 50 meant as milliseconds
+// becomes 50ns.
+func Timeout(ms int) time.Duration {
+	return time.Duration(ms)
+}
+
+// Derived converts a locally computed bare number; reaching-definitions
+// tracing finds no unit anywhere in its flow.
+func Derived(n int) time.Duration {
+	v := n * 3
+	v += 10
+	return time.Duration(v)
+}

@@ -1,0 +1,23 @@
+// Package util proves //ndnlint:allow suppresses errshadow findings.
+package util
+
+import "errors"
+
+func fetch(n int) (int, error) {
+	if n < 0 {
+		return 0, errors.New("negative")
+	}
+	return n, nil
+}
+
+// BestEffort intentionally ignores the probe error: documented and
+// suppressed.
+func BestEffort(n int) (int, error) {
+	//ndnlint:allow errshadow — warm-up probe, its failure is expected and irrelevant
+	a, err := fetch(n)
+	b, err := fetch(a + 1)
+	if err != nil {
+		return 0, err
+	}
+	return b, nil
+}

@@ -1,0 +1,73 @@
+// Package util holds error-handling shapes the errshadow analyzer must
+// accept: path-sensitive reads, loop-carried errors, closures, named
+// results, and declared-then-filled error slots.
+package util
+
+import "errors"
+
+func probe(n int) (int, error) {
+	if n == 0 {
+		return 0, errors.New("zero")
+	}
+	return n, nil
+}
+
+// Checked reads every assignment.
+func Checked(n int) (int, error) {
+	a, err := probe(n)
+	if err != nil {
+		return 0, err
+	}
+	b, err := probe(a)
+	if err != nil {
+		return 0, err
+	}
+	return b, nil
+}
+
+// BranchRead reads err on one branch only — live on that path, so the
+// assignment is not dead.
+func BranchRead(n int, verbose bool) int {
+	a, err := probe(n)
+	if verbose && err != nil {
+		return -1
+	}
+	return a
+}
+
+// Retry keeps the last error of a loop: the assignment in the body is
+// read by the loop condition and after the loop.
+func Retry(n int) error {
+	var err error
+	for i := 0; i < 3 && err == nil; i++ {
+		_, err = probe(n + i)
+	}
+	return err
+}
+
+// Slot declares an error branches fill in; the bare declaration is not
+// a dead store.
+func Slot(n int, alt bool) error {
+	var err error
+	if alt {
+		_, err = probe(n)
+	} else {
+		_, err = probe(-n)
+	}
+	return err
+}
+
+// Captured is read by a closure, so intraprocedural order proves
+// nothing; the analyzer must stay quiet.
+func Captured(n int) func() error {
+	_, err := probe(n)
+	read := func() error { return err }
+	_, err = probe(n + 1)
+	return read
+}
+
+// Named assigns the named result; the return reads it implicitly.
+func Named(n int) (err error) {
+	_, err = probe(n)
+	return
+}

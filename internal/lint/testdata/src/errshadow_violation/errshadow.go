@@ -1,0 +1,31 @@
+// Package util exercises the errshadow analyzer: error values that
+// every path overwrites before reading.
+package util
+
+import "errors"
+
+func step(n int) (int, error) {
+	if n < 0 {
+		return 0, errors.New("negative")
+	}
+	return n + 1, nil
+}
+
+// Dropped loses step's first error: err is reassigned by the second
+// call on the only path, so the first assignment is dead.
+func Dropped(n int) (int, error) {
+	a, err := step(n)
+	b, err := step(a)
+	if err != nil {
+		return 0, err
+	}
+	return b, nil
+}
+
+// Clobbered overwrites a plain error assignment without a read in
+// between.
+func Clobbered(n int) error {
+	_, err := step(n)
+	err = errors.New("replaced")
+	return err
+}

@@ -1,0 +1,31 @@
+// Package util proves //ndnlint:allow suppresses guardedby findings.
+package util
+
+import "sync"
+
+// Box's mu guards val at two sites.
+type Box struct {
+	mu  sync.Mutex
+	val int
+}
+
+// Put holds the lock.
+func (b *Box) Put(v int) {
+	b.mu.Lock()
+	b.val = v
+	b.mu.Unlock()
+}
+
+// Take holds the lock.
+func (b *Box) Take() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.val
+}
+
+// Peek documents why the lockless read is safe and suppresses the
+// finding.
+func (b *Box) Peek() int {
+	//ndnlint:allow guardedby — single-writer phase, read-only snapshot for stats
+	return b.val
+}

@@ -1,0 +1,37 @@
+// Package util exercises the guardedby analyzer: Counter.mu guards n
+// at two sites, so the lockless read in Skip must be flagged.
+package util
+
+import "sync"
+
+// Counter is a mutex-bearing struct: usage infers mu guards n.
+type Counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+// Inc holds the lock: first guarded site.
+func (c *Counter) Inc() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+// Get holds the lock through a defer: second guarded site.
+func (c *Counter) Get() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+// Skip reads n without the lock: the violation.
+func (c *Counter) Skip() int {
+	return c.n
+}
+
+// Racy writes n after releasing the lock: also a violation.
+func (c *Counter) Racy() {
+	c.mu.Lock()
+	c.mu.Unlock()
+	c.n = 0
+}

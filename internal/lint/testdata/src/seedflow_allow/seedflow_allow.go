@@ -1,0 +1,11 @@
+// Package netsim (fixture) proves //ndnlint:allow suppresses seedflow.
+package netsim
+
+import "math/rand"
+
+// CalibrationStream uses a deliberately pinned stream, documented and
+// suppressed.
+func CalibrationStream() *rand.Rand {
+	//ndnlint:allow seedflow — calibration table is defined for this exact stream
+	return rand.New(rand.NewSource(1))
+}

@@ -1,0 +1,33 @@
+// Package netsim (fixture) holds seeding idioms the seedflow analyzer
+// must accept: seeds flowing from parameters and config fields, with
+// arbitrary arithmetic derivation on the way.
+package netsim
+
+import "math/rand"
+
+// Config carries the scenario seed.
+type Config struct {
+	Seed int64
+}
+
+// FromConfig seeds from a config field.
+func FromConfig(cfg Config) *rand.Rand {
+	return rand.New(rand.NewSource(cfg.Seed))
+}
+
+// Derived mixes a parameter seed with a shard index — the per-component
+// derivation pattern the experiments use.
+func Derived(seed int64, shard int) *rand.Rand {
+	s := seed + int64(shard)*1000
+	return rand.New(rand.NewSource(s))
+}
+
+// Looped accumulates into the seed before use; the compound assignment
+// still traces back to the parameter.
+func Looped(seed int64, rounds int) *rand.Rand {
+	s := seed
+	for i := 0; i < rounds; i++ {
+		s += int64(i)
+	}
+	return rand.New(rand.NewSource(s))
+}

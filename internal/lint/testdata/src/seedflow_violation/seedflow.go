@@ -1,0 +1,21 @@
+// Package netsim (fixture) exercises the seedflow analyzer inside a
+// deterministic package: RNG seeds must flow from a parameter or
+// config field, not reduce to compile-time constants.
+package netsim
+
+import "math/rand"
+
+// FixedSeed hands rand.NewSource a literal: the -seed flag can never
+// reach this stream.
+func FixedSeed() *rand.Rand {
+	return rand.New(rand.NewSource(42))
+}
+
+// LaunderedConst derives the seed purely from constants through two
+// local definitions; reaching-definitions tracing still reduces it to
+// a constant.
+func LaunderedConst() *rand.Rand {
+	seed := int64(7)
+	seed = seed*2 + 1
+	return rand.New(rand.NewSource(seed))
+}
