@@ -9,10 +9,18 @@
 //
 //	ndnsim -fig 3a|3b|3c|3d|seg|scope|corr|loss|counter|conv|place|all
 //	       [-objects N] [-runs N] [-seed S] [-json]
+//	       [-metrics FILE] [-trace FILE]
 //
 // The paper's scale is -objects 1000 -runs 50; defaults are smaller so a
 // full sweep finishes in seconds. With -json, structured results are
 // written to stdout instead of rendered tables.
+//
+// -metrics writes a snapshot of every counter/gauge/histogram the
+// figure-3 simulations touched (Prometheus text exposition, or a JSON
+// document when FILE ends in .json). -trace streams an NDJSON event
+// record per forwarding decision, cache transition, countermeasure coin,
+// and adversary probe, stamped with virtual time. Both outputs are
+// byte-identical across runs with the same seed.
 package main
 
 import (
@@ -22,6 +30,8 @@ import (
 
 	"ndnprivacy/internal/attack"
 	"ndnprivacy/internal/experiments"
+	"ndnprivacy/internal/netsim"
+	"ndnprivacy/internal/telemetry"
 )
 
 func main() {
@@ -38,6 +48,8 @@ func run() error {
 	seed := flag.Int64("seed", 1, "experiment seed")
 	jsonMode := flag.Bool("json", false, "emit structured JSON instead of tables")
 	paper := flag.Bool("paper", false, "run at the paper's scale (-objects 1000 -runs 50)")
+	metricsPath := flag.String("metrics", "", "write a metrics snapshot of the figure-3 simulations (.json → JSON, else Prometheus text)")
+	tracePath := flag.String("trace", "", "write an NDJSON virtual-time event trace of the figure-3 simulations")
 	flag.Parse()
 	if *paper {
 		*objects, *runs = 1000, 50
@@ -50,6 +62,32 @@ func run() error {
 	}
 
 	cfg := experiments.Figure3Config{Seed: *seed, Objects: *objects, Runs: *runs}
+
+	var reg *telemetry.Registry
+	if *metricsPath != "" {
+		reg = telemetry.NewRegistry()
+	}
+	var tracer *telemetry.TraceWriter
+	var sink telemetry.Sink
+	if *tracePath != "" {
+		traceFile, err := os.Create(*tracePath)
+		if err != nil {
+			return err
+		}
+		defer traceFile.Close()
+		tracer = telemetry.NewTraceWriter(traceFile)
+		sink = tracer
+	}
+	if reg != nil || sink != nil {
+		cfg.Observe = func(run int, sim *netsim.Simulator) {
+			sim.SetTelemetry(reg, sink)
+			telemetry.Emit(sink, telemetry.Event{
+				At:   int64(sim.Now()),
+				Type: telemetry.EvRunStart,
+				Run:  run,
+			})
+		}
+	}
 	all := *fig == "all"
 	report := experiments.NewReporter(os.Stdout, *jsonMode)
 
@@ -131,5 +169,18 @@ func run() error {
 		}
 		report.Add("conversation-detection", res)
 	}
-	return report.Flush()
+	if err := report.Flush(); err != nil {
+		return err
+	}
+	if tracer != nil {
+		if err := tracer.Flush(); err != nil {
+			return fmt.Errorf("trace: %w", err)
+		}
+	}
+	if reg != nil {
+		if err := reg.Snapshot().WriteFile(*metricsPath); err != nil {
+			return fmt.Errorf("metrics: %w", err)
+		}
+	}
+	return nil
 }

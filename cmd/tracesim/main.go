@@ -8,9 +8,16 @@
 //
 //	tracesim -fig 5a|5b|ablate|all [-requests N] [-seed S]
 //	         [-private 0.1] [-k 5] [-eps 0.005] [-json]
+//	         [-metrics FILE] [-trace FILE]
 //
 // The paper's scale is -requests 3200000; the default keeps a full sweep
 // under a minute.
+//
+// -metrics writes a snapshot of the replayed caches' counters
+// (Prometheus text exposition, or JSON when FILE ends in .json);
+// -trace streams an NDJSON record per cache insert/evict and
+// countermeasure coin, labeled per (figure, algorithm, cache size)
+// cell. Both apply to the 5a/5b replays and -squidlog runs.
 package main
 
 import (
@@ -20,6 +27,7 @@ import (
 
 	"ndnprivacy/internal/core"
 	"ndnprivacy/internal/experiments"
+	"ndnprivacy/internal/telemetry"
 	"ndnprivacy/internal/trace"
 )
 
@@ -40,10 +48,44 @@ func run() error {
 	jsonMode := flag.Bool("json", false, "emit structured JSON instead of tables")
 	squidLog := flag.String("squidlog", "", "replay a real Squid/IRCache access log instead of the synthetic trace")
 	cacheSize := flag.Int("cache", 2000, "cache size for -squidlog replay (0 = unlimited)")
+	metricsPath := flag.String("metrics", "", "write a metrics snapshot of the replayed caches (.json → JSON, else Prometheus text)")
+	tracePath := flag.String("trace", "", "write an NDJSON event trace of the replayed caches")
 	flag.Parse()
 
+	var reg *telemetry.Registry
+	if *metricsPath != "" {
+		reg = telemetry.NewRegistry()
+	}
+	var tracer *telemetry.TraceWriter
+	var sink telemetry.Sink
+	if *tracePath != "" {
+		traceFile, err := os.Create(*tracePath)
+		if err != nil {
+			return err
+		}
+		defer traceFile.Close()
+		tracer = telemetry.NewTraceWriter(traceFile)
+		sink = tracer
+	}
+	finishTelemetry := func() error {
+		if tracer != nil {
+			if err := tracer.Flush(); err != nil {
+				return fmt.Errorf("trace: %w", err)
+			}
+		}
+		if reg != nil {
+			if err := reg.Snapshot().WriteFile(*metricsPath); err != nil {
+				return fmt.Errorf("metrics: %w", err)
+			}
+		}
+		return nil
+	}
+
 	if *squidLog != "" {
-		return replaySquid(*squidLog, *cacheSize, *private, *seed, *k, *eps)
+		if err := replaySquid(*squidLog, *cacheSize, *private, *seed, *k, *eps, reg, sink); err != nil {
+			return err
+		}
+		return finishTelemetry()
 	}
 
 	switch *fig {
@@ -58,6 +100,8 @@ func run() error {
 		K:               *k,
 		Epsilon:         *eps,
 		PrivateFraction: *private,
+		Metrics:         reg,
+		Trace:           sink,
 	}
 	all := *fig == "all"
 	report := experiments.NewReporter(os.Stdout, *jsonMode)
@@ -88,12 +132,15 @@ func run() error {
 		}
 		report.Add("ablation-delay-strategy", delays)
 	}
-	return report.Flush()
+	if err := report.Flush(); err != nil {
+		return err
+	}
+	return finishTelemetry()
 }
 
 // replaySquid runs a real proxy log through all four Section VII
 // algorithms at one cache size and prints the hit rates.
-func replaySquid(path string, cacheSize int, private float64, seed int64, k uint64, eps float64) error {
+func replaySquid(path string, cacheSize int, private float64, seed int64, k uint64, eps float64, reg *telemetry.Registry, sink telemetry.Sink) error {
 	algorithms := []struct {
 		name  string
 		build func() (core.CacheManager, error)
@@ -128,7 +175,13 @@ func replaySquid(path string, cacheSize int, private float64, seed int64, k uint
 		stats, err := trace.ReplaySquidLog(f, trace.SquidOptions{
 			PrivateFraction: private,
 			Seed:            seed,
-		}, trace.ReplayConfig{CacheSize: cacheSize, Manager: manager})
+		}, trace.ReplayConfig{
+			CacheSize: cacheSize,
+			Manager:   manager,
+			Metrics:   reg,
+			Trace:     sink,
+			Node:      "squid/" + algo.name,
+		})
 		closeErr := f.Close()
 		if err != nil {
 			return err

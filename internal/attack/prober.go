@@ -13,6 +13,7 @@ import (
 	"ndnprivacy/internal/fwd"
 	"ndnprivacy/internal/ndn"
 	"ndnprivacy/internal/netsim"
+	"ndnprivacy/internal/telemetry"
 )
 
 // ErrProbeFailed is returned when a probe interest times out or the
@@ -26,6 +27,7 @@ var ErrProbeFailed = errors.New("attack: probe did not complete")
 type Prober struct {
 	consumer *fwd.Consumer
 	sim      *netsim.Simulator
+	host     string
 }
 
 // NewProber attaches an adversarial consumer to the given host.
@@ -38,7 +40,7 @@ func NewProber(host *fwd.Forwarder) (*Prober, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Prober{consumer: consumer, sim: sim}, nil
+	return &Prober{consumer: consumer, sim: sim, host: host.Name()}, nil
 }
 
 // Consumer exposes the underlying consumer for compound scenarios.
@@ -63,9 +65,29 @@ func (p *Prober) probe(interest *ndn.Interest) (time.Duration, error) {
 	})
 	p.sim.Run()
 	if !resolved || res.TimedOut {
+		p.emitProbe(interest.Name, "timeout", 0)
 		return 0, ErrProbeFailed
 	}
+	p.emitProbe(interest.Name, "ok", res.RTT)
 	return res.RTT, nil
+}
+
+// emitProbe records one adversary measurement in the event trace: the
+// probed name, whether it resolved, and the observed RTT (the timing
+// side channel itself).
+func (p *Prober) emitProbe(name ndn.Name, action string, rtt time.Duration) {
+	sink := p.sim.TraceSink()
+	if sink == nil {
+		return
+	}
+	sink.Emit(telemetry.Event{
+		At:      int64(p.sim.Now()),
+		Type:    telemetry.EvProbe,
+		Node:    p.host,
+		Name:    name.Key(),
+		Action:  action,
+		DelayNS: int64(rtt),
+	})
 }
 
 // DoubleProbe implements the Section III reference measurement: request
@@ -98,7 +120,13 @@ func (p *Prober) ScopeProbe(name ndn.Name) (bool, error) {
 	})
 	p.sim.Run()
 	if !resolved {
+		p.emitProbe(name, "timeout", 0)
 		return false, ErrProbeFailed
+	}
+	if res.TimedOut {
+		p.emitProbe(name, "scope-miss", 0)
+	} else {
+		p.emitProbe(name, "scope-hit", res.RTT)
 	}
 	return !res.TimedOut, nil
 }

@@ -29,6 +29,11 @@ type ScenarioConfig struct {
 	// MarkPrivate marks published content private, so countermeasure
 	// runs exercise the privacy path.
 	MarkPrivate bool
+	// Observe, when non-nil, is invoked with each run's freshly built
+	// simulator before any topology exists — the hook where callers
+	// attach telemetry (Simulator.SetTelemetry) and stamp run-start
+	// trace records.
+	Observe func(run int, sim *netsim.Simulator)
 }
 
 func (c *ScenarioConfig) setDefaults() {
@@ -55,6 +60,13 @@ type Result struct {
 	Accuracy float64
 	// Threshold is the RTT cut (ms) achieving Accuracy.
 	Threshold float64
+	// Steps is the total number of simulator events executed across all
+	// runs; VirtualSeconds is the total virtual time those runs covered.
+	// EventsPerVirtualSec is their ratio — a cost measure independent of
+	// host speed.
+	Steps               uint64
+	VirtualSeconds      float64
+	EventsPerVirtualSec float64
 }
 
 func (r *Result) finalize() error {
@@ -67,7 +79,23 @@ func (r *Result) finalize() error {
 		return fmt.Errorf("attack: %s: no miss samples: %w", r.Label, err)
 	}
 	r.Accuracy, r.Threshold = stats.ThresholdAccuracy(hit, miss)
+	if r.VirtualSeconds > 0 {
+		r.EventsPerVirtualSec = float64(r.Steps) / r.VirtualSeconds
+	}
 	return nil
+}
+
+// observeRun invokes the caller's telemetry hook for a fresh simulator.
+func (c *ScenarioConfig) observeRun(run int, sim *netsim.Simulator) {
+	if c.Observe != nil {
+		c.Observe(run, sim)
+	}
+}
+
+// accountRun folds one finished run's simulator cost into the result.
+func (r *Result) accountRun(sim *netsim.Simulator) {
+	r.Steps += sim.Steps()
+	r.VirtualSeconds += sim.Now().Seconds()
 }
 
 // Histograms bins both sample sets identically for PDF rendering, using
@@ -166,6 +194,7 @@ func runConsumerScenario(label string, cfg ScenarioConfig, extraEdgeRouters int,
 	}
 	for run := 0; run < cfg.Runs; run++ {
 		sim := netsim.New(cfg.Seed + int64(run)*7919)
+		cfg.observeRun(run, sim)
 		var manager core.CacheManager
 		if cfg.Manager != nil {
 			manager = cfg.Manager(sim)
@@ -279,6 +308,7 @@ func runConsumerScenario(label string, cfg ScenarioConfig, extraEdgeRouters int,
 			}
 			res.Hit = append(res.Hit, ms(rtt))
 		}
+		res.accountRun(sim)
 	}
 	if err := res.finalize(); err != nil {
 		return nil, err
@@ -299,6 +329,7 @@ func RunProducerPrivacy(cfg ScenarioConfig) (*Result, error) {
 	}
 	for run := 0; run < cfg.Runs; run++ {
 		sim := netsim.New(cfg.Seed + int64(run)*104729)
+		cfg.observeRun(run, sim)
 		var manager core.CacheManager
 		if cfg.Manager != nil {
 			manager = cfg.Manager(sim)
@@ -401,6 +432,7 @@ func RunProducerPrivacy(cfg ScenarioConfig) (*Result, error) {
 			}
 			res.Hit = append(res.Hit, ms(rtt))
 		}
+		res.accountRun(sim)
 	}
 	if err := res.finalize(); err != nil {
 		return nil, err
@@ -420,6 +452,7 @@ func RunLocalHost(cfg ScenarioConfig) (*Result, error) {
 	}
 	for run := 0; run < cfg.Runs; run++ {
 		sim := netsim.New(cfg.Seed + int64(run)*1299709)
+		cfg.observeRun(run, sim)
 		var manager core.CacheManager
 		if cfg.Manager != nil {
 			manager = cfg.Manager(sim)
@@ -480,6 +513,7 @@ func RunLocalHost(cfg ScenarioConfig) (*Result, error) {
 			}
 			res.Hit = append(res.Hit, ms(rtt))
 		}
+		res.accountRun(sim)
 	}
 	if err := res.finalize(); err != nil {
 		return nil, err

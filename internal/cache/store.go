@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"ndnprivacy/internal/ndn"
+	"ndnprivacy/internal/telemetry"
 )
 
 // Entry is one cached content object plus the metadata the paper's cache
@@ -59,8 +60,15 @@ type Store struct {
 	index    *nameIndex
 	onEvict  func(*Entry)
 
-	insertions uint64
-	evictions  uint64
+	// Activity counters live on telemetry.Counter so an instrumented
+	// store shares them with the run's registry; uninstrumented stores
+	// use standalone counters, so the accessors below always work.
+	insertions *telemetry.Counter
+	evictions  *telemetry.Counter
+	hits       *telemetry.Counter
+	misses     *telemetry.Counter
+	sink       telemetry.Sink
+	node       string
 }
 
 // NewStore creates a store with the given capacity and eviction policy.
@@ -76,10 +84,14 @@ func NewStore(capacity int, policy Policy) (*Store, error) {
 		policy = NewLRU() // harmless bookkeeping for unlimited stores
 	}
 	return &Store{
-		capacity: capacity,
-		policy:   policy,
-		entries:  make(map[string]*Entry),
-		index:    newNameIndex(),
+		capacity:   capacity,
+		policy:     policy,
+		entries:    make(map[string]*Entry),
+		index:      newNameIndex(),
+		insertions: telemetry.NewCounter(),
+		evictions:  telemetry.NewCounter(),
+		hits:       telemetry.NewCounter(),
+		misses:     telemetry.NewCounter(),
 	}, nil
 }
 
@@ -99,11 +111,45 @@ func (s *Store) Len() int { return len(s.entries) }
 // Capacity returns the configured capacity (0 = unlimited).
 func (s *Store) Capacity() int { return s.capacity }
 
-// Evictions returns the running count of capacity evictions.
-func (s *Store) Evictions() uint64 { return s.evictions }
+// Evictions returns the running count of capacity evictions. It reads
+// the telemetry counter, so instrumented and standalone stores report
+// identically.
+func (s *Store) Evictions() uint64 { return s.evictions.Value() }
 
 // Insertions returns the running count of inserted objects.
-func (s *Store) Insertions() uint64 { return s.insertions }
+func (s *Store) Insertions() uint64 { return s.insertions.Value() }
+
+// Hits returns the running count of lookups answered by a fresh entry
+// (Match or Exact), including hits the privacy layer later disguises.
+func (s *Store) Hits() uint64 { return s.hits.Value() }
+
+// Misses returns the running count of lookups that found no fresh entry.
+func (s *Store) Misses() uint64 { return s.misses.Value() }
+
+// Instrument moves the store's counters onto the given registry under
+// node-labeled identifiers and attaches the trace sink for insert/evict
+// events. Running totals carry over. Either argument may be nil; call
+// once, before or after traffic.
+func (s *Store) Instrument(reg *telemetry.Registry, sink telemetry.Sink, node string) {
+	if reg != nil {
+		s.insertions = adoptCounter(reg, "ndn_cs_insertions_total", node, s.insertions)
+		s.evictions = adoptCounter(reg, "ndn_cs_evictions_total", node, s.evictions)
+		s.hits = adoptCounter(reg, "ndn_cs_hits_total", node, s.hits)
+		s.misses = adoptCounter(reg, "ndn_cs_misses_total", node, s.misses)
+	}
+	s.sink = sink
+	s.node = node
+}
+
+// adoptCounter registers a node-labeled counter and folds the standalone
+// counter's running total into it.
+func adoptCounter(reg *telemetry.Registry, name, node string, old *telemetry.Counter) *telemetry.Counter {
+	c := reg.Counter(telemetry.ID(name, "node", node))
+	if c != old {
+		c.Add(old.Value())
+	}
+	return c
+}
 
 // PolicyName returns the eviction policy's name.
 func (s *Store) PolicyName() string { return s.policy.Name() }
@@ -126,6 +172,7 @@ func (s *Store) Insert(data *ndn.Data, now, fetchDelay time.Duration) *Entry {
 		existing.InsertedAt = now
 		existing.FetchDelay = fetchDelay
 		s.policy.OnInsert(key)
+		s.emit(telemetry.EvCSInsert, key, now, "refresh")
 		return existing
 	}
 	for s.capacity > 0 && len(s.entries) >= s.capacity {
@@ -133,8 +180,8 @@ func (s *Store) Insert(data *ndn.Data, now, fetchDelay time.Duration) *Entry {
 		if !found {
 			break
 		}
-		s.removeKey(victim)
-		s.evictions++
+		s.removeKey(victim, now, "capacity")
+		s.evictions.Inc()
 	}
 	entry := &Entry{
 		Data:       data.Clone(),
@@ -145,21 +192,39 @@ func (s *Store) Insert(data *ndn.Data, now, fetchDelay time.Duration) *Entry {
 	s.entries[key] = entry
 	s.index.insert(data.Name)
 	s.policy.OnInsert(key)
-	s.insertions++
+	s.insertions.Inc()
+	s.emit(telemetry.EvCSInsert, key, now, "new")
 	return entry
 }
 
 // Exact returns the entry whose name equals name exactly, if fresh.
 func (s *Store) Exact(name ndn.Name, now time.Duration) (*Entry, bool) {
+	entry, found := s.lookupExact(name, now)
+	s.countLookup(found)
+	return entry, found
+}
+
+// lookupExact is Exact without hit/miss accounting, shared with Match so
+// one logical lookup is counted exactly once.
+func (s *Store) lookupExact(name ndn.Name, now time.Duration) (*Entry, bool) {
 	entry, found := s.entries[name.Key()]
 	if !found {
 		return nil, false
 	}
 	if entry.IsStale(now) {
-		s.removeKey(name.Key())
+		s.removeKey(name.Key(), now, "stale")
 		return nil, false
 	}
 	return entry, true
+}
+
+// countLookup records one lookup outcome.
+func (s *Store) countLookup(hit bool) {
+	if hit {
+		s.hits.Inc()
+	} else {
+		s.misses.Inc()
+	}
 }
 
 // Match finds a cached object satisfying the interest under NDN's
@@ -169,7 +234,8 @@ func (s *Store) Exact(name ndn.Name, now time.Duration) (*Entry, bool) {
 // runs deterministic.
 func (s *Store) Match(interest *ndn.Interest, now time.Duration) (*Entry, bool) {
 	// Fast path: exact name.
-	if entry, found := s.Exact(interest.Name, now); found {
+	if entry, found := s.lookupExact(interest.Name, now); found {
+		s.countLookup(true)
 		return entry, true
 	}
 	for _, full := range s.index.under(interest.Name) {
@@ -178,13 +244,15 @@ func (s *Store) Match(interest *ndn.Interest, now time.Duration) (*Entry, bool) 
 			continue
 		}
 		if entry.IsStale(now) {
-			s.removeKey(full.Key())
+			s.removeKey(full.Key(), now, "stale")
 			continue
 		}
 		if entry.Data.Matches(interest) {
+			s.countLookup(true)
 			return entry, true
 		}
 	}
+	s.countLookup(false)
 	return nil, false
 }
 
@@ -196,18 +264,22 @@ func (s *Store) Touch(name ndn.Name) {
 }
 
 // Remove deletes the entry for exactly name, reporting whether it existed.
+// Removal is a management operation outside simulated time, so its trace
+// event carries a zero timestamp.
 func (s *Store) Remove(name ndn.Name) bool {
 	if _, found := s.entries[name.Key()]; !found {
 		return false
 	}
-	s.removeKey(name.Key())
+	s.removeKey(name.Key(), 0, "remove")
 	return true
 }
 
-// Clear empties the store, preserving configuration.
+// Clear empties the store, preserving configuration. It walks the name
+// index (sorted) rather than the entry map so the eviction-event order
+// is deterministic.
 func (s *Store) Clear() {
-	for key := range s.entries {
-		s.removeKey(key)
+	for _, name := range s.index.all() {
+		s.removeKey(name.Key(), 0, "clear")
 	}
 }
 
@@ -216,7 +288,7 @@ func (s *Store) Names() []ndn.Name {
 	return s.index.all()
 }
 
-func (s *Store) removeKey(key string) {
+func (s *Store) removeKey(key string, now time.Duration, reason string) {
 	entry, found := s.entries[key]
 	if !found {
 		return
@@ -224,7 +296,22 @@ func (s *Store) removeKey(key string) {
 	delete(s.entries, key)
 	s.index.remove(entry.Data.Name)
 	s.policy.OnRemove(key)
+	s.emit(telemetry.EvCSEvict, key, now, reason)
 	if s.onEvict != nil {
 		s.onEvict(entry)
 	}
+}
+
+// emit sends one content-store trace event; one branch when disabled.
+func (s *Store) emit(evType, name string, now time.Duration, action string) {
+	if s.sink == nil {
+		return
+	}
+	s.sink.Emit(telemetry.Event{
+		At:     int64(now),
+		Type:   evType,
+		Node:   s.node,
+		Name:   name,
+		Action: action,
+	})
 }

@@ -28,6 +28,7 @@ import (
 
 	"ndnprivacy/internal/cache"
 	"ndnprivacy/internal/ndn"
+	"ndnprivacy/internal/telemetry"
 )
 
 // Action says how the router must respond to an interest that matched
@@ -87,6 +88,15 @@ type CacheManager interface {
 	OnContentCached(entry *cache.Entry, fetchDelay time.Duration, now time.Duration)
 	// Name identifies the manager in experiment output.
 	Name() string
+}
+
+// TraceInstrumentable is implemented by cache managers with internal
+// randomized decisions worth tracing (the Random-Cache family's
+// threshold coin). The forwarder — and the trace replayer — wire the
+// sink automatically when telemetry is enabled; the node label stamps
+// the manager's events.
+type TraceInstrumentable interface {
+	SetTraceSink(sink telemetry.Sink, node string)
 }
 
 // NoPrivacy is the baseline CM: every cache hit is revealed immediately.

@@ -7,6 +7,7 @@ import (
 
 	"ndnprivacy/internal/cache"
 	"ndnprivacy/internal/ndn"
+	"ndnprivacy/internal/telemetry"
 )
 
 // Section VI, "Addressing Content Correlation": Random-Cache assumes
@@ -71,6 +72,8 @@ type GroupedRandomCache struct {
 	rng    *rand.Rand
 	groups map[string]*groupState
 	group  GroupFunc
+	sink   telemetry.Sink
+	node   string
 }
 
 var _ CacheManager = (*GroupedRandomCache)(nil)
@@ -94,13 +97,20 @@ func NewGroupedRandomCache(dist KDistribution, rng *rand.Rand, group GroupFunc) 
 	}, nil
 }
 
+// SetTraceSink implements TraceInstrumentable: cm_coin events record
+// every fresh per-group threshold draw.
+func (m *GroupedRandomCache) SetTraceSink(sink telemetry.Sink, node string) {
+	m.sink = sink
+	m.node = node
+}
+
 // OnCacheHit implements CacheManager.
-func (m *GroupedRandomCache) OnCacheHit(entry *cache.Entry, interest *ndn.Interest, _ time.Duration) Decision {
+func (m *GroupedRandomCache) OnCacheHit(entry *cache.Entry, interest *ndn.Interest, now time.Duration) Decision {
 	entry.ForwardCount++
 	if !EffectivePrivacy(entry, interest) {
 		return serveNow()
 	}
-	state := m.stateFor(entry)
+	state := m.stateFor(entry, now)
 	state.counter++
 	if state.counter <= state.threshold {
 		return Decision{Action: ActionMiss}
@@ -114,13 +124,13 @@ func (m *GroupedRandomCache) OnCacheHit(entry *cache.Entry, interest *ndn.Intere
 // Algorithm 1's initialization). Re-fetches caused by generated misses
 // arrive on entries already in the group and do not count again — their
 // triggering request was already counted by OnCacheHit.
-func (m *GroupedRandomCache) OnContentCached(entry *cache.Entry, _ time.Duration, _ time.Duration) {
+func (m *GroupedRandomCache) OnContentCached(entry *cache.Entry, _ time.Duration, now time.Duration) {
 	if entry.GroupKey != "" {
 		return // refresh of a known member
 	}
 	key := m.group(entry.Data)
 	_, existed := m.groups[key]
-	state := m.stateFor(entry)
+	state := m.stateFor(entry, now)
 	if existed {
 		state.counter++
 	}
@@ -143,14 +153,24 @@ func (m *GroupedRandomCache) OnContentEvicted(entry *cache.Entry) {
 	}
 }
 
-func (m *GroupedRandomCache) stateFor(entry *cache.Entry) *groupState {
+func (m *GroupedRandomCache) stateFor(entry *cache.Entry, now time.Duration) *groupState {
 	key := m.group(entry.Data)
 	if entry.GroupKey == "" {
 		entry.GroupKey = key
 		if state, found := m.groups[key]; found {
 			state.members++
 		} else {
-			m.groups[key] = &groupState{threshold: m.dist.Draw(m.rng), members: 1}
+			threshold := m.dist.Draw(m.rng)
+			m.groups[key] = &groupState{threshold: threshold, members: 1}
+			if m.sink != nil {
+				m.sink.Emit(telemetry.Event{
+					At:    int64(now),
+					Type:  telemetry.EvCMCoin,
+					Node:  m.node,
+					Name:  key,
+					Value: threshold,
+				})
+			}
 		}
 	}
 	return m.groups[entry.GroupKey]

@@ -9,6 +9,7 @@ import (
 
 	"ndnprivacy/internal/cache"
 	"ndnprivacy/internal/ndn"
+	"ndnprivacy/internal/telemetry"
 )
 
 // KDistribution is the distribution of the per-content threshold k_C in
@@ -206,6 +207,8 @@ func (n *NaiveK) Name() string { return fmt.Sprintf("naive(k=%d)", n.k) }
 type RandomCache struct {
 	dist KDistribution
 	rng  *rand.Rand
+	sink telemetry.Sink
+	node string
 }
 
 var _ CacheManager = (*RandomCache)(nil)
@@ -221,13 +224,20 @@ func NewRandomCache(dist KDistribution, rng *rand.Rand) (*RandomCache, error) {
 	return &RandomCache{dist: dist, rng: rng}, nil
 }
 
+// SetTraceSink implements TraceInstrumentable: cm_coin events record
+// every fresh threshold draw.
+func (m *RandomCache) SetTraceSink(sink telemetry.Sink, node string) {
+	m.sink = sink
+	m.node = node
+}
+
 // OnCacheHit implements CacheManager.
-func (m *RandomCache) OnCacheHit(entry *cache.Entry, interest *ndn.Interest, _ time.Duration) Decision {
+func (m *RandomCache) OnCacheHit(entry *cache.Entry, interest *ndn.Interest, now time.Duration) Decision {
 	entry.ForwardCount++
 	if !EffectivePrivacy(entry, interest) {
 		return serveNow()
 	}
-	m.ensureThreshold(entry)
+	m.ensureThreshold(entry, now)
 	entry.Counter++
 	if entry.Counter <= entry.Threshold {
 		return Decision{Action: ActionMiss}
@@ -236,20 +246,29 @@ func (m *RandomCache) OnCacheHit(entry *cache.Entry, interest *ndn.Interest, _ t
 }
 
 // OnContentCached implements CacheManager.
-func (m *RandomCache) OnContentCached(entry *cache.Entry, _ time.Duration, _ time.Duration) {
+func (m *RandomCache) OnContentCached(entry *cache.Entry, _ time.Duration, now time.Duration) {
 	// The initial fetch is Algorithm 1's unconditional first miss; it
 	// initializes c_C = 0 and draws k_C. Re-fetches caused by disguised
 	// misses land on the same live entry and must not redraw.
-	m.ensureThreshold(entry)
+	m.ensureThreshold(entry, now)
 }
 
-func (m *RandomCache) ensureThreshold(entry *cache.Entry) {
+func (m *RandomCache) ensureThreshold(entry *cache.Entry, now time.Duration) {
 	if entry.ThresholdSet {
 		return
 	}
 	entry.Counter = 0
 	entry.Threshold = m.dist.Draw(m.rng)
 	entry.ThresholdSet = true
+	if m.sink != nil {
+		m.sink.Emit(telemetry.Event{
+			At:    int64(now),
+			Type:  telemetry.EvCMCoin,
+			Node:  m.node,
+			Name:  entry.Data.Name.Key(),
+			Value: entry.Threshold,
+		})
+	}
 }
 
 // Name implements CacheManager.

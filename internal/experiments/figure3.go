@@ -24,6 +24,9 @@ type Figure3Config struct {
 	Runs    int
 	// Bins controls PDF rendering granularity.
 	Bins int
+	// Observe is forwarded to every attack run's ScenarioConfig so the
+	// caller can attach telemetry to each fresh simulator.
+	Observe func(run int, sim *netsim.Simulator)
 }
 
 func (c *Figure3Config) setDefaults() {
@@ -62,13 +65,15 @@ func (r *Figure3Result) Render() string {
 	fmt.Fprintf(&b, "single-probe distinguishing probability: %.4f (threshold %.3f ms)\n",
 		r.Result.Accuracy, r.Result.Threshold)
 	fmt.Fprintf(&b, "paper reports: %s\n", r.PaperAcc)
+	fmt.Fprintf(&b, "simulator: %d events over %.3f virtual s (%.0f events/virtual-second)\n",
+		r.Result.Steps, r.Result.VirtualSeconds, r.Result.EventsPerVirtualSec)
 	return b.String()
 }
 
 // Figure3a runs the LAN consumer-privacy attack (E1).
 func Figure3a(cfg Figure3Config) (*Figure3Result, error) {
 	cfg.setDefaults()
-	res, err := attack.RunLAN(attack.ScenarioConfig{Seed: cfg.Seed + 31, Objects: cfg.Objects, Runs: cfg.Runs})
+	res, err := attack.RunLAN(attack.ScenarioConfig{Seed: cfg.Seed + 31, Objects: cfg.Objects, Runs: cfg.Runs, Observe: cfg.Observe})
 	if err != nil {
 		return nil, err
 	}
@@ -84,7 +89,7 @@ func Figure3a(cfg Figure3Config) (*Figure3Result, error) {
 // Figure3b runs the WAN consumer-privacy attack (E2).
 func Figure3b(cfg Figure3Config) (*Figure3Result, error) {
 	cfg.setDefaults()
-	res, err := attack.RunWAN(attack.ScenarioConfig{Seed: cfg.Seed + 37, Objects: cfg.Objects, Runs: cfg.Runs})
+	res, err := attack.RunWAN(attack.ScenarioConfig{Seed: cfg.Seed + 37, Objects: cfg.Objects, Runs: cfg.Runs, Observe: cfg.Observe})
 	if err != nil {
 		return nil, err
 	}
@@ -100,7 +105,7 @@ func Figure3b(cfg Figure3Config) (*Figure3Result, error) {
 // Figure3c runs the producer-privacy attack (E3).
 func Figure3c(cfg Figure3Config) (*Figure3Result, error) {
 	cfg.setDefaults()
-	res, err := attack.RunProducerPrivacy(attack.ScenarioConfig{Seed: cfg.Seed + 41, Objects: cfg.Objects, Runs: cfg.Runs})
+	res, err := attack.RunProducerPrivacy(attack.ScenarioConfig{Seed: cfg.Seed + 41, Objects: cfg.Objects, Runs: cfg.Runs, Observe: cfg.Observe})
 	if err != nil {
 		return nil, err
 	}
@@ -116,7 +121,7 @@ func Figure3c(cfg Figure3Config) (*Figure3Result, error) {
 // Figure3d runs the local-host attack (E4).
 func Figure3d(cfg Figure3Config) (*Figure3Result, error) {
 	cfg.setDefaults()
-	res, err := attack.RunLocalHost(attack.ScenarioConfig{Seed: cfg.Seed + 43, Objects: cfg.Objects, Runs: cfg.Runs})
+	res, err := attack.RunLocalHost(attack.ScenarioConfig{Seed: cfg.Seed + 43, Objects: cfg.Objects, Runs: cfg.Runs, Observe: cfg.Observe})
 	if err != nil {
 		return nil, err
 	}
@@ -223,6 +228,7 @@ func RunCountermeasures(cfg Figure3Config) (*CountermeasureComparison, error) {
 			Runs:        cfg.Runs,
 			Manager:     c.build,
 			MarkPrivate: c.mark,
+			Observe:     cfg.Observe,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("countermeasure %q: %w", c.name, err)

@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"ndnprivacy/internal/core"
+	"ndnprivacy/internal/telemetry"
 	"ndnprivacy/internal/trace"
 )
 
@@ -25,6 +26,11 @@ type Figure5Config struct {
 	// empty, the paper's {2000, 4000, 8000, 16000, 32000, Inf} scaled by
 	// Requests/3.2M is used.
 	CacheSizes []int
+	// Metrics and Trace, when non-nil, attach telemetry to every replay;
+	// each (algorithm, cache size) cell is labeled distinctly. The JSON
+	// marshaller must skip them — they are wiring, not results.
+	Metrics *telemetry.Registry `json:"-"`
+	Trace   telemetry.Sink      `json:"-"`
 }
 
 func (c *Figure5Config) setDefaults() {
@@ -138,6 +144,9 @@ func Figure5a(cfg Figure5Config) (*Figure5aResult, error) {
 			stats, err := trace.Replay(gen, trace.ReplayConfig{
 				CacheSize: size,
 				Manager:   a.manager,
+				Metrics:   cfg.Metrics,
+				Trace:     cfg.Trace,
+				Node:      fmt.Sprintf("5a/%s@%d", a.name, size),
 			})
 			if err != nil {
 				return nil, fmt.Errorf("figure 5a %s @%d: %w", a.name, size, err)
@@ -200,7 +209,13 @@ func Figure5b(cfg Figure5Config, fractions []float64) (*Figure5bResult, error) {
 			if err != nil {
 				return nil, err
 			}
-			stats, err := trace.Replay(gen, trace.ReplayConfig{CacheSize: size, Manager: expo})
+			stats, err := trace.Replay(gen, trace.ReplayConfig{
+				CacheSize: size,
+				Manager:   expo,
+				Metrics:   cfg.Metrics,
+				Trace:     cfg.Trace,
+				Node:      fmt.Sprintf("5b/p%.0f@%d", frac*100, size),
+			})
 			if err != nil {
 				return nil, fmt.Errorf("figure 5b frac=%g @%d: %w", frac, size, err)
 			}

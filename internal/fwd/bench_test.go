@@ -8,6 +8,7 @@ import (
 	"ndnprivacy/internal/core"
 	"ndnprivacy/internal/ndn"
 	"ndnprivacy/internal/netsim"
+	"ndnprivacy/internal/telemetry"
 )
 
 // benchTopology builds consumer — router — producer with fast links.
@@ -92,6 +93,78 @@ func BenchmarkEndToEndFetchHit(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		consumer.FetchName(ndn.MustParseName("/p/hot"), func(FetchResult) {})
 		sim.Run()
+	}
+}
+
+// discardSink counts events without retaining them, so telemetry-on
+// benchmarks are not dominated by sink memory growth.
+type discardSink struct{ n uint64 }
+
+func (s *discardSink) Emit(telemetry.Event) { s.n++ }
+
+// BenchmarkEndToEndFetchHitTelemetry is BenchmarkEndToEndFetchHit with a
+// live registry and trace sink attached; the delta between the two
+// benchmarks is the full price of enabled telemetry. With telemetry
+// disabled the forwarder's tel field is nil and the hot path costs one
+// branch per site — TestDisabledPathAllocs in internal/telemetry pins
+// that path at zero allocations.
+func BenchmarkEndToEndFetchHitTelemetry(b *testing.B) {
+	sim := netsim.New(1)
+	sink := &discardSink{}
+	sim.SetTelemetry(telemetry.NewRegistry(), sink)
+	router, err := NewRouter(sim, "R", 0, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	host, err := NewBareHost(sim, "U")
+	if err != nil {
+		b.Fatal(err)
+	}
+	pHost, err := NewBareHost(sim, "P")
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := netsim.LinkConfig{Latency: netsim.Fixed(100 * time.Microsecond)}
+	uFace, _, _, err := Connect(sim, host, router, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rFace, _, _, err := Connect(sim, router, pHost, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	prefix := ndn.MustParseName("/p")
+	if err := host.RegisterPrefix(prefix, uFace); err != nil {
+		b.Fatal(err)
+	}
+	if err := router.RegisterPrefix(prefix, rFace); err != nil {
+		b.Fatal(err)
+	}
+	producer, err := NewProducer(pHost, prefix, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	consumer, err := NewConsumer(host)
+	if err != nil {
+		b.Fatal(err)
+	}
+	d, err := ndn.NewData(ndn.MustParseName("/p/hot"), []byte("x"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := producer.Publish(d); err != nil {
+		b.Fatal(err)
+	}
+	consumer.FetchName(ndn.MustParseName("/p/hot"), func(FetchResult) {})
+	sim.Run()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		consumer.FetchName(ndn.MustParseName("/p/hot"), func(FetchResult) {})
+		sim.Run()
+	}
+	if sink.n == 0 {
+		b.Fatal("telemetry sink saw no events")
 	}
 }
 

@@ -18,6 +18,7 @@ import (
 	"ndnprivacy/internal/ndn"
 	"ndnprivacy/internal/netsim"
 	"ndnprivacy/internal/table"
+	"ndnprivacy/internal/telemetry"
 )
 
 // Executor abstracts the forwarder's notion of time and deferred
@@ -58,6 +59,12 @@ type Config struct {
 	// PITCapacity bounds the Pending Interest Table; 0 means unbounded.
 	// Production routers bound it to contain interest-flooding attacks.
 	PITCapacity int
+	// Metrics and Trace attach observability explicitly. When nil, both
+	// are inherited from Sim if it implements telemetry.Provider (a
+	// netsim.Simulator with SetTelemetry called), so instrumenting a
+	// whole topology is one call on the simulator.
+	Metrics *telemetry.Registry
+	Trace   telemetry.Sink
 }
 
 // Stats counts forwarder activity; all counters are cumulative.
@@ -91,6 +98,67 @@ type Forwarder struct {
 	nextFace table.FaceID
 
 	stats Stats
+	// tel is nil when telemetry is disabled, so every instrumentation
+	// site costs exactly one branch and zero allocations on the hot path.
+	tel *nodeTelemetry
+}
+
+// nodeTelemetry carries a forwarder's registered counters and trace
+// sink, resolved once at construction so per-packet accounting is a
+// direct atomic increment — no registry lookups in the pipeline.
+type nodeTelemetry struct {
+	sink telemetry.Sink
+	node string
+
+	interestsReceived *telemetry.Counter
+	dataReceived      *telemetry.Counter
+	cacheHits         *telemetry.Counter
+	disguisedHits     *telemetry.Counter
+	generatedMisses   *telemetry.Counter
+	realMisses        *telemetry.Counter
+	forwarded         *telemetry.Counter
+	aggregated        *telemetry.Counter
+	dropScope         *telemetry.Counter
+	dropDupNonce      *telemetry.Counter
+	dropNoRoute       *telemetry.Counter
+	dropPITFull       *telemetry.Counter
+	unsolicited       *telemetry.Counter
+}
+
+// newNodeTelemetry resolves the forwarder metric set. reg may be nil
+// (trace-only instrumentation): Registry methods are nil-safe and hand
+// back standalone counters.
+func newNodeTelemetry(reg *telemetry.Registry, sink telemetry.Sink, node string) *nodeTelemetry {
+	counter := func(name string) *telemetry.Counter {
+		return reg.Counter(telemetry.ID(name, "node", node))
+	}
+	return &nodeTelemetry{
+		sink:              sink,
+		node:              node,
+		interestsReceived: counter("fwd_interests_received_total"),
+		dataReceived:      counter("fwd_data_received_total"),
+		cacheHits:         counter("fwd_cache_hits_total"),
+		disguisedHits:     counter("fwd_disguised_hits_total"),
+		generatedMisses:   counter("fwd_generated_misses_total"),
+		realMisses:        counter("fwd_real_misses_total"),
+		forwarded:         counter("fwd_forwarded_total"),
+		aggregated:        counter("fwd_aggregated_total"),
+		dropScope:         counter("fwd_dropped_scope_total"),
+		dropDupNonce:      counter("fwd_dropped_dup_nonce_total"),
+		dropNoRoute:       counter("fwd_dropped_no_route_total"),
+		dropPITFull:       counter("fwd_dropped_pit_full_total"),
+		unsolicited:       counter("fwd_unsolicited_data_total"),
+	}
+}
+
+// emit sends one trace event stamped with the node name; callers guard
+// with f.tel != nil.
+func (t *nodeTelemetry) emit(ev telemetry.Event) {
+	if t.sink == nil {
+		return
+	}
+	ev.Node = t.node
+	t.sink.Emit(ev)
 }
 
 type face struct {
@@ -116,6 +184,28 @@ func New(cfg Config) (*Forwarder, error) {
 	}
 	pit := table.NewPIT()
 	pit.SetCapacity(cfg.PITCapacity)
+
+	reg, sink := cfg.Metrics, cfg.Trace
+	if provider, isProvider := cfg.Sim.(telemetry.Provider); isProvider {
+		if reg == nil {
+			reg = provider.Metrics()
+		}
+		if sink == nil {
+			sink = provider.TraceSink()
+		}
+	}
+	var tel *nodeTelemetry
+	if reg != nil || sink != nil {
+		tel = newNodeTelemetry(reg, sink, cfg.Name)
+		if cfg.Store != nil {
+			cfg.Store.Instrument(reg, sink, cfg.Name)
+		}
+		pit.Instrument(reg, sink, cfg.Name)
+		if obs, isObs := cm.(core.TraceInstrumentable); isObs {
+			obs.SetTraceSink(sink, cfg.Name)
+		}
+	}
+
 	return &Forwarder{
 		name:  cfg.Name,
 		sim:   cfg.Sim,
@@ -125,6 +215,7 @@ func New(cfg Config) (*Forwarder, error) {
 		cm:    cm,
 		delay: cfg.ProcessingDelay,
 		faces: make(map[table.FaceID]*face),
+		tel:   tel,
 	}, nil
 }
 
@@ -224,6 +315,9 @@ func (f *Forwarder) receive(from table.FaceID, pkt any) {
 
 func (f *Forwarder) handleInterest(from table.FaceID, interest *ndn.Interest) {
 	f.stats.InterestsReceived++
+	if f.tel != nil {
+		f.tel.interestsReceived.Inc()
+	}
 	now := f.sim.Now()
 
 	// Content Store lookup, mediated by the cache manager.
@@ -233,25 +327,47 @@ func (f *Forwarder) handleInterest(from table.FaceID, interest *ndn.Interest) {
 			// response is disguised.
 			f.cs.Touch(entry.Data.Name)
 			decision := f.cm.OnCacheHit(entry, interest, now)
+			if f.tel != nil {
+				f.tel.emit(telemetry.Event{
+					At: int64(now), Type: telemetry.EvCSHit,
+					Name: interest.Name.Key(), Face: uint64(from),
+				})
+				f.tel.emit(telemetry.Event{
+					At: int64(now), Type: telemetry.EvCMDecision,
+					Name: interest.Name.Key(), Face: uint64(from),
+					Action: decision.Action.String(), DelayNS: int64(decision.Delay),
+				})
+			}
 			switch decision.Action {
 			case core.ActionServe:
 				f.stats.CacheHits++
+				if f.tel != nil {
+					f.tel.cacheHits.Inc()
+				}
 				f.sendData(from, entry.Data.Clone())
 				return
 			case core.ActionDelayedServe:
 				f.stats.DisguisedHits++
+				if f.tel != nil {
+					f.tel.disguisedHits.Inc()
+				}
 				data := entry.Data.Clone()
 				f.sim.Schedule(decision.Delay, func() { f.sendData(from, data) })
 				return
 			case core.ActionMiss:
 				f.stats.GeneratedMisses++
+				if f.tel != nil {
+					f.tel.generatedMisses.Inc()
+				}
 				// Fall through to the miss path: forward upstream.
 			}
 		} else {
 			f.stats.RealMisses++
+			f.missTelemetry(interest, from, now)
 		}
 	} else {
 		f.stats.RealMisses++
+		f.missTelemetry(interest, from, now)
 	}
 
 	// Scope: an interest with scope s may traverse at most s entities,
@@ -261,6 +377,7 @@ func (f *Forwarder) handleInterest(from table.FaceID, interest *ndn.Interest) {
 	// interests for the same name.
 	if interest.Scope == 1 {
 		f.stats.ScopeDropped++
+		f.dropTelemetry(interest, from, now, "scope")
 		return
 	}
 
@@ -268,12 +385,21 @@ func (f *Forwarder) handleInterest(from table.FaceID, interest *ndn.Interest) {
 	switch f.pit.Insert(interest, from, now) {
 	case table.Aggregated:
 		f.stats.Aggregated++
+		if f.tel != nil {
+			f.tel.aggregated.Inc()
+			f.tel.emit(telemetry.Event{
+				At: int64(now), Type: telemetry.EvInterestAggregate,
+				Name: interest.Name.Key(), Face: uint64(from),
+			})
+		}
 		return
 	case table.DuplicateNonce:
 		f.stats.DuplicatesDropped++
+		f.dropTelemetry(interest, from, now, "dup_nonce")
 		return
 	case table.RejectedFull:
 		f.stats.PITRejected++
+		f.dropTelemetry(interest, from, now, "pit_full")
 		return
 	case table.InsertedNew:
 		// Forward upstream.
@@ -289,6 +415,7 @@ func (f *Forwarder) handleInterest(from table.FaceID, interest *ndn.Interest) {
 	nextHops, err := f.fib.Lookup(interest.Name)
 	if err != nil {
 		f.stats.NoRouteDropped++
+		f.dropTelemetry(interest, from, now, "no_route")
 		return
 	}
 	for _, hop := range nextHops {
@@ -300,17 +427,68 @@ func (f *Forwarder) handleInterest(from table.FaceID, interest *ndn.Interest) {
 			continue
 		}
 		f.stats.Forwarded++
+		if f.tel != nil {
+			f.tel.forwarded.Inc()
+			f.tel.emit(telemetry.Event{
+				At: int64(now), Type: telemetry.EvInterestForward,
+				Name: interest.Name.Key(), Face: uint64(hop),
+			})
+		}
 		outFace.send(upstream, len(ndn.EncodeInterest(upstream)))
 	}
 }
 
+// missTelemetry accounts a content-store miss; one branch when disabled.
+func (f *Forwarder) missTelemetry(interest *ndn.Interest, from table.FaceID, now time.Duration) {
+	if f.tel == nil {
+		return
+	}
+	f.tel.realMisses.Inc()
+	f.tel.emit(telemetry.Event{
+		At: int64(now), Type: telemetry.EvCSMiss,
+		Name: interest.Name.Key(), Face: uint64(from),
+	})
+}
+
+// dropTelemetry accounts an interest dying at this node for the given
+// reason (scope, dup_nonce, pit_full, no_route).
+func (f *Forwarder) dropTelemetry(interest *ndn.Interest, from table.FaceID, now time.Duration, reason string) {
+	if f.tel == nil {
+		return
+	}
+	switch reason {
+	case "scope":
+		f.tel.dropScope.Inc()
+	case "dup_nonce":
+		f.tel.dropDupNonce.Inc()
+	case "pit_full":
+		f.tel.dropPITFull.Inc()
+	case "no_route":
+		f.tel.dropNoRoute.Inc()
+	}
+	f.tel.emit(telemetry.Event{
+		At: int64(now), Type: telemetry.EvInterestDrop,
+		Name: interest.Name.Key(), Face: uint64(from), Action: reason,
+	})
+}
+
 func (f *Forwarder) handleData(from table.FaceID, data *ndn.Data) {
 	f.stats.DataReceived++
+	if f.tel != nil {
+		f.tel.dataReceived.Inc()
+	}
 	now := f.sim.Now()
 
 	res, matched := f.pit.SatisfyWithInfo(data, now)
 	if !matched {
 		f.stats.Unsolicited++
+		if f.tel != nil {
+			f.tel.unsolicited.Inc()
+			f.tel.emit(telemetry.Event{
+				At: int64(now), Type: telemetry.EvDataUnsolicited,
+				Name: data.Name.Key(), Face: uint64(from),
+			})
+		}
 		return
 	}
 

@@ -226,6 +226,7 @@ var deterministicPkgs = []string{
 	"internal/trace",
 	"internal/table",
 	"internal/session",
+	"internal/telemetry",
 }
 
 // isDeterministicPkg reports whether the import path names one of the

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"math/rand"
 	"time"
+
+	"ndnprivacy/internal/telemetry"
 )
 
 // Handler consumes a delivered packet. Packets are opaque to the
@@ -102,6 +104,14 @@ type Link struct {
 
 	delivered uint64
 	dropped   uint64
+
+	// Telemetry, resolved at construction from the simulator's registry
+	// (nil when telemetry is disabled — increments are nil-safe, and the
+	// trace emit sits behind one branch).
+	txCounter   *telemetry.Counter
+	dropCounter *telemetry.Counter
+	sink        telemetry.Sink
+	label       string
 }
 
 // Port is one end of a link.
@@ -130,10 +140,20 @@ func NewLink(sim *Simulator, cfg LinkConfig) (*Link, error) {
 		return nil, fmt.Errorf("netsim: loss probability %g outside [0, 1)", cfg.LossProb)
 	}
 	l := &Link{sim: sim, cfg: cfg}
+	if reg := sim.Metrics(); reg != nil {
+		l.txCounter = reg.Counter("netsim_link_tx_total")
+		l.dropCounter = reg.Counter("netsim_link_dropped_total")
+	}
+	l.sink = sim.TraceSink()
 	l.ports[0] = Port{link: l, side: 0}
 	l.ports[1] = Port{link: l, side: 1}
 	return l, nil
 }
+
+// SetLabel names the link in trace events (topology helpers label links
+// "A-B" after the nodes they join). Empty is fine: events then carry no
+// node field.
+func (l *Link) SetLabel(label string) { l.label = label }
 
 // Port returns the link's port on the given side (0 or 1).
 func (l *Link) Port(side int) *Port { return &l.ports[side] }
@@ -165,24 +185,34 @@ func (p *Port) Peer() *Port { return &p.link.ports[1-p.side] }
 func (p *Port) Send(pkt any, size int) {
 	l := p.link
 	if l.fault != nil && l.fault(pkt) {
-		l.dropped++
+		l.drop("fault", size)
 		return
 	}
 	switch {
 	case l.cfg.Loss != nil:
 		if l.cfg.Loss.Drop(l.sim.Rand()) {
-			l.dropped++
+			l.drop("loss", size)
 			return
 		}
 	case l.cfg.LossProb > 0:
 		if l.sim.Rand().Float64() < l.cfg.LossProb {
-			l.dropped++
+			l.drop("loss", size)
 			return
 		}
 	}
 	delay := l.cfg.Latency.Sample(l.sim.Rand())
 	if l.cfg.Bandwidth > 0 && size > 0 {
 		delay += time.Duration(int64(size) * int64(time.Second) / l.cfg.Bandwidth)
+	}
+	l.txCounter.Inc()
+	if l.sink != nil {
+		l.sink.Emit(telemetry.Event{
+			At:      int64(l.sim.Now()),
+			Type:    telemetry.EvLinkTx,
+			Node:    l.label,
+			DelayNS: int64(delay),
+			Size:    size,
+		})
 	}
 	peer := p.Peer()
 	l.sim.Schedule(delay, func() {
@@ -191,4 +221,19 @@ func (p *Port) Send(pkt any, size int) {
 			peer.handler(pkt)
 		}
 	})
+}
+
+// drop accounts one lost packet.
+func (l *Link) drop(reason string, size int) {
+	l.dropped++
+	l.dropCounter.Inc()
+	if l.sink != nil {
+		l.sink.Emit(telemetry.Event{
+			At:     int64(l.sim.Now()),
+			Type:   telemetry.EvLinkDrop,
+			Node:   l.label,
+			Action: reason,
+			Size:   size,
+		})
+	}
 }

@@ -11,6 +11,8 @@ import (
 	"container/heap"
 	"math/rand"
 	"time"
+
+	"ndnprivacy/internal/telemetry"
 )
 
 // Simulator owns the virtual clock and the pending event queue. It is
@@ -21,6 +23,9 @@ type Simulator struct {
 	rng    *rand.Rand
 	seq    uint64
 	steps  uint64
+
+	metrics *telemetry.Registry
+	sink    telemetry.Sink
 }
 
 // New creates a simulator whose randomness derives from seed, so that
@@ -35,6 +40,25 @@ func (s *Simulator) Now() time.Duration { return s.now }
 // Rand returns the simulator's deterministic RNG. Callbacks must use this
 // single source to keep runs reproducible.
 func (s *Simulator) Rand() *rand.Rand { return s.rng }
+
+// SetTelemetry attaches a metrics registry and trace sink to the run.
+// The simulator is the natural carrier: everything simulated (links,
+// forwarders, endpoints, probers) already holds a reference to it, so
+// attaching telemetry here instruments the whole topology. Either
+// argument may be nil to disable that half. Call before building the
+// topology — components resolve their metrics at construction.
+func (s *Simulator) SetTelemetry(reg *telemetry.Registry, sink telemetry.Sink) {
+	s.metrics = reg
+	s.sink = sink
+}
+
+// Metrics implements telemetry.Provider; nil when disabled.
+func (s *Simulator) Metrics() *telemetry.Registry { return s.metrics }
+
+// TraceSink implements telemetry.Provider; nil when disabled.
+func (s *Simulator) TraceSink() telemetry.Sink { return s.sink }
+
+var _ telemetry.Provider = (*Simulator)(nil)
 
 // Steps returns the number of executed events.
 func (s *Simulator) Steps() uint64 { return s.steps }

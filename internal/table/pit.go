@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"ndnprivacy/internal/ndn"
+	"ndnprivacy/internal/telemetry"
 )
 
 // InsertOutcome describes what happened when an interest reached the PIT.
@@ -63,11 +64,46 @@ type PIT struct {
 	entries  map[string]*pitEntry
 	capacity int
 	rejected uint64
+
+	expired *telemetry.Counter
+	sink    telemetry.Sink
+	node    string
 }
 
 // NewPIT returns an empty, unbounded PIT.
 func NewPIT() *PIT {
-	return &PIT{entries: make(map[string]*pitEntry)}
+	return &PIT{entries: make(map[string]*pitEntry), expired: telemetry.NewCounter()}
+}
+
+// Instrument registers the table's expiry counter on the registry under
+// a node label and attaches the trace sink for pit_expire events. Either
+// argument may be nil.
+func (p *PIT) Instrument(reg *telemetry.Registry, sink telemetry.Sink, node string) {
+	if reg != nil {
+		c := reg.Counter(telemetry.ID("ndn_pit_expired_total", "node", node))
+		c.Add(p.expired.Value())
+		p.expired = c
+	}
+	p.sink = sink
+	p.node = node
+}
+
+// Expired returns the running count of entries removed after lapsing
+// unanswered.
+func (p *PIT) Expired() uint64 { return p.expired.Value() }
+
+// expire removes one lapsed entry and accounts for it.
+func (p *PIT) expire(key string, now time.Duration) {
+	delete(p.entries, key)
+	p.expired.Inc()
+	if p.sink != nil {
+		p.sink.Emit(telemetry.Event{
+			At:   int64(now),
+			Type: telemetry.EvPITExpire,
+			Node: p.node,
+			Name: key,
+		})
+	}
 }
 
 // SetCapacity bounds the number of distinct pending names; 0 restores
@@ -98,7 +134,7 @@ func (p *PIT) Insert(interest *ndn.Interest, face FaceID, now time.Duration) Ins
 	entry, found := p.entries[key]
 	if found && now >= entry.expires {
 		// Stale entry: treat as absent.
-		delete(p.entries, key)
+		p.expire(key, now)
 		found = false
 	}
 	if !found {
@@ -170,7 +206,7 @@ func (p *PIT) SatisfyWithInfo(data *ndn.Data, now time.Duration) (SatisfyResult,
 			continue
 		}
 		if now >= entry.expires {
-			delete(p.entries, prefix.Key())
+			p.expire(prefix.Key(), now)
 			continue
 		}
 		probe := &ndn.Interest{Name: entry.name}
@@ -207,14 +243,18 @@ func (p *PIT) HasPending(name ndn.Name, now time.Duration) bool {
 }
 
 // Expire removes every entry whose lifetime has passed and returns the
-// number removed.
+// number removed. Lapsed keys are collected and sorted before removal so
+// the pit_expire trace events come out in a seed-stable order.
 func (p *PIT) Expire(now time.Duration) int {
-	removed := 0
+	var lapsed []string
 	for key, entry := range p.entries {
 		if now >= entry.expires {
-			delete(p.entries, key)
-			removed++
+			lapsed = append(lapsed, key)
 		}
 	}
-	return removed
+	sort.Strings(lapsed)
+	for _, key := range lapsed {
+		p.expire(key, now)
+	}
+	return len(lapsed)
 }

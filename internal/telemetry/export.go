@@ -1,0 +1,113 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders the snapshot in the Prometheus text exposition
+// format (version 0.0.4). Samples appear in snapshot order — sorted by
+// identifier — with one # TYPE header per metric family, so the output
+// is byte-stable for identical snapshots.
+func (s Snapshot) WritePrometheus(w io.Writer) error {
+	var b strings.Builder
+	lastFamily := ""
+	for _, c := range s.Counters {
+		family, _ := splitID(c.Name)
+		if family != lastFamily {
+			fmt.Fprintf(&b, "# TYPE %s counter\n", family)
+			lastFamily = family
+		}
+		fmt.Fprintf(&b, "%s %s\n", c.Name, strconv.FormatUint(c.Value, 10))
+	}
+	lastFamily = ""
+	for _, g := range s.Gauges {
+		family, _ := splitID(g.Name)
+		if family != lastFamily {
+			fmt.Fprintf(&b, "# TYPE %s gauge\n", family)
+			lastFamily = family
+		}
+		fmt.Fprintf(&b, "%s %s\n", g.Name, strconv.FormatInt(g.Value, 10))
+	}
+	lastFamily = ""
+	for _, h := range s.Histograms {
+		family, labels := splitID(h.Name)
+		if family != lastFamily {
+			fmt.Fprintf(&b, "# TYPE %s histogram\n", family)
+			lastFamily = family
+		}
+		cumulative := uint64(0)
+		for i, bucket := range h.Buckets {
+			cumulative += bucket
+			le := "+Inf"
+			if i < len(h.Bounds) {
+				le = formatFloat(h.Bounds[i])
+			}
+			fmt.Fprintf(&b, "%s_bucket{%s} %d\n", family, joinLabels(labels, `le="`+le+`"`), cumulative)
+		}
+		fmt.Fprintf(&b, "%s_sum%s %s\n", family, braced(labels), formatFloat(h.Sum))
+		fmt.Fprintf(&b, "%s_count%s %d\n", family, braced(labels), h.Count)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// WriteJSON renders the snapshot as one indented JSON document.
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// WriteFile writes the snapshot to path, choosing the format by
+// extension: .json gets the JSON document, everything else the
+// Prometheus text exposition. Both cmd binaries share this helper so
+// -metrics behaves identically everywhere.
+func (s Snapshot) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if strings.HasSuffix(path, ".json") {
+		err = s.WriteJSON(f)
+	} else {
+		err = s.WritePrometheus(f)
+	}
+	if closeErr := f.Close(); err == nil {
+		err = closeErr
+	}
+	return err
+}
+
+// formatFloat renders a float compactly and deterministically, using
+// Prometheus spellings for the infinities.
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, +1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// joinLabels combines an existing label body with one extra label.
+func joinLabels(existing, extra string) string {
+	if existing == "" {
+		return extra
+	}
+	return existing + "," + extra
+}
+
+// braced re-wraps a label body in braces, or returns "" when unlabeled.
+func braced(labels string) string {
+	if labels == "" {
+		return ""
+	}
+	return "{" + labels + "}"
+}

@@ -1,0 +1,124 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func populatedRegistry() *Registry {
+	r := NewRegistry()
+	r.Counter(ID("fwd_hits_total", "node", "R")).Add(3)
+	r.Counter(ID("fwd_hits_total", "node", "A")).Add(1)
+	r.Counter("runs_total").Add(2)
+	r.Gauge(ID("pit_depth", "node", "R")).Set(-4)
+	h := r.Histogram(ID("rtt_ms", "node", "R"), []float64{1, 10})
+	h.Observe(0.5)
+	h.Observe(5)
+	h.Observe(50)
+	return r
+}
+
+func TestWritePrometheusGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := populatedRegistry().Snapshot().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := `# TYPE fwd_hits_total counter
+fwd_hits_total{node="A"} 1
+fwd_hits_total{node="R"} 3
+# TYPE runs_total counter
+runs_total 2
+# TYPE pit_depth gauge
+pit_depth{node="R"} -4
+# TYPE rtt_ms histogram
+rtt_ms_bucket{node="R",le="1"} 1
+rtt_ms_bucket{node="R",le="10"} 2
+rtt_ms_bucket{node="R",le="+Inf"} 3
+rtt_ms_sum{node="R"} 55.5
+rtt_ms_count{node="R"} 3
+`
+	if got := buf.String(); got != want {
+		t.Fatalf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestExportByteStable renders the same registry repeatedly and demands
+// identical bytes — the property the -metrics flag relies on.
+func TestExportByteStable(t *testing.T) {
+	reg := populatedRegistry()
+	var first bytes.Buffer
+	if err := reg.Snapshot().WritePrometheus(&first); err != nil {
+		t.Fatal(err)
+	}
+	var firstJSON bytes.Buffer
+	if err := reg.Snapshot().WriteJSON(&firstJSON); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		var again bytes.Buffer
+		if err := reg.Snapshot().WritePrometheus(&again); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(first.Bytes(), again.Bytes()) {
+			t.Fatalf("Prometheus rendering %d differs from the first", i)
+		}
+		var againJSON bytes.Buffer
+		if err := reg.Snapshot().WriteJSON(&againJSON); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(firstJSON.Bytes(), againJSON.Bytes()) {
+			t.Fatalf("JSON rendering %d differs from the first", i)
+		}
+	}
+}
+
+func TestWriteJSONRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	snap := populatedRegistry().Snapshot()
+	if err := snap.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var decoded Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("snapshot JSON does not round-trip: %v", err)
+	}
+	if len(decoded.Counters) != len(snap.Counters) ||
+		len(decoded.Gauges) != len(snap.Gauges) ||
+		len(decoded.Histograms) != len(snap.Histograms) {
+		t.Fatal("decoded snapshot lost sections")
+	}
+}
+
+func TestWriteFileFormatByExtension(t *testing.T) {
+	dir := t.TempDir()
+	reg := populatedRegistry()
+
+	promPath := filepath.Join(dir, "m.prom")
+	if err := reg.Snapshot().WriteFile(promPath); err != nil {
+		t.Fatal(err)
+	}
+	prom, err := os.ReadFile(promPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(prom), "# TYPE ") {
+		t.Fatalf(".prom file is not Prometheus text: %q", prom[:20])
+	}
+
+	jsonPath := filepath.Join(dir, "m.json")
+	if err := reg.Snapshot().WriteFile(jsonPath); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded Snapshot
+	if err := json.Unmarshal(raw, &decoded); err != nil {
+		t.Fatalf(".json file is not a JSON snapshot: %v", err)
+	}
+}

@@ -1,0 +1,120 @@
+package telemetry
+
+import (
+	"math"
+	"testing"
+)
+
+func TestCounterNilSafety(t *testing.T) {
+	var c *Counter
+	c.Inc()
+	c.Add(5)
+	if got := c.Value(); got != 0 {
+		t.Fatalf("nil counter Value = %d, want 0", got)
+	}
+	c = NewCounter()
+	c.Inc()
+	c.Add(41)
+	if got := c.Value(); got != 42 {
+		t.Fatalf("counter Value = %d, want 42", got)
+	}
+}
+
+func TestGaugeNilSafety(t *testing.T) {
+	var g *Gauge
+	g.Set(7)
+	g.Add(-3)
+	if got := g.Value(); got != 0 {
+		t.Fatalf("nil gauge Value = %d, want 0", got)
+	}
+	g = NewGauge()
+	g.Set(7)
+	g.Add(-3)
+	if got := g.Value(); got != 4 {
+		t.Fatalf("gauge Value = %d, want 4", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram([]float64{1, 10, 100})
+	for _, v := range []float64{0.5, 1, 5, 50, 500} {
+		h.Observe(v)
+	}
+	want := []uint64{2, 1, 1, 1} // (≤1)×2, (≤10), (≤100), overflow
+	got := h.BucketCounts()
+	if len(got) != len(want) {
+		t.Fatalf("bucket count = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("bucket[%d] = %d, want %d (%v)", i, got[i], want[i], got)
+		}
+	}
+	if h.Count() != 5 {
+		t.Fatalf("Count = %d, want 5", h.Count())
+	}
+	if sum := h.Sum(); math.Abs(sum-556.5) > 1e-9 {
+		t.Fatalf("Sum = %g, want 556.5", sum)
+	}
+	var nilH *Histogram
+	nilH.Observe(1)
+	if nilH.Count() != 0 || nilH.Sum() != 0 || nilH.Bounds() != nil || nilH.BucketCounts() != nil {
+		t.Fatal("nil histogram must read as empty")
+	}
+}
+
+func TestExponentialBounds(t *testing.T) {
+	bounds := ExponentialBounds(1, 2, 4)
+	want := []float64{1, 2, 4, 8}
+	if len(bounds) != len(want) {
+		t.Fatalf("len = %d, want %d", len(bounds), len(want))
+	}
+	for i := range want {
+		if bounds[i] != want[i] {
+			t.Fatalf("bounds[%d] = %g, want %g", i, bounds[i], want[i])
+		}
+	}
+	if degenerate := ExponentialBounds(0, 0.5, -1); len(degenerate) != 1 {
+		t.Fatalf("degenerate layout = %v, want single bucket", degenerate)
+	}
+}
+
+func TestID(t *testing.T) {
+	cases := []struct {
+		got, want string
+	}{
+		{ID("m_total"), "m_total"},
+		{ID("m_total", "node", "R"), `m_total{node="R"}`},
+		{ID("m_total", "node", "R", "face", "3"), `m_total{node="R",face="3"}`},
+		{ID("m_total", "node", `q"\`+"\n"), `m_total{node="q\"\\\n"}`},
+	}
+	for _, c := range cases {
+		if c.got != c.want {
+			t.Fatalf("ID = %q, want %q", c.got, c.want)
+		}
+	}
+}
+
+// TestDisabledPathAllocs pins the cost of telemetry when it is off: the
+// nil-safe method set and the Emit helper must not allocate, so
+// instrumented hot paths add one predictable branch and nothing else.
+func TestDisabledPathAllocs(t *testing.T) {
+	var c *Counter
+	var h *Histogram
+	ev := Event{At: 1, Type: EvCSHit, Node: "R"}
+	if allocs := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		h.Observe(1)
+		Emit(nil, ev)
+	}); allocs != 0 {
+		t.Fatalf("disabled path allocates %.1f allocs/op, want 0", allocs)
+	}
+	live := NewCounter()
+	liveH := NewHistogram([]float64{1, 2, 4})
+	if allocs := testing.AllocsPerRun(1000, func() {
+		live.Inc()
+		liveH.Observe(3)
+	}); allocs != 0 {
+		t.Fatalf("enabled counter/histogram path allocates %.1f allocs/op, want 0", allocs)
+	}
+}

@@ -1,0 +1,148 @@
+package telemetry
+
+import (
+	"sort"
+	"sync"
+)
+
+// Registry owns one run's metrics. Metric instances are get-or-create by
+// rendered identifier (see ID), so independent components naming the
+// same metric share one instance. Registration takes a mutex; the
+// returned Counter/Gauge/Histogram pointers are then incremented
+// lock-free, which is why instrumented components resolve their metrics
+// once at construction instead of per event.
+//
+// All methods are safe for concurrent use and nil-safe: calling
+// Counter/Gauge/Histogram on a nil *Registry returns a standalone,
+// unexported metric, so callers can instrument unconditionally.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the counter registered under id, creating it if
+// needed. On a nil registry it returns a standalone counter.
+func (r *Registry) Counter(id string) *Counter {
+	if r == nil {
+		return NewCounter()
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, found := r.counters[id]
+	if !found {
+		c = NewCounter()
+		r.counters[id] = c
+	}
+	return c
+}
+
+// Gauge returns the gauge registered under id, creating it if needed.
+func (r *Registry) Gauge(id string) *Gauge {
+	if r == nil {
+		return NewGauge()
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, found := r.gauges[id]
+	if !found {
+		g = NewGauge()
+		r.gauges[id] = g
+	}
+	return g
+}
+
+// Histogram returns the histogram registered under id, creating it with
+// the given bucket bounds if needed. The bounds of an already-registered
+// histogram win; callers sharing an id must agree on layout.
+func (r *Registry) Histogram(id string, bounds []float64) *Histogram {
+	if r == nil {
+		return NewHistogram(bounds)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, found := r.histograms[id]
+	if !found {
+		h = NewHistogram(bounds)
+		r.histograms[id] = h
+	}
+	return h
+}
+
+// CounterValue is one counter in a snapshot.
+type CounterValue struct {
+	Name  string `json:"name"`
+	Value uint64 `json:"value"`
+}
+
+// GaugeValue is one gauge in a snapshot.
+type GaugeValue struct {
+	Name  string `json:"name"`
+	Value int64  `json:"value"`
+}
+
+// HistogramValue is one histogram in a snapshot. Buckets holds raw
+// (non-cumulative) per-bucket counts; its final element is the overflow
+// bucket beyond the last bound.
+type HistogramValue struct {
+	Name    string    `json:"name"`
+	Count   uint64    `json:"count"`
+	Sum     float64   `json:"sum"`
+	Bounds  []float64 `json:"bounds"`
+	Buckets []uint64  `json:"buckets"`
+}
+
+// Snapshot is a point-in-time copy of a registry, each section sorted by
+// metric name so rendering it is deterministic. Individual metric reads
+// are atomic; the snapshot as a whole is not (concurrent increments may
+// land between reads), which is fine for both use cases: end-of-run
+// export (nothing is running) and live inspection (approximate by
+// nature).
+type Snapshot struct {
+	Counters   []CounterValue   `json:"counters"`
+	Gauges     []GaugeValue     `json:"gauges"`
+	Histograms []HistogramValue `json:"histograms"`
+}
+
+// Snapshot captures the registry's current values. On a nil registry it
+// returns an empty snapshot.
+func (r *Registry) Snapshot() Snapshot {
+	var snap Snapshot
+	if r == nil {
+		return snap
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	snap.Counters = make([]CounterValue, 0, len(r.counters))
+	for id, c := range r.counters {
+		snap.Counters = append(snap.Counters, CounterValue{Name: id, Value: c.Value()})
+	}
+	sort.Slice(snap.Counters, func(i, j int) bool { return snap.Counters[i].Name < snap.Counters[j].Name })
+	snap.Gauges = make([]GaugeValue, 0, len(r.gauges))
+	for id, g := range r.gauges {
+		snap.Gauges = append(snap.Gauges, GaugeValue{Name: id, Value: g.Value()})
+	}
+	sort.Slice(snap.Gauges, func(i, j int) bool { return snap.Gauges[i].Name < snap.Gauges[j].Name })
+	snap.Histograms = make([]HistogramValue, 0, len(r.histograms))
+	for id, h := range r.histograms {
+		snap.Histograms = append(snap.Histograms, HistogramValue{
+			Name:    id,
+			Count:   h.Count(),
+			Sum:     h.Sum(),
+			Bounds:  h.Bounds(),
+			Buckets: h.BucketCounts(),
+		})
+	}
+	sort.Slice(snap.Histograms, func(i, j int) bool { return snap.Histograms[i].Name < snap.Histograms[j].Name })
+	return snap
+}

@@ -1,0 +1,105 @@
+package telemetry
+
+import (
+	"io"
+	"sync"
+	"testing"
+)
+
+func TestRegistryGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x_total")
+	b := r.Counter("x_total")
+	if a != b {
+		t.Fatal("same id must return the same counter instance")
+	}
+	if r.Counter(`x_total{node="R"}`) == a {
+		t.Fatal("distinct ids must return distinct counters")
+	}
+	if r.Gauge("g") != r.Gauge("g") {
+		t.Fatal("same id must return the same gauge instance")
+	}
+	h := r.Histogram("h", []float64{1, 2})
+	if r.Histogram("h", []float64{9}) != h {
+		t.Fatal("same id must return the first-registered histogram")
+	}
+	if got := len(h.Bounds()); got != 2 {
+		t.Fatalf("bounds of first registration must win, got %d bounds", got)
+	}
+}
+
+func TestNilRegistryReturnsStandaloneMetrics(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x_total")
+	c.Inc()
+	if c.Value() != 1 {
+		t.Fatal("standalone counter from nil registry must work")
+	}
+	r.Gauge("g").Set(3)
+	r.Histogram("h", []float64{1}).Observe(2)
+	snap := r.Snapshot()
+	if len(snap.Counters) != 0 || len(snap.Gauges) != 0 || len(snap.Histograms) != 0 {
+		t.Fatal("nil registry snapshot must be empty")
+	}
+}
+
+func TestSnapshotSorted(t *testing.T) {
+	r := NewRegistry()
+	for _, id := range []string{"z_total", "a_total", "m_total"} {
+		r.Counter(id).Inc()
+	}
+	snap := r.Snapshot()
+	want := []string{"a_total", "m_total", "z_total"}
+	for i, c := range snap.Counters {
+		if c.Name != want[i] {
+			t.Fatalf("snapshot order %d = %q, want %q", i, c.Name, want[i])
+		}
+	}
+}
+
+// TestRegistryConcurrentAccess exercises registration, increments, and
+// snapshot/export concurrently; run under -race (scripts/check.sh does)
+// it proves the lock-free increment path and the locked snapshot path
+// are safe together.
+func TestRegistryConcurrentAccess(t *testing.T) {
+	r := NewRegistry()
+	const workers = 8
+	const iters = 2000
+	ids := []string{"a_total", `b_total{node="R"}`, "c_total"}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := r.Counter(ids[w%len(ids)])
+			h := r.Histogram("lat", []float64{1, 10, 100})
+			g := r.Gauge("depth")
+			for i := 0; i < iters; i++ {
+				c.Inc()
+				h.Observe(float64(i % 200))
+				g.Add(1)
+				if i%256 == 0 {
+					snap := r.Snapshot()
+					if err := snap.WritePrometheus(io.Discard); err != nil {
+						t.Errorf("WritePrometheus: %v", err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	snap := r.Snapshot()
+	var total uint64
+	for _, c := range snap.Counters {
+		total += c.Value
+	}
+	if total != workers*iters {
+		t.Fatalf("counter total = %d, want %d", total, workers*iters)
+	}
+	for _, h := range snap.Histograms {
+		if h.Count != workers*iters {
+			t.Fatalf("histogram count = %d, want %d", h.Count, workers*iters)
+		}
+	}
+}

@@ -1,0 +1,196 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Event trace record types. One flat schema covers the whole stack so a
+// trace file is a single NDJSON stream an analysis script can filter by
+// type.
+const (
+	// EvRunStart marks the boundary between repetitions of a multi-run
+	// experiment (Run carries the repetition index).
+	EvRunStart = "run_start"
+	// EvInterestForward: an interest left a node upstream (Face is the
+	// outgoing face).
+	EvInterestForward = "interest_forward"
+	// EvInterestAggregate: an interest collapsed into an existing PIT
+	// entry.
+	EvInterestAggregate = "interest_aggregate"
+	// EvInterestDrop: an interest died at a node; Action is the reason
+	// (scope, no_route, pit_full, dup_nonce).
+	EvInterestDrop = "interest_drop"
+	// EvCSHit: a fresh cached entry matched an interest (before the
+	// cache manager's decision; see EvCMDecision for the outcome).
+	EvCSHit = "cs_hit"
+	// EvCSMiss: no fresh cached entry matched.
+	EvCSMiss = "cs_miss"
+	// EvCSInsert: content entered a Content Store.
+	EvCSInsert = "cs_insert"
+	// EvCSEvict: an entry left a Content Store; Action is the reason
+	// (capacity, stale, remove, clear).
+	EvCSEvict = "cs_evict"
+	// EvPITExpire: a pending-interest entry lapsed unanswered.
+	EvPITExpire = "pit_expire"
+	// EvDataUnsolicited: data arrived with no matching PIT entry.
+	EvDataUnsolicited = "data_unsolicited"
+	// EvLinkTx: a packet was accepted for transmission; DelayNS is the
+	// propagation+serialization delay it will incur, Size its wire size.
+	EvLinkTx = "link_tx"
+	// EvLinkDrop: a packet was lost on a link (Action: loss, fault).
+	EvLinkDrop = "link_drop"
+	// EvCMDecision: a cache manager ruled on a cache hit; Action is the
+	// core.Action string (serve, delayed-serve, miss) and DelayNS the
+	// artificial delay for delayed serves.
+	EvCMDecision = "cm_decision"
+	// EvCMCoin: Random-Cache drew a fresh threshold k_C; Value carries
+	// the draw.
+	EvCMCoin = "cm_coin"
+	// EvProbe: an attack probe resolved; DelayNS is the observed RTT and
+	// Action the outcome (ok, timeout).
+	EvProbe = "probe"
+)
+
+// Event is one trace record. At is always virtual time (nanoseconds
+// since the simulator epoch) — never wall-clock — so traces are
+// byte-stable for a fixed seed. Unused fields stay zero and are omitted
+// from the NDJSON encoding.
+type Event struct {
+	At      int64  `json:"at"`
+	Type    string `json:"type"`
+	Node    string `json:"node,omitempty"`
+	Name    string `json:"name,omitempty"`
+	Face    uint64 `json:"face,omitempty"`
+	Action  string `json:"action,omitempty"`
+	DelayNS int64  `json:"delay_ns,omitempty"`
+	Size    int    `json:"size,omitempty"`
+	Value   uint64 `json:"value,omitempty"`
+	Run     int    `json:"run,omitempty"`
+}
+
+// Sink consumes trace events. Implementations must tolerate events from
+// any goroutine; in simulator runs all events arrive from the single
+// event-loop goroutine.
+type Sink interface {
+	Emit(ev Event)
+}
+
+// Emit forwards ev to s when s is non-nil — the one-branch helper
+// instrumented code calls so a disabled trace costs exactly that branch.
+func Emit(s Sink, ev Event) {
+	if s != nil {
+		s.Emit(ev)
+	}
+}
+
+// TraceWriter is a Sink encoding events as NDJSON: one JSON object per
+// line, fields in fixed schema order, so a trace is byte-stable for a
+// deterministic event stream. It buffers internally; call Flush before
+// reading the underlying writer. Safe for concurrent use.
+type TraceWriter struct {
+	mu  sync.Mutex
+	w   *bufio.Writer
+	err error
+}
+
+var _ Sink = (*TraceWriter)(nil)
+
+// NewTraceWriter wraps w in a buffered NDJSON encoder.
+func NewTraceWriter(w io.Writer) *TraceWriter {
+	return &TraceWriter{w: bufio.NewWriter(w)}
+}
+
+// Emit implements Sink. The first encode or write error is latched and
+// reported by Flush; later events are dropped.
+func (t *TraceWriter) Emit(ev Event) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.err != nil {
+		return
+	}
+	line, err := json.Marshal(ev)
+	if err != nil {
+		t.err = err
+		return
+	}
+	if _, err := t.w.Write(line); err != nil {
+		t.err = err
+		return
+	}
+	t.err = t.w.WriteByte('\n')
+}
+
+// Flush drains the buffer and returns the first error encountered by any
+// prior Emit or the flush itself.
+func (t *TraceWriter) Flush() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.err != nil {
+		return t.err
+	}
+	return t.w.Flush()
+}
+
+// DecodeTrace parses an NDJSON trace stream back into events, skipping
+// blank lines. It is the inverse of TraceWriter for valid traces.
+func DecodeTrace(r io.Reader) ([]Event, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var events []Event
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var ev Event
+		if err := json.Unmarshal(raw, &ev); err != nil {
+			return nil, fmt.Errorf("telemetry: trace line %d: %w", line, err)
+		}
+		events = append(events, ev)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("telemetry: reading trace: %w", err)
+	}
+	return events, nil
+}
+
+// Recorder is a Sink that retains every event in memory, for tests and
+// in-process analysis. Safe for concurrent use.
+type Recorder struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+var _ Sink = (*Recorder)(nil)
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+// Emit implements Sink.
+func (r *Recorder) Emit(ev Event) {
+	r.mu.Lock()
+	r.events = append(r.events, ev)
+	r.mu.Unlock()
+}
+
+// Events returns a copy of the recorded events in emission order.
+func (r *Recorder) Events() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Event, len(r.events))
+	copy(out, r.events)
+	return out
+}
+
+// Len returns the number of recorded events.
+func (r *Recorder) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.events)
+}

@@ -1,0 +1,144 @@
+package telemetry
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func sampleEvents() []Event {
+	return []Event{
+		{At: 0, Type: EvRunStart, Run: 3},
+		{At: 1500, Type: EvInterestForward, Node: "R", Name: "/p/obj/1", Face: 2},
+		{At: 2000, Type: EvCSEvict, Node: "R", Name: "/p/obj/0", Action: "capacity"},
+		{At: 2500, Type: EvCMDecision, Node: "R", Name: "/p/obj/1", Action: "delayed-serve", DelayNS: 12_000_000},
+		{At: 3000, Type: EvLinkTx, Node: "U-R", DelayNS: 100_000, Size: 64},
+		{At: 3500, Type: EvCMCoin, Node: "R", Name: "/p/obj/2", Value: 7},
+	}
+}
+
+func TestTraceRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewTraceWriter(&buf)
+	events := sampleEvents()
+	for _, ev := range events {
+		w.Emit(ev)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := DecodeTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(events, decoded) {
+		t.Fatalf("round trip mismatch:\n in: %#v\nout: %#v", events, decoded)
+	}
+}
+
+func TestTraceWriterByteStable(t *testing.T) {
+	render := func() []byte {
+		var buf bytes.Buffer
+		w := NewTraceWriter(&buf)
+		for _, ev := range sampleEvents() {
+			w.Emit(ev)
+		}
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	first := render()
+	for i := 0; i < 5; i++ {
+		if !bytes.Equal(first, render()) {
+			t.Fatal("identical event streams must encode to identical bytes")
+		}
+	}
+}
+
+func TestTraceWriterLatchesError(t *testing.T) {
+	w := NewTraceWriter(failWriter{})
+	for i := 0; i < 600; i++ { // enough to overflow the bufio buffer
+		w.Emit(Event{At: int64(i), Type: EvCSHit, Name: strings.Repeat("x", 64)})
+	}
+	if err := w.Flush(); err == nil {
+		t.Fatal("Flush must report the underlying write error")
+	}
+}
+
+type failWriter struct{}
+
+func (failWriter) Write([]byte) (int, error) { return 0, errors.New("disk full") }
+
+func TestDecodeTraceRejectsGarbage(t *testing.T) {
+	_, err := DecodeTrace(strings.NewReader("{\"at\":1}\nnot json\n"))
+	if err == nil {
+		t.Fatal("DecodeTrace must fail on malformed lines")
+	}
+	if !strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("error should name the offending line, got: %v", err)
+	}
+}
+
+func TestDecodeTraceSkipsBlankLines(t *testing.T) {
+	events, err := DecodeTrace(strings.NewReader("\n{\"at\":1,\"type\":\"cs_hit\"}\n\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 1 || events[0].Type != EvCSHit {
+		t.Fatalf("decoded %#v, want the one cs_hit event", events)
+	}
+}
+
+func TestRecorder(t *testing.T) {
+	rec := NewRecorder()
+	Emit(rec, Event{At: 1, Type: EvCSHit})
+	Emit(nil, Event{At: 2, Type: EvCSMiss}) // must be a no-op, not a panic
+	if rec.Len() != 1 {
+		t.Fatalf("recorder holds %d events, want 1", rec.Len())
+	}
+	got := rec.Events()
+	got[0].At = 99 // returned slice must be a copy
+	if rec.Events()[0].At != 1 {
+		t.Fatal("Events must return a copy, not the backing slice")
+	}
+}
+
+// FuzzTraceRoundTrip throws arbitrary field values at the encoder and
+// demands a lossless decode. Strings are sanitized to valid UTF-8 first:
+// encoding/json replaces invalid bytes with U+FFFD by design, which is a
+// representation concern, not a round-trip defect.
+func FuzzTraceRoundTrip(f *testing.F) {
+	f.Add(int64(0), EvCSHit, "R", "/p/obj/1", uint64(2), "capacity", int64(5), 64, uint64(7), 1)
+	f.Add(int64(-1), "", "", "", uint64(0), "", int64(0), 0, uint64(0), 0)
+	f.Add(int64(1<<62), EvProbe, "node\nwith\tweird", `/p/"quoted"`, ^uint64(0), "ok", int64(-9), -3, uint64(1)<<63, -2)
+	f.Fuzz(func(t *testing.T, at int64, typ, node, name string, face uint64, action string, delay int64, size int, value uint64, run int) {
+		in := Event{
+			At:      at,
+			Type:    strings.ToValidUTF8(typ, "�"),
+			Node:    strings.ToValidUTF8(node, "�"),
+			Name:    strings.ToValidUTF8(name, "�"),
+			Face:    face,
+			Action:  strings.ToValidUTF8(action, "�"),
+			DelayNS: delay,
+			Size:    size,
+			Value:   value,
+			Run:     run,
+		}
+		var buf bytes.Buffer
+		w := NewTraceWriter(&buf)
+		w.Emit(in)
+		if err := w.Flush(); err != nil {
+			t.Fatalf("encode: %v", err)
+		}
+		out, err := DecodeTrace(&buf)
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if len(out) != 1 || out[0] != in {
+			t.Fatalf("round trip mismatch:\n in: %#v\nout: %#v", in, out)
+		}
+	})
+}

@@ -8,6 +8,7 @@ import (
 	"ndnprivacy/internal/cache"
 	"ndnprivacy/internal/core"
 	"ndnprivacy/internal/ndn"
+	"ndnprivacy/internal/telemetry"
 )
 
 // ReplayConfig drives one trace replay against a consumer-facing router
@@ -24,6 +25,15 @@ type ReplayConfig struct {
 	// UpstreamDelay is the synthetic fetch delay recorded as γ_C for
 	// every miss (content-specific delay handling needs one).
 	UpstreamDelay time.Duration
+	// Metrics and Trace attach telemetry to the replayed store and — for
+	// managers with internal randomness — the cache manager. Either may
+	// be nil.
+	Metrics *telemetry.Registry
+	Trace   telemetry.Sink
+	// Node labels this replay's metrics and events; it defaults to the
+	// manager's name so algorithm sweeps sharing one registry stay
+	// distinguishable.
+	Node string
 }
 
 // ReplayStats aggregates one replay.
@@ -87,6 +97,16 @@ func replayStream(next func() (Request, bool, error), cfg ReplayConfig) (ReplayS
 	store, err := cache.NewStore(cfg.CacheSize, policy)
 	if err != nil {
 		return ReplayStats{}, err
+	}
+	if cfg.Metrics != nil || cfg.Trace != nil {
+		node := cfg.Node
+		if node == "" {
+			node = cfg.Manager.Name()
+		}
+		store.Instrument(cfg.Metrics, cfg.Trace, node)
+		if ti, instrumentable := cfg.Manager.(core.TraceInstrumentable); instrumentable {
+			ti.SetTraceSink(cfg.Trace, node)
+		}
 	}
 	if grouped, isGrouped := cfg.Manager.(*core.GroupedRandomCache); isGrouped {
 		grouped.Reset()

@@ -1,0 +1,54 @@
+#!/usr/bin/env bash
+# bench.sh — run the benchmark suites that watch the simulator's hot
+# paths (ndn wire handling, cache, forwarding, trace replay, core
+# countermeasures) and write a machine-readable summary.
+#
+# Usage:
+#   scripts/bench.sh [output.json]
+#
+# Environment:
+#   BENCHTIME  go test -benchtime value (default 1x: one iteration per
+#              benchmark, a smoke run; use e.g. 2s locally for stable
+#              numbers)
+#
+# Output: one JSON array of {suite, name, iterations, ns_per_op,
+# bytes_per_op, allocs_per_op} objects, default BENCH_PR4.json in the
+# repo root. ns/B/allocs fields are null when a benchmark did not report
+# them (e.g. without -benchmem equivalents in its output line).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_PR4.json}"
+benchtime="${BENCHTIME:-1x}"
+suites=(ndn cache fwd trace core)
+
+tmp=$(mktemp)
+trap 'rm -f "$tmp"' EXIT
+
+for suite in "${suites[@]}"; do
+    echo "== bench ./internal/${suite} (benchtime ${benchtime})" >&2
+    go test -run='^$' -bench=. -benchmem -benchtime="$benchtime" \
+        "./internal/${suite}" | awk -v suite="$suite" '
+        /^Benchmark/ {
+            name = $1; iters = $2
+            ns = "null"; bytes = "null"; allocs = "null"
+            for (i = 3; i < NF; i++) {
+                if ($(i+1) == "ns/op")     ns = $i
+                if ($(i+1) == "B/op")      bytes = $i
+                if ($(i+1) == "allocs/op") allocs = $i
+            }
+            printf "{\"suite\":\"%s\",\"name\":\"%s\",\"iterations\":%s,\"ns_per_op\":%s,\"bytes_per_op\":%s,\"allocs_per_op\":%s}\n", \
+                suite, name, iters, ns, bytes, allocs
+        }' >> "$tmp"
+done
+
+# Assemble the newline-delimited objects into one JSON array, one
+# object per line so diffs against a previous run stay readable.
+awk 'BEGIN { print "[" } { if (NR > 1) printf ",\n"; printf "%s", $0 } END { print "\n]" }' "$tmp" > "$out"
+
+count=$(wc -l < "$tmp")
+echo "bench.sh: wrote ${count} benchmark results to ${out}" >&2
+if [[ "$count" -eq 0 ]]; then
+    echo "bench.sh: no benchmarks ran — suite list stale?" >&2
+    exit 1
+fi
