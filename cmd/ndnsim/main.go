@@ -8,12 +8,16 @@
 // Usage:
 //
 //	ndnsim -fig 3a|3b|3c|3d|seg|scope|corr|loss|counter|conv|place|all
-//	       [-objects N] [-runs N] [-seed S] [-json]
+//	       [-objects N] [-runs N] [-seed S] [-parallel N] [-json]
 //	       [-metrics FILE] [-trace FILE]
 //
 // The paper's scale is -objects 1000 -runs 50; defaults are smaller so a
 // full sweep finishes in seconds. With -json, structured results are
-// written to stdout instead of rendered tables.
+// written to stdout instead of rendered tables. -parallel runs each
+// experiment's independent trials on a worker pool; every output —
+// tables, JSON, metrics, traces — is byte-identical for any value
+// because per-trial seeds are derived from the experiment seed and the
+// trial's grid labels, and per-trial telemetry merges in grid order.
 //
 // -metrics writes a snapshot of every counter/gauge/histogram the
 // figure-3 simulations touched (Prometheus text exposition, or a JSON
@@ -27,10 +31,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"ndnprivacy/internal/attack"
 	"ndnprivacy/internal/experiments"
-	"ndnprivacy/internal/netsim"
 	"ndnprivacy/internal/telemetry"
 )
 
@@ -50,6 +54,7 @@ func run() error {
 	paper := flag.Bool("paper", false, "run at the paper's scale (-objects 1000 -runs 50)")
 	metricsPath := flag.String("metrics", "", "write a metrics snapshot of the figure-3 simulations (.json → JSON, else Prometheus text)")
 	tracePath := flag.String("trace", "", "write an NDJSON virtual-time event trace of the figure-3 simulations")
+	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "worker pool size for independent trials (output is identical for any value)")
 	flag.Parse()
 	if *paper {
 		*objects, *runs = 1000, 50
@@ -61,7 +66,7 @@ func run() error {
 		return fmt.Errorf("unknown -fig %q", *fig)
 	}
 
-	cfg := experiments.Figure3Config{Seed: *seed, Objects: *objects, Runs: *runs}
+	cfg := experiments.Figure3Config{Seed: *seed, Objects: *objects, Runs: *runs, Parallel: *parallel}
 
 	var reg *telemetry.Registry
 	if *metricsPath != "" {
@@ -78,16 +83,11 @@ func run() error {
 		tracer = telemetry.NewTraceWriter(traceFile)
 		sink = tracer
 	}
-	if reg != nil || sink != nil {
-		cfg.Observe = func(run int, sim *netsim.Simulator) {
-			sim.SetTelemetry(reg, sink)
-			telemetry.Emit(sink, telemetry.Event{
-				At:   int64(sim.Now()),
-				Type: telemetry.EvRunStart,
-				Run:  run,
-			})
-		}
-	}
+	// The sweep engine gives each run a private registry and trace
+	// buffer and merges them here in run order, so these outputs stay
+	// byte-identical at any -parallel value.
+	cfg.Metrics = reg
+	cfg.Trace = sink
 	all := *fig == "all"
 	report := experiments.NewReporter(os.Stdout, *jsonMode)
 
@@ -135,14 +135,14 @@ func run() error {
 		report.Add("scope-probe", res)
 	}
 	if all || *fig == "corr" {
-		res, err := experiments.RunCorrelation(experiments.CorrelationConfig{Seed: *seed})
+		res, err := experiments.RunCorrelation(experiments.CorrelationConfig{Seed: *seed, Parallel: *parallel})
 		if err != nil {
 			return err
 		}
 		report.Add("correlation", res)
 	}
 	if all || *fig == "loss" {
-		res, err := experiments.RunLossRecovery(experiments.LossRecoveryConfig{Seed: *seed})
+		res, err := experiments.RunLossRecovery(experiments.LossRecoveryConfig{Seed: *seed, Parallel: *parallel})
 		if err != nil {
 			return err
 		}
@@ -156,14 +156,14 @@ func run() error {
 		report.Add("countermeasures", res)
 	}
 	if all || *fig == "place" {
-		res, err := experiments.RunDelayPlacement(experiments.PlacementConfig{Seed: *seed, Objects: *objects / 4})
+		res, err := experiments.RunDelayPlacement(experiments.PlacementConfig{Seed: *seed, Objects: *objects / 4, Parallel: *parallel})
 		if err != nil {
 			return err
 		}
 		report.Add("delay-placement", res)
 	}
 	if all || *fig == "conv" {
-		res, err := attack.RunConversationDetection(attack.ConversationConfig{Seed: *seed})
+		res, err := attack.RunConversationDetection(attack.ConversationConfig{Seed: *seed, Parallel: *parallel})
 		if err != nil {
 			return err
 		}

@@ -7,11 +7,16 @@
 // Usage:
 //
 //	tracesim -fig 5a|5b|ablate|all [-requests N] [-seed S]
-//	         [-private 0.1] [-k 5] [-eps 0.005] [-json]
+//	         [-private 0.1] [-k 5] [-eps 0.005] [-parallel N] [-json]
 //	         [-metrics FILE] [-trace FILE]
 //
 // The paper's scale is -requests 3200000; the default keeps a full sweep
-// under a minute.
+// under a minute. -parallel replays independent grid cells on a worker
+// pool; tables, metrics and traces are byte-identical for any value.
+//
+// A failed grid cell does not abort the sweep: the remaining cells
+// still run, partial tables are printed, and every failure is reported
+// at the end, with a non-zero exit only if at least one cell failed.
 //
 // -metrics writes a snapshot of the replayed caches' counters
 // (Prometheus text exposition, or JSON when FILE ends in .json);
@@ -21,12 +26,15 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"ndnprivacy/internal/core"
 	"ndnprivacy/internal/experiments"
+	"ndnprivacy/internal/sweep"
 	"ndnprivacy/internal/telemetry"
 	"ndnprivacy/internal/trace"
 )
@@ -50,6 +58,7 @@ func run() error {
 	cacheSize := flag.Int("cache", 2000, "cache size for -squidlog replay (0 = unlimited)")
 	metricsPath := flag.String("metrics", "", "write a metrics snapshot of the replayed caches (.json → JSON, else Prometheus text)")
 	tracePath := flag.String("trace", "", "write an NDJSON event trace of the replayed caches")
+	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "worker pool size for independent grid cells (output is identical for any value)")
 	flag.Parse()
 
 	var reg *telemetry.Registry
@@ -100,32 +109,57 @@ func run() error {
 		K:               *k,
 		Epsilon:         *eps,
 		PrivateFraction: *private,
+		Parallel:        *parallel,
 		Metrics:         reg,
 		Trace:           sink,
 	}
 	all := *fig == "all"
 	report := experiments.NewReporter(os.Stdout, *jsonMode)
 
+	// Cell failures are collected, not fatal: the partial tables still
+	// print, and the failures are reported together at the end.
+	var cellFailures []sweep.CellError
+	collect := func(name string, err error) error {
+		if err == nil {
+			return nil
+		}
+		var sweepErrs *sweep.Errors
+		if errors.As(err, &sweepErrs) {
+			for _, ce := range sweepErrs.Cells {
+				fmt.Fprintf(os.Stderr, "tracesim: %s: %v\n", name, ce)
+			}
+			cellFailures = append(cellFailures, sweepErrs.Cells...)
+			return nil
+		}
+		return err
+	}
+
 	if all || *fig == "5a" {
 		res, err := experiments.Figure5a(cfg)
-		if err != nil {
+		if err = collect("figure5a", err); err != nil {
 			return err
 		}
 		report.Add("figure5a", res)
 	}
 	if all || *fig == "5b" {
 		res, err := experiments.Figure5b(cfg, nil)
-		if err != nil {
+		if err = collect("figure5b", err); err != nil {
 			return err
 		}
 		report.Add("figure5b", res)
 	}
 	if all || *fig == "ablate" {
-		res, err := experiments.RunEvictionAblation(*seed, *requests/4, nil)
-		if err != nil {
+		res, err := experiments.RunEvictionAblationSweep(experiments.AblationConfig{
+			Seed:     *seed,
+			Requests: *requests / 4,
+			Parallel: *parallel,
+		})
+		if err = collect("ablation-eviction", err); err != nil {
 			return err
 		}
-		report.Add("ablation-eviction", res)
+		if res != nil {
+			report.Add("ablation-eviction", res)
+		}
 		delays, err := experiments.RunDelayStrategyAblation(0)
 		if err != nil {
 			return err
@@ -135,7 +169,13 @@ func run() error {
 	if err := report.Flush(); err != nil {
 		return err
 	}
-	return finishTelemetry()
+	if err := finishTelemetry(); err != nil {
+		return err
+	}
+	if len(cellFailures) > 0 {
+		return fmt.Errorf("%d grid cell(s) failed (results above are partial)", len(cellFailures))
+	}
+	return nil
 }
 
 // replaySquid runs a real proxy log through all four Section VII

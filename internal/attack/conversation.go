@@ -7,6 +7,8 @@ import (
 	"ndnprivacy/internal/fwd"
 	"ndnprivacy/internal/ndn"
 	"ndnprivacy/internal/netsim"
+	"ndnprivacy/internal/sweep"
+	"ndnprivacy/internal/telemetry"
 )
 
 // Section I: "a combination of these two attacks can be used to learn
@@ -28,6 +30,10 @@ type ConversationConfig struct {
 	// ProbeWindow is how many recent sequence numbers the adversary
 	// guesses per direction.
 	ProbeWindow int
+	// Parallel bounds the worker pool running trials; 0 or 1 is serial.
+	// Accuracies tally in trial order, so the result is identical for
+	// every value.
+	Parallel int
 }
 
 func (c *ConversationConfig) setDefaults() {
@@ -56,39 +62,66 @@ type ConversationResult struct {
 
 // RunConversationDetection measures both accuracies. Each trial flips a
 // fair coin for whether Alice and Bob converse; the adversary probes the
-// router afterward and guesses.
+// router afterward and guesses. Every (protection, trial, world) point
+// is one sweep cell with its own derived seed, run on up to cfg.Parallel
+// workers and tallied in grid order.
 func RunConversationDetection(cfg ConversationConfig) (*ConversationResult, error) {
 	cfg.setDefaults()
 	out := &ConversationResult{Config: cfg}
+	type point struct {
+		protected, conversing bool
+	}
+	var cells []sweep.Cell[bool]
+	var grid []point
 	for _, protected := range []bool{false, true} {
-		correct := 0
-		total := 0
 		for trial := 0; trial < cfg.Trials; trial++ {
 			for _, conversing := range []bool{false, true} {
-				detected, err := conversationTrial(cfg, int64(trial), protected, conversing)
-				if err != nil {
-					return nil, err
-				}
-				if detected == conversing {
-					correct++
-				}
-				total++
+				protected, conversing := protected, conversing
+				grid = append(grid, point{protected, conversing})
+				cells = append(cells, sweep.Cell[bool]{
+					Labels: []string{
+						"fig=conversation",
+						fmt.Sprintf("protected=%t", protected),
+						fmt.Sprintf("trial=%d", trial),
+						fmt.Sprintf("conversing=%t", conversing),
+					},
+					Run: func(seed int64, _ telemetry.Provider) (bool, error) {
+						return conversationTrial(cfg, seed, protected, conversing)
+					},
+				})
 			}
 		}
-		acc := float64(correct) / float64(total)
-		if protected {
-			out.ProtectedAccuracy = acc
-		} else {
-			out.PlainAccuracy = acc
+	}
+	parallel := cfg.Parallel
+	if parallel == 0 {
+		parallel = 1
+	}
+	detections, err := sweep.Run(cells, sweep.Options{RootSeed: cfg.Seed, Parallel: parallel})
+	if err != nil {
+		return nil, fmt.Errorf("attack: conversation: %w", err)
+	}
+	var correct [2]int
+	for i, detected := range detections {
+		if detected == grid[i].conversing {
+			if grid[i].protected {
+				correct[1]++
+			} else {
+				correct[0]++
+			}
 		}
 	}
+	total := float64(2 * cfg.Trials)
+	out.PlainAccuracy = float64(correct[0]) / total
+	out.ProtectedAccuracy = float64(correct[1]) / total
 	return out, nil
 }
 
 // conversationTrial builds alice—R—bob with the adversary on R, runs
-// (or skips) a conversation, and returns the adversary's verdict.
-func conversationTrial(cfg ConversationConfig, trialSeed int64, protected, conversing bool) (bool, error) {
-	sim := netsim.New(cfg.Seed*7907 + trialSeed*13 + boolSeed(protected)*3 + boolSeed(conversing))
+// (or skips) a conversation, and returns the adversary's verdict. seed
+// feeds the trial's simulator directly; RunConversationDetection derives
+// it per grid point via sweep.DeriveSeed.
+func conversationTrial(cfg ConversationConfig, seed int64, protected, conversing bool) (bool, error) {
+	sim := netsim.New(seed)
 	router, err := fwd.NewRouter(sim, "R", 0, nil)
 	if err != nil {
 		return false, err
@@ -219,13 +252,6 @@ func conversationTrial(cfg ConversationConfig, trialSeed int64, protected, conve
 		return false
 	}
 	return hitDirection(alicePrefix) && hitDirection(bobPrefix), nil
-}
-
-func boolSeed(b bool) int64 {
-	if b {
-		return 1
-	}
-	return 0
 }
 
 // RenderConversation formats the result.

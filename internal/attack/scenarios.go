@@ -10,12 +10,15 @@ import (
 	"ndnprivacy/internal/ndn"
 	"ndnprivacy/internal/netsim"
 	"ndnprivacy/internal/stats"
+	"ndnprivacy/internal/sweep"
+	"ndnprivacy/internal/telemetry"
 )
 
 // ScenarioConfig parameterizes one Figure 3 experiment.
 type ScenarioConfig struct {
 	// Seed makes the whole experiment reproducible. Each run derives
-	// its own seed from it.
+	// its own seed from it (sweep.DeriveSeed over the scenario label
+	// and run index).
 	Seed int64
 	// Objects is the number of content objects published per run (the
 	// paper used 1,000).
@@ -23,16 +26,29 @@ type ScenarioConfig struct {
 	// Runs is the number of repetitions, each starting with an empty
 	// router cache (the paper used 50).
 	Runs int
+	// Parallel bounds the worker pool executing the runs; 0 or 1 means
+	// serial. Results and telemetry merge in run order, so the output
+	// is byte-identical for every value.
+	Parallel int
 	// Manager builds the router's cache manager for each run; nil means
-	// no countermeasure (the attack baseline).
+	// no countermeasure (the attack baseline). It may be called from
+	// concurrent runs and must not share mutable state between them.
 	Manager func(sim *netsim.Simulator) core.CacheManager
 	// MarkPrivate marks published content private, so countermeasure
 	// runs exercise the privacy path.
 	MarkPrivate bool
+	// Metrics and Trace, when non-nil, attach telemetry to every run.
+	// Each run observes a private registry and trace buffer which the
+	// sweep engine merges in run order, so the exposition and event
+	// stream stay deterministic even under Parallel > 1. The engine
+	// stamps a run_start trace record per run.
+	Metrics *telemetry.Registry `json:"-"`
+	Trace   telemetry.Sink      `json:"-"`
 	// Observe, when non-nil, is invoked with each run's freshly built
-	// simulator before any topology exists — the hook where callers
-	// attach telemetry (Simulator.SetTelemetry) and stamp run-start
-	// trace records.
+	// simulator before any topology exists — an escape hatch for
+	// attaching custom telemetry (Simulator.SetTelemetry) directly.
+	// Anything shared it writes to is only deterministic under serial
+	// execution; prefer Metrics/Trace, which merge in run order.
 	Observe func(run int, sim *netsim.Simulator)
 }
 
@@ -92,10 +108,68 @@ func (c *ScenarioConfig) observeRun(run int, sim *netsim.Simulator) {
 	}
 }
 
-// accountRun folds one finished run's simulator cost into the result.
-func (r *Result) accountRun(sim *netsim.Simulator) {
-	r.Steps += sim.Steps()
-	r.VirtualSeconds += sim.Now().Seconds()
+// runSample is one repetition's measurements, merged into Result in run
+// order by the batch executor.
+type runSample struct {
+	hit, miss      []float64
+	steps          uint64
+	virtualSeconds float64
+}
+
+// accountSim folds a finished run's simulator cost into the sample.
+func (s *runSample) accountSim(sim *netsim.Simulator) {
+	s.steps = sim.Steps()
+	s.virtualSeconds = sim.Now().Seconds()
+}
+
+// runScenarioBatch executes cfg.Runs repetitions of runOne as a sweep:
+// each run is one cell with a collision-free derived seed and private
+// telemetry, executed on up to cfg.Parallel workers and merged in run
+// order, so the Result (and any attached telemetry) is identical
+// whether the batch ran serially or in parallel.
+func runScenarioBatch(label string, cfg ScenarioConfig, runOne func(sim *netsim.Simulator) (runSample, error)) (*Result, error) {
+	cells := make([]sweep.Cell[runSample], cfg.Runs)
+	for run := 0; run < cfg.Runs; run++ {
+		run := run
+		cells[run] = sweep.Cell[runSample]{
+			Labels: []string{"scenario=" + label, fmt.Sprintf("run=%d", run)},
+			Run: func(seed int64, prov telemetry.Provider) (runSample, error) {
+				sim := netsim.New(seed)
+				sim.SetTelemetry(prov.Metrics(), prov.TraceSink())
+				telemetry.Emit(prov.TraceSink(), telemetry.Event{
+					At:   int64(sim.Now()),
+					Type: telemetry.EvRunStart,
+					Run:  run,
+				})
+				cfg.observeRun(run, sim)
+				return runOne(sim)
+			},
+		}
+	}
+	parallel := cfg.Parallel
+	if parallel == 0 {
+		parallel = 1
+	}
+	samples, err := sweep.Run(cells, sweep.Options{
+		RootSeed: cfg.Seed,
+		Parallel: parallel,
+		Metrics:  cfg.Metrics,
+		Trace:    cfg.Trace,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("attack: %s: %w", label, err)
+	}
+	res := &Result{Label: label}
+	for _, s := range samples {
+		res.Hit = append(res.Hit, s.hit...)
+		res.Miss = append(res.Miss, s.miss...)
+		res.Steps += s.steps
+		res.VirtualSeconds += s.virtualSeconds
+	}
+	if err := res.finalize(); err != nil {
+		return nil, err
+	}
+	return res, nil
 }
 
 // Histograms bins both sample sets identically for PDF rendering, using
@@ -187,21 +261,19 @@ func RunWAN(cfg ScenarioConfig) (*Result, error) {
 // Adv.
 func runConsumerScenario(label string, cfg ScenarioConfig, extraEdgeRouters int, edge, backboneCfg netsim.LinkConfig) (*Result, error) {
 	cfg.setDefaults()
-	res := &Result{Label: label}
 	half := cfg.Objects / 2
 	if half == 0 {
 		return nil, errors.New("attack: need at least 2 objects")
 	}
-	for run := 0; run < cfg.Runs; run++ {
-		sim := netsim.New(cfg.Seed + int64(run)*7919)
-		cfg.observeRun(run, sim)
+	return runScenarioBatch(label, cfg, func(sim *netsim.Simulator) (runSample, error) {
+		var sample runSample
 		var manager core.CacheManager
 		if cfg.Manager != nil {
 			manager = cfg.Manager(sim)
 		}
 		router, err := fwd.NewRouter(sim, "R", 0, manager)
 		if err != nil {
-			return nil, err
+			return sample, err
 		}
 
 		attachConsumerPath := func(hostName string) (*fwd.Forwarder, error) {
@@ -232,11 +304,11 @@ func runConsumerScenario(label string, cfg ScenarioConfig, extraEdgeRouters int,
 
 		uHost, err := attachConsumerPath("U")
 		if err != nil {
-			return nil, err
+			return sample, err
 		}
 		aHost, err := attachConsumerPath("A")
 		if err != nil {
-			return nil, err
+			return sample, err
 		}
 
 		// Producer side: LAN has one backbone link; WAN has 3 hops.
@@ -246,7 +318,7 @@ func runConsumerScenario(label string, cfg ScenarioConfig, extraEdgeRouters int,
 		}
 		pHost, err := fwd.NewBareHost(sim, "P")
 		if err != nil {
-			return nil, err
+			return sample, err
 		}
 		pPath := []*fwd.Forwarder{router}
 		for h := 0; h < producerHops-1; h++ {
@@ -256,46 +328,46 @@ func runConsumerScenario(label string, cfg ScenarioConfig, extraEdgeRouters int,
 				ProcessingDelay: fwd.DefaultRouterProcessing,
 			})
 			if err != nil {
-				return nil, err
+				return sample, err
 			}
 			pPath = append(pPath, hop)
 		}
 		pPath = append(pPath, pHost)
 		if err := fwd.Chain(sim, pPath, backboneCfg, "/p"); err != nil {
-			return nil, err
+			return sample, err
 		}
 
 		producer, err := fwd.NewProducer(pHost, ndn.MustParseName("/p"), nil)
 		if err != nil {
-			return nil, err
+			return sample, err
 		}
 		for i := 0; i < cfg.Objects; i++ {
 			d, err := ndn.NewData(objectName(i), []byte(fmt.Sprintf("object %d payload", i)))
 			if err != nil {
-				return nil, err
+				return sample, err
 			}
 			d.Private = cfg.MarkPrivate
 			if err := producer.Publish(d); err != nil {
-				return nil, err
+				return sample, err
 			}
 		}
 
 		user, err := fwd.NewConsumer(uHost)
 		if err != nil {
-			return nil, err
+			return sample, err
 		}
 		adv, err := NewProber(aHost)
 		if err != nil {
-			return nil, err
+			return sample, err
 		}
 
 		// Miss samples: Adv requests the first half cold.
 		for i := 0; i < half; i++ {
 			rtt, err := adv.Probe(objectName(i))
 			if err != nil {
-				return nil, fmt.Errorf("miss probe %d: %w", i, err)
+				return sample, fmt.Errorf("miss probe %d: %w", i, err)
 			}
-			res.Miss = append(res.Miss, ms(rtt))
+			sample.miss = append(sample.miss, ms(rtt))
 		}
 		// Hit samples: U primes the second half, then Adv probes.
 		for i := half; i < cfg.Objects; i++ {
@@ -304,16 +376,13 @@ func runConsumerScenario(label string, cfg ScenarioConfig, extraEdgeRouters int,
 		for i := half; i < cfg.Objects; i++ {
 			rtt, err := adv.Probe(objectName(i))
 			if err != nil {
-				return nil, fmt.Errorf("hit probe %d: %w", i, err)
+				return sample, fmt.Errorf("hit probe %d: %w", i, err)
 			}
-			res.Hit = append(res.Hit, ms(rtt))
+			sample.hit = append(sample.hit, ms(rtt))
 		}
-		res.accountRun(sim)
-	}
-	if err := res.finalize(); err != nil {
-		return nil, err
-	}
-	return res, nil
+		sample.accountSim(sim)
+		return sample, nil
+	})
 }
 
 // RunProducerPrivacy reproduces Figure 3(c): P is directly connected to
@@ -322,25 +391,23 @@ func runConsumerScenario(label string, cfg ScenarioConfig, extraEdgeRouters int,
 // accuracy is barely above a coin flip (the paper reports 59%).
 func RunProducerPrivacy(cfg ScenarioConfig) (*Result, error) {
 	cfg.setDefaults()
-	res := &Result{Label: "producer"}
 	half := cfg.Objects / 2
 	if half == 0 {
 		return nil, errors.New("attack: need at least 2 objects")
 	}
-	for run := 0; run < cfg.Runs; run++ {
-		sim := netsim.New(cfg.Seed + int64(run)*104729)
-		cfg.observeRun(run, sim)
+	return runScenarioBatch("producer", cfg, func(sim *netsim.Simulator) (runSample, error) {
+		var sample runSample
 		var manager core.CacheManager
 		if cfg.Manager != nil {
 			manager = cfg.Manager(sim)
 		}
 		router, err := fwd.NewRouter(sim, "R", 0, manager)
 		if err != nil {
-			return nil, err
+			return sample, err
 		}
 		pHost, err := fwd.NewBareHost(sim, "P")
 		if err != nil {
-			return nil, err
+			return sample, err
 		}
 		// P adjacent to R. The base latency plus the producer's
 		// response delay set the hit/miss RTT delta that must drown in
@@ -351,10 +418,10 @@ func RunProducerPrivacy(cfg ScenarioConfig) (*Result, error) {
 			Bandwidth: 125_000_000,
 		})
 		if err != nil {
-			return nil, err
+			return sample, err
 		}
 		if err := router.RegisterPrefix(ndn.MustParseName("/p"), rpFace); err != nil {
-			return nil, err
+			return sample, err
 		}
 
 		attach := func(hostName string) (*fwd.Forwarder, error) {
@@ -382,44 +449,44 @@ func RunProducerPrivacy(cfg ScenarioConfig) (*Result, error) {
 		}
 		uHost, err := attach("U")
 		if err != nil {
-			return nil, err
+			return sample, err
 		}
 		aHost, err := attach("A")
 		if err != nil {
-			return nil, err
+			return sample, err
 		}
 
 		producer, err := fwd.NewProducer(pHost, ndn.MustParseName("/p"), nil)
 		if err != nil {
-			return nil, err
+			return sample, err
 		}
 		producer.ResponseDelay = 300 * time.Microsecond
 		for i := 0; i < cfg.Objects; i++ {
 			d, err := ndn.NewData(objectName(i), []byte(fmt.Sprintf("object %d payload", i)))
 			if err != nil {
-				return nil, err
+				return sample, err
 			}
 			d.Private = cfg.MarkPrivate
 			if err := producer.Publish(d); err != nil {
-				return nil, err
+				return sample, err
 			}
 		}
 		user, err := fwd.NewConsumer(uHost)
 		if err != nil {
-			return nil, err
+			return sample, err
 		}
 		adv, err := NewProber(aHost)
 		if err != nil {
-			return nil, err
+			return sample, err
 		}
 
 		// Miss: nobody requested; Adv's probe travels to P.
 		for i := 0; i < half; i++ {
 			rtt, err := adv.Probe(objectName(i))
 			if err != nil {
-				return nil, fmt.Errorf("miss probe %d: %w", i, err)
+				return sample, fmt.Errorf("miss probe %d: %w", i, err)
 			}
-			res.Miss = append(res.Miss, ms(rtt))
+			sample.miss = append(sample.miss, ms(rtt))
 		}
 		// Hit: U recently fetched, so R serves from cache.
 		for i := half; i < cfg.Objects; i++ {
@@ -428,16 +495,13 @@ func RunProducerPrivacy(cfg ScenarioConfig) (*Result, error) {
 		for i := half; i < cfg.Objects; i++ {
 			rtt, err := adv.Probe(objectName(i))
 			if err != nil {
-				return nil, fmt.Errorf("hit probe %d: %w", i, err)
+				return sample, fmt.Errorf("hit probe %d: %w", i, err)
 			}
-			res.Hit = append(res.Hit, ms(rtt))
+			sample.hit = append(sample.hit, ms(rtt))
 		}
-		res.accountRun(sim)
-	}
-	if err := res.finalize(); err != nil {
-		return nil, err
-	}
-	return res, nil
+		sample.accountSim(sim)
+		return sample, nil
+	})
 }
 
 // RunLocalHost reproduces Figure 3(d): a malicious application probes the
@@ -445,14 +509,12 @@ func RunProducerPrivacy(cfg ScenarioConfig) (*Result, error) {
 // share. RTT differences are sub-millisecond but stark.
 func RunLocalHost(cfg ScenarioConfig) (*Result, error) {
 	cfg.setDefaults()
-	res := &Result{Label: "local"}
 	half := cfg.Objects / 2
 	if half == 0 {
 		return nil, errors.New("attack: need at least 2 objects")
 	}
-	for run := 0; run < cfg.Runs; run++ {
-		sim := netsim.New(cfg.Seed + int64(run)*1299709)
-		cfg.observeRun(run, sim)
+	return runScenarioBatch("local", cfg, func(sim *netsim.Simulator) (runSample, error) {
+		var sample runSample
 		var manager core.CacheManager
 		if cfg.Manager != nil {
 			manager = cfg.Manager(sim)
@@ -460,48 +522,48 @@ func RunLocalHost(cfg ScenarioConfig) (*Result, error) {
 		// The local daemon: a host forwarder WITH a content store.
 		daemon, err := fwd.NewHost(sim, "ccnd", manager)
 		if err != nil {
-			return nil, err
+			return sample, err
 		}
 		pHost, err := fwd.NewBareHost(sim, "P")
 		if err != nil {
-			return nil, err
+			return sample, err
 		}
 		dFace, _, _, err := fwd.Connect(sim, daemon, pHost, localAttachment())
 		if err != nil {
-			return nil, err
+			return sample, err
 		}
 		if err := daemon.RegisterPrefix(ndn.MustParseName("/p"), dFace); err != nil {
-			return nil, err
+			return sample, err
 		}
 		producer, err := fwd.NewProducer(pHost, ndn.MustParseName("/p"), nil)
 		if err != nil {
-			return nil, err
+			return sample, err
 		}
 		for i := 0; i < cfg.Objects; i++ {
 			d, err := ndn.NewData(objectName(i), []byte(fmt.Sprintf("object %d payload", i)))
 			if err != nil {
-				return nil, err
+				return sample, err
 			}
 			d.Private = cfg.MarkPrivate
 			if err := producer.Publish(d); err != nil {
-				return nil, err
+				return sample, err
 			}
 		}
 		honest, err := fwd.NewConsumer(daemon)
 		if err != nil {
-			return nil, err
+			return sample, err
 		}
 		malicious, err := NewProber(daemon)
 		if err != nil {
-			return nil, err
+			return sample, err
 		}
 
 		for i := 0; i < half; i++ {
 			rtt, err := malicious.Probe(objectName(i))
 			if err != nil {
-				return nil, fmt.Errorf("miss probe %d: %w", i, err)
+				return sample, fmt.Errorf("miss probe %d: %w", i, err)
 			}
-			res.Miss = append(res.Miss, ms(rtt))
+			sample.miss = append(sample.miss, ms(rtt))
 		}
 		for i := half; i < cfg.Objects; i++ {
 			fetchSync(sim, honest, objectName(i))
@@ -509,16 +571,13 @@ func RunLocalHost(cfg ScenarioConfig) (*Result, error) {
 		for i := half; i < cfg.Objects; i++ {
 			rtt, err := malicious.Probe(objectName(i))
 			if err != nil {
-				return nil, fmt.Errorf("hit probe %d: %w", i, err)
+				return sample, fmt.Errorf("hit probe %d: %w", i, err)
 			}
-			res.Hit = append(res.Hit, ms(rtt))
+			sample.hit = append(sample.hit, ms(rtt))
 		}
-		res.accountRun(sim)
-	}
-	if err := res.finalize(); err != nil {
-		return nil, err
-	}
-	return res, nil
+		sample.accountSim(sim)
+		return sample, nil
+	})
 }
 
 func objectName(i int) ndn.Name {

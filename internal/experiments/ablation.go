@@ -6,6 +6,8 @@ import (
 	"time"
 
 	"ndnprivacy/internal/core"
+	"ndnprivacy/internal/sweep"
+	"ndnprivacy/internal/telemetry"
 	"ndnprivacy/internal/trace"
 )
 
@@ -27,31 +29,75 @@ type EvictionAblationResult struct {
 	Rows     []EvictionRow
 }
 
-// RunEvictionAblation replays the default trace under each policy.
+// AblationConfig parameterizes the eviction ablation sweep.
+type AblationConfig struct {
+	Seed     int64
+	Requests int
+	// CacheSizes to sweep; empty means {1%, 5%, 20%} of Requests.
+	CacheSizes []int
+	// Parallel bounds the worker pool; 0 or 1 is serial. Every cell
+	// replays the identical Seed-derived workload, so rows are the same
+	// for every value.
+	Parallel int
+}
+
+// RunEvictionAblation replays the default trace under each policy. The
+// signature is kept for existing callers; it runs the sweep serially.
 func RunEvictionAblation(seed int64, requests int, cacheSizes []int) (*EvictionAblationResult, error) {
-	if requests == 0 {
-		requests = 50000
+	return RunEvictionAblationSweep(AblationConfig{Seed: seed, Requests: requests, CacheSizes: cacheSizes})
+}
+
+// RunEvictionAblationSweep replays the default trace under each
+// (policy, cache size) cell of the grid.
+func RunEvictionAblationSweep(cfg AblationConfig) (*EvictionAblationResult, error) {
+	if cfg.Requests == 0 {
+		cfg.Requests = 50000
 	}
-	if len(cacheSizes) == 0 {
-		cacheSizes = []int{requests / 100, requests / 20, requests / 5}
+	if len(cfg.CacheSizes) == 0 {
+		cfg.CacheSizes = []int{cfg.Requests / 100, cfg.Requests / 20, cfg.Requests / 5}
 	}
-	gen, err := trace.NewGenerator(trace.DefaultGeneratorConfig(seed, requests))
-	if err != nil {
-		return nil, err
-	}
-	out := &EvictionAblationResult{Requests: requests}
+	out := &EvictionAblationResult{Requests: cfg.Requests}
+	var cells []sweep.Cell[EvictionRow]
 	for _, policy := range []string{"lru", "fifo", "lfu"} {
-		for _, size := range cacheSizes {
-			stats, err := trace.Replay(gen, trace.ReplayConfig{
-				CacheSize: size,
-				Policy:    policy,
-				Manager:   core.NewNoPrivacy(),
+		for _, size := range cfg.CacheSizes {
+			policy, size := policy, size
+			cells = append(cells, sweep.Cell[EvictionRow]{
+				Labels: []string{"fig=ablation", "policy=" + policy, fmt.Sprintf("size=%d", size)},
+				Run: func(_ int64, _ telemetry.Provider) (EvictionRow, error) {
+					// Each cell builds its own generator from the
+					// experiment seed: the ablation compares policies on
+					// the identical workload, and the replay itself uses
+					// no other randomness.
+					gen, err := trace.NewGenerator(trace.DefaultGeneratorConfig(cfg.Seed, cfg.Requests))
+					if err != nil {
+						return EvictionRow{}, err
+					}
+					stats, err := trace.Replay(gen, trace.ReplayConfig{
+						CacheSize: size,
+						Policy:    policy,
+						Manager:   core.NewNoPrivacy(),
+					})
+					if err != nil {
+						return EvictionRow{}, err
+					}
+					return EvictionRow{Policy: policy, CacheSize: size, HitRate: stats.HitRate()}, nil
+				},
 			})
-			if err != nil {
-				return nil, fmt.Errorf("ablation %s @%d: %w", policy, size, err)
-			}
-			out.Rows = append(out.Rows, EvictionRow{Policy: policy, CacheSize: size, HitRate: stats.HitRate()})
 		}
+	}
+	parallel := cfg.Parallel
+	if parallel == 0 {
+		parallel = 1
+	}
+	rows, err := sweep.Run(cells, sweep.Options{RootSeed: cfg.Seed, Parallel: parallel})
+	for _, row := range rows {
+		if row.Policy == "" { // zero value: the cell failed
+			continue
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	if err != nil {
+		return out, fmt.Errorf("ablation: %w", err)
 	}
 	return out, nil
 }

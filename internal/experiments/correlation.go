@@ -8,6 +8,8 @@ import (
 	"ndnprivacy/internal/cache"
 	"ndnprivacy/internal/core"
 	"ndnprivacy/internal/ndn"
+	"ndnprivacy/internal/sweep"
+	"ndnprivacy/internal/telemetry"
 )
 
 // E10 — the Section VI correlation attack. Random-Cache's guarantee
@@ -41,6 +43,10 @@ type CorrelationConfig struct {
 	Domain uint64
 	// SetSizes to sweep.
 	SetSizes []int
+	// Parallel bounds the worker pool; 0 or 1 is serial. Each set size
+	// draws from its own derived-seed RNG, so rows are identical for
+	// every value.
+	Parallel int
 }
 
 func (c *CorrelationConfig) setDefaults() {
@@ -69,32 +75,52 @@ type CorrelationResult struct {
 func RunCorrelation(cfg CorrelationConfig) (*CorrelationResult, error) {
 	cfg.setDefaults()
 	out := &CorrelationResult{Config: cfg}
-	rng := rand.New(rand.NewSource(cfg.Seed))
-	for _, n := range cfg.SetSizes {
-		ungroupedFires := 0
-		groupedFires := 0
-		for trial := 0; trial < cfg.Trials; trial++ {
-			fired, err := trialUngrouped(rng, cfg.Domain, n)
-			if err != nil {
-				return nil, err
-			}
-			if fired {
-				ungroupedFires++
-			}
-			fired, err = trialGrouped(rng, cfg.Domain*uint64(n), n)
-			if err != nil {
-				return nil, err
-			}
-			if fired {
-				groupedFires++
-			}
+	// One cell per set size, each with a private derived-seed RNG — the
+	// previous implementation threaded one RNG through the whole sweep,
+	// which serialized it and made every row's draws depend on the rows
+	// before it.
+	cells := make([]sweep.Cell[CorrelationRow], len(cfg.SetSizes))
+	for i, n := range cfg.SetSizes {
+		n := n
+		cells[i] = sweep.Cell[CorrelationRow]{
+			Labels: []string{"fig=correlation", fmt.Sprintf("n=%d", n)},
+			Run: func(seed int64, _ telemetry.Provider) (CorrelationRow, error) {
+				rng := rand.New(rand.NewSource(seed))
+				ungroupedFires := 0
+				groupedFires := 0
+				for trial := 0; trial < cfg.Trials; trial++ {
+					fired, err := trialUngrouped(rng, cfg.Domain, n)
+					if err != nil {
+						return CorrelationRow{}, err
+					}
+					if fired {
+						ungroupedFires++
+					}
+					fired, err = trialGrouped(rng, cfg.Domain*uint64(n), n)
+					if err != nil {
+						return CorrelationRow{}, err
+					}
+					if fired {
+						groupedFires++
+					}
+				}
+				return CorrelationRow{
+					SetSize:            n,
+					UngroupedDetection: 0.5 + 0.5*float64(ungroupedFires)/float64(cfg.Trials),
+					GroupedDetection:   0.5 + 0.5*float64(groupedFires)/float64(cfg.Trials),
+				}, nil
+			},
 		}
-		out.Rows = append(out.Rows, CorrelationRow{
-			SetSize:            n,
-			UngroupedDetection: 0.5 + 0.5*float64(ungroupedFires)/float64(cfg.Trials),
-			GroupedDetection:   0.5 + 0.5*float64(groupedFires)/float64(cfg.Trials),
-		})
 	}
+	parallel := cfg.Parallel
+	if parallel == 0 {
+		parallel = 1
+	}
+	rows, err := sweep.Run(cells, sweep.Options{RootSeed: cfg.Seed, Parallel: parallel})
+	if err != nil {
+		return nil, fmt.Errorf("correlation: %w", err)
+	}
+	out.Rows = rows
 	return out, nil
 }
 

@@ -13,6 +13,7 @@ import (
 	"ndnprivacy/internal/attack"
 	"ndnprivacy/internal/core"
 	"ndnprivacy/internal/netsim"
+	"ndnprivacy/internal/telemetry"
 )
 
 // Figure3Config scales the timing-attack experiments. The paper used
@@ -24,9 +25,35 @@ type Figure3Config struct {
 	Runs    int
 	// Bins controls PDF rendering granularity.
 	Bins int
+	// Parallel bounds the worker pool executing a scenario's runs; 0 or
+	// 1 is serial. Results and telemetry are merged in run order, so
+	// output is identical for every value.
+	Parallel int
+	// Metrics and Trace, when non-nil, attach telemetry to every run;
+	// the sweep engine merges per-run registries and trace buffers in
+	// run order.
+	Metrics *telemetry.Registry `json:"-"`
+	Trace   telemetry.Sink      `json:"-"`
 	// Observe is forwarded to every attack run's ScenarioConfig so the
-	// caller can attach telemetry to each fresh simulator.
+	// caller can attach telemetry to each fresh simulator. Shared state
+	// it writes is only deterministic under serial execution; prefer
+	// Metrics/Trace.
 	Observe func(run int, sim *netsim.Simulator)
+}
+
+// scenario builds the attack config all Figure 3 experiments share. The
+// scenario label (not an additive seed offset) differentiates the
+// derived per-run seeds.
+func (c Figure3Config) scenario() attack.ScenarioConfig {
+	return attack.ScenarioConfig{
+		Seed:     c.Seed,
+		Objects:  c.Objects,
+		Runs:     c.Runs,
+		Parallel: c.Parallel,
+		Metrics:  c.Metrics,
+		Trace:    c.Trace,
+		Observe:  c.Observe,
+	}
 }
 
 func (c *Figure3Config) setDefaults() {
@@ -73,7 +100,7 @@ func (r *Figure3Result) Render() string {
 // Figure3a runs the LAN consumer-privacy attack (E1).
 func Figure3a(cfg Figure3Config) (*Figure3Result, error) {
 	cfg.setDefaults()
-	res, err := attack.RunLAN(attack.ScenarioConfig{Seed: cfg.Seed + 31, Objects: cfg.Objects, Runs: cfg.Runs, Observe: cfg.Observe})
+	res, err := attack.RunLAN(cfg.scenario())
 	if err != nil {
 		return nil, err
 	}
@@ -89,7 +116,7 @@ func Figure3a(cfg Figure3Config) (*Figure3Result, error) {
 // Figure3b runs the WAN consumer-privacy attack (E2).
 func Figure3b(cfg Figure3Config) (*Figure3Result, error) {
 	cfg.setDefaults()
-	res, err := attack.RunWAN(attack.ScenarioConfig{Seed: cfg.Seed + 37, Objects: cfg.Objects, Runs: cfg.Runs, Observe: cfg.Observe})
+	res, err := attack.RunWAN(cfg.scenario())
 	if err != nil {
 		return nil, err
 	}
@@ -105,7 +132,7 @@ func Figure3b(cfg Figure3Config) (*Figure3Result, error) {
 // Figure3c runs the producer-privacy attack (E3).
 func Figure3c(cfg Figure3Config) (*Figure3Result, error) {
 	cfg.setDefaults()
-	res, err := attack.RunProducerPrivacy(attack.ScenarioConfig{Seed: cfg.Seed + 41, Objects: cfg.Objects, Runs: cfg.Runs, Observe: cfg.Observe})
+	res, err := attack.RunProducerPrivacy(cfg.scenario())
 	if err != nil {
 		return nil, err
 	}
@@ -121,7 +148,7 @@ func Figure3c(cfg Figure3Config) (*Figure3Result, error) {
 // Figure3d runs the local-host attack (E4).
 func Figure3d(cfg Figure3Config) (*Figure3Result, error) {
 	cfg.setDefaults()
-	res, err := attack.RunLocalHost(attack.ScenarioConfig{Seed: cfg.Seed + 43, Objects: cfg.Objects, Runs: cfg.Runs, Observe: cfg.Observe})
+	res, err := attack.RunLocalHost(cfg.scenario())
 	if err != nil {
 		return nil, err
 	}
@@ -222,14 +249,14 @@ func RunCountermeasures(cfg Figure3Config) (*CountermeasureComparison, error) {
 	}
 	out := &CountermeasureComparison{}
 	for _, c := range cases {
-		res, err := attack.RunLAN(attack.ScenarioConfig{
-			Seed:        cfg.Seed + 47,
-			Objects:     cfg.Objects,
-			Runs:        cfg.Runs,
-			Manager:     c.build,
-			MarkPrivate: c.mark,
-			Observe:     cfg.Observe,
-		})
+		// Every case runs with the same root seed on purpose: the
+		// scenario label and run index drive the derived seeds, so all
+		// four countermeasures face identical per-run randomness — a
+		// paired comparison of residual accuracy.
+		sc := cfg.scenario()
+		sc.Manager = c.build
+		sc.MarkPrivate = c.mark
+		res, err := attack.RunLAN(sc)
 		if err != nil {
 			return nil, fmt.Errorf("countermeasure %q: %w", c.name, err)
 		}

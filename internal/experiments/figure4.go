@@ -5,6 +5,8 @@ import (
 	"strings"
 
 	"ndnprivacy/internal/core"
+	"ndnprivacy/internal/sweep"
+	"ndnprivacy/internal/telemetry"
 )
 
 // Figure 4 is purely analytic: it evaluates the Theorem VI.2/VI.4 utility
@@ -45,16 +47,31 @@ func Figure4a(k uint64, delta float64, epsilons []float64, maxC uint64) (*Figure
 			Values: utilityCurve(uniDist, maxC),
 		},
 	}
-	for _, eps := range epsilons {
-		expoDist, err := core.NewGeometricForPrivacy(k, eps, delta)
-		if err != nil {
-			return nil, fmt.Errorf("ε=%g: %w", eps, err)
+	// Each ε series is one sweep cell. The cells are pure analytic
+	// functions of their inputs — no randomness — so they run at the
+	// engine's default parallelism and still assemble in grid order.
+	cells := make([]sweep.Cell[UtilitySeries], len(epsilons))
+	for i, eps := range epsilons {
+		eps := eps
+		cells[i] = sweep.Cell[UtilitySeries]{
+			Labels: []string{"fig=4a", fmt.Sprintf("eps=%g", eps)},
+			Run: func(_ int64, _ telemetry.Provider) (UtilitySeries, error) {
+				expoDist, err := core.NewGeometricForPrivacy(k, eps, delta)
+				if err != nil {
+					return UtilitySeries{}, fmt.Errorf("ε=%g: %w", eps, err)
+				}
+				return UtilitySeries{
+					Label:  fmt.Sprintf("ε=%g (Expo, %s)", eps, expoDist.Name()),
+					Values: utilityCurve(expoDist, maxC),
+				}, nil
+			},
 		}
-		out.Expo = append(out.Expo, UtilitySeries{
-			Label:  fmt.Sprintf("ε=%g (Expo, %s)", eps, expoDist.Name()),
-			Values: utilityCurve(expoDist, maxC),
-		})
 	}
+	series, err := sweep.Run(cells, sweep.Options{})
+	if err != nil {
+		return nil, fmt.Errorf("figure 4a: %w", err)
+	}
+	out.Expo = series
 	return out, nil
 }
 
@@ -96,30 +113,42 @@ type Figure4bResult struct {
 // for each δ (E7). The paper's panel: k ∈ {1, 5}, δ ∈ {0.01, 0.03, 0.05}.
 func Figure4b(k uint64, deltas []float64, maxC uint64) (*Figure4bResult, error) {
 	out := &Figure4bResult{K: k, Deltas: append([]float64(nil), deltas...), MaxC: maxC}
-	for _, delta := range deltas {
-		uniDist, err := core.NewUniformForPrivacy(k, delta)
-		if err != nil {
-			return nil, err
+	cells := make([]sweep.Cell[UtilitySeries], len(deltas))
+	for i, delta := range deltas {
+		delta := delta
+		cells[i] = sweep.Cell[UtilitySeries]{
+			Labels: []string{"fig=4b", fmt.Sprintf("delta=%g", delta)},
+			Run: func(_ int64, _ telemetry.Provider) (UtilitySeries, error) {
+				uniDist, err := core.NewUniformForPrivacy(k, delta)
+				if err != nil {
+					return UtilitySeries{}, err
+				}
+				eps, err := core.MaxEpsilonForDelta(delta)
+				if err != nil {
+					return UtilitySeries{}, err
+				}
+				expoDist, err := core.NewGeometricForPrivacy(k, eps, delta)
+				if err != nil {
+					return UtilitySeries{}, fmt.Errorf("δ=%g: %w", delta, err)
+				}
+				uni := utilityCurve(uniDist, maxC)
+				expo := utilityCurve(expoDist, maxC)
+				diff := make([]float64, maxC)
+				for i := range diff {
+					diff[i] = expo[i] - uni[i]
+				}
+				return UtilitySeries{
+					Label:  fmt.Sprintf("δ=%g (ε=%.4f)", delta, eps),
+					Values: diff,
+				}, nil
+			},
 		}
-		eps, err := core.MaxEpsilonForDelta(delta)
-		if err != nil {
-			return nil, err
-		}
-		expoDist, err := core.NewGeometricForPrivacy(k, eps, delta)
-		if err != nil {
-			return nil, fmt.Errorf("δ=%g: %w", delta, err)
-		}
-		uni := utilityCurve(uniDist, maxC)
-		expo := utilityCurve(expoDist, maxC)
-		diff := make([]float64, maxC)
-		for i := range diff {
-			diff[i] = expo[i] - uni[i]
-		}
-		out.Diffs = append(out.Diffs, UtilitySeries{
-			Label:  fmt.Sprintf("δ=%g (ε=%.4f)", delta, eps),
-			Values: diff,
-		})
 	}
+	series, err := sweep.Run(cells, sweep.Options{})
+	if err != nil {
+		return nil, fmt.Errorf("figure 4b: %w", err)
+	}
+	out.Diffs = series
 	return out, nil
 }
 

@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"ndnprivacy/internal/core"
+	"ndnprivacy/internal/sweep"
 	"ndnprivacy/internal/telemetry"
 	"ndnprivacy/internal/trace"
 )
@@ -26,9 +27,15 @@ type Figure5Config struct {
 	// empty, the paper's {2000, 4000, 8000, 16000, 32000, Inf} scaled by
 	// Requests/3.2M is used.
 	CacheSizes []int
+	// Parallel bounds the worker pool replaying grid cells; 0 or 1 is
+	// serial. Every cell's workload and manager randomness derive from
+	// Seed and the cell's labels, so the tables are identical for every
+	// value.
+	Parallel int
 	// Metrics and Trace, when non-nil, attach telemetry to every replay;
-	// each (algorithm, cache size) cell is labeled distinctly. The JSON
-	// marshaller must skip them — they are wiring, not results.
+	// each (algorithm, cache size) cell is labeled distinctly and merged
+	// in grid order. The JSON marshaller must skip them — they are
+	// wiring, not results.
 	Metrics *telemetry.Registry `json:"-"`
 	Trace   telemetry.Sink      `json:"-"`
 }
@@ -81,85 +88,137 @@ type Figure5aResult struct {
 	Rows   []Figure5Row
 }
 
-// algorithmSet builds the four Section VII algorithms with fresh state.
-func algorithmSet(cfg Figure5Config, rng *rand.Rand) ([]struct {
-	name    string
-	manager core.CacheManager
-}, error) {
-	dm, err := core.NewDelayManager(core.NewContentSpecificDelay())
-	if err != nil {
-		return nil, err
+// figure5Algorithms is the fixed Section VII comparison set, in the
+// paper's presentation order.
+var figure5Algorithms = []string{
+	"No Privacy",
+	"Exponential-Random-Cache",
+	"Uniform-Random-Cache",
+	"Always Delay Private Content",
+}
+
+// buildAlgorithm constructs one Section VII cache manager with fresh
+// state. rng feeds the randomized algorithms; each sweep cell passes its
+// own derived-seed rng so cells never share a random stream.
+func buildAlgorithm(cfg Figure5Config, name string, rng *rand.Rand) (core.CacheManager, error) {
+	switch name {
+	case "No Privacy":
+		return core.NewNoPrivacy(), nil
+	case "Exponential-Random-Cache":
+		alpha, err := core.GeometricAlphaForEpsilon(cfg.K, cfg.Epsilon)
+		if err != nil {
+			return nil, err
+		}
+		dist, err := core.NewGeometricUnbounded(alpha)
+		if err != nil {
+			return nil, err
+		}
+		return core.NewRandomCache(dist, rng)
+	case "Uniform-Random-Cache":
+		// Uniform at matched δ: the exponential's K=∞ floor δ = 1 − α^k.
+		alpha, err := core.GeometricAlphaForEpsilon(cfg.K, cfg.Epsilon)
+		if err != nil {
+			return nil, err
+		}
+		floorDelta := core.ExponentialPrivacy(cfg.K, alpha, 0).Delta
+		dist, err := core.NewUniformForPrivacy(cfg.K, floorDelta)
+		if err != nil {
+			return nil, err
+		}
+		return core.NewRandomCache(dist, rng)
+	case "Always Delay Private Content":
+		return core.NewDelayManager(core.NewContentSpecificDelay())
+	default:
+		return nil, fmt.Errorf("unknown algorithm %q", name)
 	}
-	alpha, err := core.GeometricAlphaForEpsilon(cfg.K, cfg.Epsilon)
+}
+
+// replayCell replays one synthetic-trace cell: it builds a private
+// generator (every cell replays the identical workload, derived from the
+// experiment seed and fraction only) and a manager whose randomness
+// comes from the cell's derived seed, then runs the replay with the
+// cell's telemetry.
+func replayCell(cfg Figure5Config, frac float64, algo string, size int, node string, seed int64, prov telemetry.Provider) (Figure5Row, error) {
+	genCfg := trace.DefaultGeneratorConfig(cfg.Seed, cfg.Requests)
+	genCfg.PrivateFraction = frac
+	gen, err := trace.NewGenerator(genCfg)
 	if err != nil {
-		return nil, err
+		return Figure5Row{}, err
 	}
-	expoDist, err := core.NewGeometricUnbounded(alpha)
+	manager, err := buildAlgorithm(cfg, algo, rand.New(rand.NewSource(seed)))
 	if err != nil {
-		return nil, err
+		return Figure5Row{}, err
 	}
-	expo, err := core.NewRandomCache(expoDist, rng)
+	stats, err := trace.Replay(gen, trace.ReplayConfig{
+		CacheSize: size,
+		Manager:   manager,
+		Metrics:   prov.Metrics(),
+		Trace:     prov.TraceSink(),
+		Node:      node,
+	})
 	if err != nil {
-		return nil, err
+		return Figure5Row{}, err
 	}
-	// Uniform at matched δ: the exponential's K=∞ floor δ = 1 − α^k.
-	floorDelta := core.ExponentialPrivacy(cfg.K, alpha, 0).Delta
-	uniDist, err := core.NewUniformForPrivacy(cfg.K, floorDelta)
-	if err != nil {
-		return nil, err
-	}
-	uni, err := core.NewRandomCache(uniDist, rng)
-	if err != nil {
-		return nil, err
-	}
-	return []struct {
-		name    string
-		manager core.CacheManager
-	}{
-		{"No Privacy", core.NewNoPrivacy()},
-		{"Exponential-Random-Cache", expo},
-		{"Uniform-Random-Cache", uni},
-		{"Always Delay Private Content", dm},
+	return Figure5Row{
+		CacheSize: size,
+		HitRate:   stats.HitRate(),
+		Bandwidth: stats.BandwidthSavedRate(),
 	}, nil
 }
 
 // Figure5a replays the trace under all four algorithms across the cache
-// sweep.
+// sweep. Each (cache size, algorithm) pair is one sweep cell; a failed
+// cell leaves its row out of the table and surfaces in the returned
+// *sweep.Errors alongside the partial result.
 func Figure5a(cfg Figure5Config) (*Figure5aResult, error) {
 	cfg.setDefaults()
-	genCfg := trace.DefaultGeneratorConfig(cfg.Seed, cfg.Requests)
-	genCfg.PrivateFraction = cfg.PrivateFraction
-	gen, err := trace.NewGenerator(genCfg)
-	if err != nil {
-		return nil, err
-	}
-	out := &Figure5aResult{Config: cfg}
+	var cells []sweep.Cell[Figure5Row]
 	for _, size := range cfg.CacheSizes {
-		rng := rand.New(rand.NewSource(cfg.Seed + int64(size) + 1))
-		algos, err := algorithmSet(cfg, rng)
-		if err != nil {
-			return nil, err
-		}
-		for _, a := range algos {
-			stats, err := trace.Replay(gen, trace.ReplayConfig{
-				CacheSize: size,
-				Manager:   a.manager,
-				Metrics:   cfg.Metrics,
-				Trace:     cfg.Trace,
-				Node:      fmt.Sprintf("5a/%s@%d", a.name, size),
-			})
-			if err != nil {
-				return nil, fmt.Errorf("figure 5a %s @%d: %w", a.name, size, err)
-			}
-			out.Rows = append(out.Rows, Figure5Row{
-				Algorithm: a.name,
-				CacheSize: size,
-				HitRate:   stats.HitRate(),
-				Bandwidth: stats.BandwidthSavedRate(),
+		for _, algo := range figure5Algorithms {
+			size, algo := size, algo
+			cells = append(cells, sweep.Cell[Figure5Row]{
+				Labels: []string{"fig=5a", "algo=" + algo, fmt.Sprintf("size=%d", size)},
+				Run: func(seed int64, prov telemetry.Provider) (Figure5Row, error) {
+					row, err := replayCell(cfg, cfg.PrivateFraction, algo, size,
+						fmt.Sprintf("5a/%s@%d", algo, size), seed, prov)
+					if err != nil {
+						return row, err
+					}
+					row.Algorithm = algo
+					return row, nil
+				},
 			})
 		}
+	}
+	rows, err := runFigure5Cells(cfg, cells)
+	out := &Figure5aResult{Config: cfg, Rows: rows}
+	if err != nil {
+		return out, fmt.Errorf("figure 5a: %w", err)
 	}
 	return out, nil
+}
+
+// runFigure5Cells executes a Figure 5 grid and keeps the rows of every
+// cell that succeeded, in grid order.
+func runFigure5Cells(cfg Figure5Config, cells []sweep.Cell[Figure5Row]) ([]Figure5Row, error) {
+	parallel := cfg.Parallel
+	if parallel == 0 {
+		parallel = 1
+	}
+	results, err := sweep.Run(cells, sweep.Options{
+		RootSeed: cfg.Seed,
+		Parallel: parallel,
+		Metrics:  cfg.Metrics,
+		Trace:    cfg.Trace,
+	})
+	rows := make([]Figure5Row, 0, len(results))
+	for _, row := range results {
+		if row.Algorithm == "" { // zero value: the cell failed
+			continue
+		}
+		rows = append(rows, row)
+	}
+	return rows, err
 }
 
 // Render prints the Figure 5(a) table: one row per algorithm, one column
@@ -182,50 +241,38 @@ type Figure5bResult struct {
 }
 
 // Figure5b sweeps the private fraction {5, 10, 20, 40}% as in the paper.
+// Each (fraction, cache size) pair is one sweep cell with a derived seed
+// — the old additive derivation Seed+size+frac*1000 collided for e.g.
+// (size=64, 20% private) and (size=164, 10% private), silently replaying
+// identical manager randomness in distinct cells.
 func Figure5b(cfg Figure5Config, fractions []float64) (*Figure5bResult, error) {
 	cfg.setDefaults()
 	if len(fractions) == 0 {
 		fractions = []float64{0.05, 0.1, 0.2, 0.4}
 	}
 	out := &Figure5bResult{Config: cfg, Fractions: append([]float64(nil), fractions...)}
+	var cells []sweep.Cell[Figure5Row]
 	for _, frac := range fractions {
-		genCfg := trace.DefaultGeneratorConfig(cfg.Seed, cfg.Requests)
-		genCfg.PrivateFraction = frac
-		gen, err := trace.NewGenerator(genCfg)
-		if err != nil {
-			return nil, err
-		}
 		for _, size := range cfg.CacheSizes {
-			rng := rand.New(rand.NewSource(cfg.Seed + int64(size) + int64(frac*1000)))
-			alpha, err := core.GeometricAlphaForEpsilon(cfg.K, cfg.Epsilon)
-			if err != nil {
-				return nil, err
-			}
-			expoDist, err := core.NewGeometricUnbounded(alpha)
-			if err != nil {
-				return nil, err
-			}
-			expo, err := core.NewRandomCache(expoDist, rng)
-			if err != nil {
-				return nil, err
-			}
-			stats, err := trace.Replay(gen, trace.ReplayConfig{
-				CacheSize: size,
-				Manager:   expo,
-				Metrics:   cfg.Metrics,
-				Trace:     cfg.Trace,
-				Node:      fmt.Sprintf("5b/p%.0f@%d", frac*100, size),
-			})
-			if err != nil {
-				return nil, fmt.Errorf("figure 5b frac=%g @%d: %w", frac, size, err)
-			}
-			out.Rows = append(out.Rows, Figure5Row{
-				Algorithm: fmt.Sprintf("%.0f%% Private", frac*100),
-				CacheSize: size,
-				HitRate:   stats.HitRate(),
-				Bandwidth: stats.BandwidthSavedRate(),
+			frac, size := frac, size
+			cells = append(cells, sweep.Cell[Figure5Row]{
+				Labels: []string{"fig=5b", fmt.Sprintf("frac=%g", frac), fmt.Sprintf("size=%d", size)},
+				Run: func(seed int64, prov telemetry.Provider) (Figure5Row, error) {
+					row, err := replayCell(cfg, frac, "Exponential-Random-Cache", size,
+						fmt.Sprintf("5b/p%.0f@%d", frac*100, size), seed, prov)
+					if err != nil {
+						return row, err
+					}
+					row.Algorithm = fmt.Sprintf("%.0f%% Private", frac*100)
+					return row, nil
+				},
 			})
 		}
+	}
+	rows, err := runFigure5Cells(cfg, cells)
+	out.Rows = rows
+	if err != nil {
+		return out, fmt.Errorf("figure 5b: %w", err)
 	}
 	return out, nil
 }

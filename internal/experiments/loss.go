@@ -9,6 +9,8 @@ import (
 	"ndnprivacy/internal/ndn"
 	"ndnprivacy/internal/netsim"
 	"ndnprivacy/internal/stats"
+	"ndnprivacy/internal/sweep"
+	"ndnprivacy/internal/telemetry"
 )
 
 // E11 — the Section V-A rationale experiment: interactive traffic over a
@@ -28,6 +30,10 @@ type LossRecoveryConfig struct {
 	// the same mean rate — real links lose packets in bursts, which
 	// makes cache-assisted retransmission even more valuable.
 	Bursty bool
+	// Parallel bounds the worker pool; 0 or 1 is serial. Both rows are
+	// deterministic functions of Seed, so the result is identical for
+	// every value.
+	Parallel int
 }
 
 func (c *LossRecoveryConfig) setDefaults() {
@@ -61,13 +67,33 @@ type LossRecoveryResult struct {
 func RunLossRecovery(cfg LossRecoveryConfig) (*LossRecoveryResult, error) {
 	cfg.setDefaults()
 	out := &LossRecoveryResult{Config: cfg}
+	cells := make([]sweep.Cell[LossRecoveryRow], 0, 2)
 	for _, caching := range []bool{true, false} {
-		row, err := runLossRecoveryOnce(cfg, caching)
-		if err != nil {
-			return nil, err
-		}
-		out.Rows = append(out.Rows, *row)
+		caching := caching
+		cells = append(cells, sweep.Cell[LossRecoveryRow]{
+			Labels: []string{"fig=loss", fmt.Sprintf("caching=%t", caching)},
+			Run: func(_ int64, _ telemetry.Provider) (LossRecoveryRow, error) {
+				// Deliberately ignores the derived seed: both cells run
+				// on netsim.New(cfg.Seed) so the caching and non-caching
+				// rows face the identical loss pattern — a paired
+				// comparison, not two independent samples.
+				row, err := runLossRecoveryOnce(cfg, caching)
+				if err != nil {
+					return LossRecoveryRow{}, err
+				}
+				return *row, nil
+			},
+		})
 	}
+	parallel := cfg.Parallel
+	if parallel == 0 {
+		parallel = 1
+	}
+	rows, err := sweep.Run(cells, sweep.Options{RootSeed: cfg.Seed, Parallel: parallel})
+	if err != nil {
+		return nil, fmt.Errorf("loss recovery: %w", err)
+	}
+	out.Rows = rows
 	return out, nil
 }
 

@@ -11,6 +11,8 @@ import (
 	"ndnprivacy/internal/ndn"
 	"ndnprivacy/internal/netsim"
 	"ndnprivacy/internal/stats"
+	"ndnprivacy/internal/sweep"
+	"ndnprivacy/internal/telemetry"
 )
 
 // E14 — delay placement (the question footnote 6 defers to future
@@ -50,6 +52,10 @@ type PlacementRow struct {
 type PlacementConfig struct {
 	Seed    int64
 	Objects int
+	// Parallel bounds the worker pool; 0 or 1 is serial. Each policy
+	// runs on its own derived seed, so rows are identical for every
+	// value.
+	Parallel int
 }
 
 func (c *PlacementConfig) setDefaults() {
@@ -64,22 +70,42 @@ type PlacementResult struct {
 	Rows   []PlacementRow
 }
 
-// RunDelayPlacement evaluates the three placements.
+// RunDelayPlacement evaluates the three placements, one sweep cell per
+// policy. The cell label (not the old Seed+len(policy) offset, which
+// would collide for any two policies whose names share a length) drives
+// each cell's derived seed.
 func RunDelayPlacement(cfg PlacementConfig) (*PlacementResult, error) {
 	cfg.setDefaults()
 	out := &PlacementResult{Config: cfg}
-	for _, policy := range []string{"none", "consumer-facing", "all"} {
-		row, err := runPlacement(cfg, policy)
-		if err != nil {
-			return nil, fmt.Errorf("placement %q: %w", policy, err)
+	policies := []string{"none", "consumer-facing", "all"}
+	cells := make([]sweep.Cell[PlacementRow], len(policies))
+	for i, policy := range policies {
+		policy := policy
+		cells[i] = sweep.Cell[PlacementRow]{
+			Labels: []string{"fig=placement", "policy=" + policy},
+			Run: func(seed int64, _ telemetry.Provider) (PlacementRow, error) {
+				row, err := runPlacement(cfg, policy, seed)
+				if err != nil {
+					return PlacementRow{}, err
+				}
+				return *row, nil
+			},
 		}
-		out.Rows = append(out.Rows, *row)
 	}
+	parallel := cfg.Parallel
+	if parallel == 0 {
+		parallel = 1
+	}
+	rows, err := sweep.Run(cells, sweep.Options{RootSeed: cfg.Seed, Parallel: parallel})
+	if err != nil {
+		return nil, fmt.Errorf("placement: %w", err)
+	}
+	out.Rows = rows
 	return out, nil
 }
 
-func runPlacement(cfg PlacementConfig, policy string) (*PlacementRow, error) {
-	sim := netsim.New(cfg.Seed + int64(len(policy)))
+func runPlacement(cfg PlacementConfig, policy string, seed int64) (*PlacementRow, error) {
+	sim := netsim.New(seed)
 	delayManager := func() (core.CacheManager, error) {
 		return core.NewDelayManager(core.NewContentSpecificDelay())
 	}

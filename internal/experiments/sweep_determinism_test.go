@@ -1,0 +1,135 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"ndnprivacy/internal/attack"
+	"ndnprivacy/internal/telemetry"
+)
+
+// figure5aArtifacts runs a small Figure 5(a) sweep at the given
+// parallelism and returns the result rows as JSON plus the merged
+// Prometheus exposition and trace stream.
+func figure5aArtifacts(t *testing.T, parallel int) (rowsJSON, prom []byte, events []telemetry.Event) {
+	t.Helper()
+	reg := telemetry.NewRegistry()
+	rec := telemetry.NewRecorder()
+	res, err := Figure5a(Figure5Config{
+		Seed:     3,
+		Requests: 4000,
+		Parallel: parallel,
+		Metrics:  reg,
+		Trace:    rec,
+	})
+	if err != nil {
+		t.Fatalf("parallel=%d: %v", parallel, err)
+	}
+	rowsJSON, err = json.Marshal(res.Rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := reg.Snapshot().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return rowsJSON, buf.Bytes(), rec.Events()
+}
+
+// TestSweepDeterminismFigure5a is the tentpole guarantee: a parallel
+// sweep's results, merged metrics, and trace stream are byte-identical
+// to the serial run with the same root seed.
+func TestSweepDeterminismFigure5a(t *testing.T) {
+	serialRows, serialProm, serialEvents := figure5aArtifacts(t, 1)
+	if len(serialEvents) == 0 {
+		t.Fatal("expected trace events from the replay")
+	}
+	parRows, parProm, parEvents := figure5aArtifacts(t, 8)
+	if !bytes.Equal(serialRows, parRows) {
+		t.Errorf("result rows differ between -parallel 1 and 8:\n%s\nvs\n%s", serialRows, parRows)
+	}
+	if !bytes.Equal(serialProm, parProm) {
+		t.Error("merged Prometheus exposition differs between -parallel 1 and 8")
+	}
+	if len(serialEvents) != len(parEvents) {
+		t.Fatalf("trace lengths differ: %d vs %d", len(serialEvents), len(parEvents))
+	}
+	for i := range serialEvents {
+		if serialEvents[i] != parEvents[i] {
+			t.Fatalf("trace event %d differs: %+v vs %+v", i, serialEvents[i], parEvents[i])
+		}
+	}
+}
+
+// TestSweepDeterminismFigure3LAN covers the simulator-backed batches:
+// per-run derived seeds plus in-order merge make the attack result and
+// its telemetry independent of the worker count.
+func TestSweepDeterminismFigure3LAN(t *testing.T) {
+	run := func(parallel int) ([]byte, []byte, []telemetry.Event) {
+		reg := telemetry.NewRegistry()
+		rec := telemetry.NewRecorder()
+		res, err := attack.RunLAN(attack.ScenarioConfig{
+			Seed:     7,
+			Objects:  24,
+			Runs:     4,
+			Parallel: parallel,
+			Metrics:  reg,
+			Trace:    rec,
+		})
+		if err != nil {
+			t.Fatalf("parallel=%d: %v", parallel, err)
+		}
+		resJSON, err := json.Marshal(res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := reg.Snapshot().WritePrometheus(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return resJSON, buf.Bytes(), rec.Events()
+	}
+	serialJSON, serialProm, serialEvents := run(1)
+	parJSON, parProm, parEvents := run(8)
+	if !bytes.Equal(serialJSON, parJSON) {
+		t.Errorf("scenario result differs between -parallel 1 and 8:\n%s\nvs\n%s", serialJSON, parJSON)
+	}
+	if !bytes.Equal(serialProm, parProm) {
+		t.Error("merged Prometheus exposition differs between -parallel 1 and 8")
+	}
+	if len(serialEvents) != len(parEvents) {
+		t.Fatalf("trace lengths differ: %d vs %d", len(serialEvents), len(parEvents))
+	}
+	runStarts := 0
+	for i := range serialEvents {
+		if serialEvents[i] != parEvents[i] {
+			t.Fatalf("trace event %d differs: %+v vs %+v", i, serialEvents[i], parEvents[i])
+		}
+		if serialEvents[i].Type == telemetry.EvRunStart {
+			runStarts++
+		}
+	}
+	if runStarts != 4 {
+		t.Fatalf("trace carries %d run_start records, want 4", runStarts)
+	}
+}
+
+// BenchmarkFigure5Sweep measures the same Figure 5(a) grid serially and
+// on an 8-worker pool. The grid's 28 cells are fully independent, so
+// the speedup tracks available cores (≈1× on a single-vCPU CI box,
+// near-linear up to 8 cores elsewhere); scripts/bench.sh records both
+// numbers in BENCH_PR5.json.
+func BenchmarkFigure5Sweep(b *testing.B) {
+	bench := func(parallel int) func(*testing.B) {
+		return func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := Figure5a(Figure5Config{Seed: 3, Requests: 20000, Parallel: parallel}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	b.Run("serial", bench(1))
+	b.Run("parallel8", bench(8))
+}

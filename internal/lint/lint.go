@@ -227,6 +227,7 @@ var deterministicPkgs = []string{
 	"internal/table",
 	"internal/session",
 	"internal/telemetry",
+	"internal/sweep",
 }
 
 // isDeterministicPkg reports whether the import path names one of the

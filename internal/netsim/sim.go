@@ -9,6 +9,7 @@ package netsim
 
 import (
 	"container/heap"
+	"fmt"
 	"math/rand"
 	"time"
 
@@ -104,11 +105,35 @@ func (s *Simulator) RunSteps(n uint64) uint64 {
 	return ran
 }
 
-func (s *Simulator) step() {
-	evPtr, ok := heap.Pop(&s.events).(*event)
-	if !ok {
-		return
+// RunUntilIdle executes events until the queue drains, like Run, but
+// refuses to spin forever: after maxSteps events with work still
+// pending it stops and returns an error. Use it to guard against
+// self-rescheduling event loops (a callback that always queues a
+// successor) in code paths that expect the simulation to quiesce.
+// maxSteps <= 0 defaults to one million events.
+func (s *Simulator) RunUntilIdle(maxSteps uint64) error {
+	if maxSteps == 0 {
+		maxSteps = 1_000_000
 	}
+	for ran := uint64(0); ran < maxSteps; ran++ {
+		if len(s.events) == 0 {
+			return nil
+		}
+		s.step()
+	}
+	if len(s.events) > 0 {
+		return fmt.Errorf("netsim: not idle after %d events (%d still pending at t=%v); self-rescheduling event loop?",
+			maxSteps, len(s.events), s.now)
+	}
+	return nil
+}
+
+func (s *Simulator) step() {
+	// The assertion cannot fail — only Schedule pushes, and it pushes
+	// *event — so a failure is heap corruption and must crash loudly
+	// rather than silently drop the event (which would freeze virtual
+	// time for the rest of the run).
+	evPtr := heap.Pop(&s.events).(*event)
 	s.now = evPtr.at
 	s.steps++
 	evPtr.fn()
@@ -134,11 +159,9 @@ func (h eventHeap) Less(i, j int) bool {
 func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
 
 func (h *eventHeap) Push(x any) {
-	ev, ok := x.(*event)
-	if !ok {
-		return
-	}
-	*h = append(*h, ev)
+	// Pushing anything but *event is a programming error; dropping it
+	// silently would lose a scheduled callback, so fail loudly.
+	*h = append(*h, x.(*event))
 }
 
 func (h *eventHeap) Pop() any {

@@ -1,0 +1,63 @@
+// Package sweep is the experiment-grid trial engine: every figure in
+// the paper is a sweep over a grid of independent cells (algorithm ×
+// cache size, topology × run index, …), and this package runs those
+// cells on a bounded worker pool while keeping the output byte-identical
+// to a serial run. Three properties make that possible:
+//
+//  1. Seed streams. Each cell's RNG seed is derived from the root seed
+//     and the cell's canonical labels with a SplitMix64-based mixer, so
+//     distinct cells provably use distinct streams (the additive
+//     seed+size+frac arithmetic it replaces collided) and a cell's
+//     stream never depends on execution order.
+//  2. Isolated telemetry. Each cell observes its own
+//     telemetry.Registry and trace buffer; the engine merges them into
+//     the caller's registry/sink in deterministic cell order.
+//  3. In-order results. Results land at their cell's index regardless
+//     of completion order, and per-cell failures are collected instead
+//     of aborting the sweep.
+package sweep
+
+// splitmix64 is the SplitMix64 output function (Steele, Lea & Flood,
+// "Fast Splittable Pseudorandom Number Generators", OOPSLA 2014): a
+// bijective avalanche mixer whose increment constant is the golden
+// ratio. It is the standard stream-splitter for seeding independent
+// PRNGs from one root value.
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// FNV-1a constants, used to fold label bytes into the seed stream.
+const (
+	fnvOffset uint64 = 14695981039346656037
+	fnvPrime  uint64 = 1099511628211
+)
+
+// hashLabel folds one label into a 64-bit value with FNV-1a. The
+// terminating separator byte keeps label boundaries significant, so
+// {"ab","c"} and {"a","bc"} hash differently.
+func hashLabel(label string) uint64 {
+	h := fnvOffset
+	for i := 0; i < len(label); i++ {
+		h = (h ^ uint64(label[i])) * fnvPrime
+	}
+	return (h ^ 0xFF) * fnvPrime
+}
+
+// DeriveSeed maps (root seed, canonical cell labels) to the cell's RNG
+// seed. The root seed is avalanched through SplitMix64 first, then each
+// label is FNV-1a-hashed and mixed in with another SplitMix64 round, so
+// every label byte influences every output bit. Two cells share a seed
+// stream only if they share the root seed AND the exact label sequence
+// — unlike the additive `seed + size + int64(frac*1000)` arithmetic
+// this replaces, where e.g. (size=164, frac=10%) and (size=64,
+// frac=20%) collided.
+func DeriveSeed(root int64, labels ...string) int64 {
+	h := splitmix64(uint64(root))
+	for _, label := range labels {
+		h = splitmix64(h ^ hashLabel(label))
+	}
+	return int64(h)
+}

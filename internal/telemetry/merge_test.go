@@ -1,0 +1,101 @@
+package telemetry
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestRegistryMergeAddsValues(t *testing.T) {
+	dst := NewRegistry()
+	dst.Counter("c").Add(5)
+	dst.Gauge("g").Set(-2)
+	dst.Histogram("h", []float64{1, 10}).Observe(0.5)
+
+	src := NewRegistry()
+	src.Counter("c").Add(7)
+	src.Counter("only_src").Add(1)
+	src.Gauge("g").Add(3)
+	src.Histogram("h", []float64{1, 10}).Observe(5)
+	src.Histogram("h", []float64{1, 10}).Observe(100)
+
+	dst.Merge(src.Snapshot())
+
+	if got := dst.Counter("c").Value(); got != 12 {
+		t.Fatalf("counter c = %d, want 12", got)
+	}
+	if got := dst.Counter("only_src").Value(); got != 1 {
+		t.Fatalf("counter only_src = %d, want 1 (merge must create absent metrics)", got)
+	}
+	if got := dst.Gauge("g").Value(); got != 1 {
+		t.Fatalf("gauge g = %d, want 1", got)
+	}
+	h := dst.Histogram("h", []float64{1, 10})
+	if got := h.Count(); got != 3 {
+		t.Fatalf("histogram count = %d, want 3", got)
+	}
+	if got := h.Sum(); got != 105.5 {
+		t.Fatalf("histogram sum = %g, want 105.5", got)
+	}
+	if buckets := h.BucketCounts(); buckets[0] != 1 || buckets[1] != 1 || buckets[2] != 1 {
+		t.Fatalf("bucket counts = %v, want [1 1 1]", buckets)
+	}
+}
+
+func TestRegistryMergeMismatchedHistogramBounds(t *testing.T) {
+	dst := NewRegistry()
+	dst.Histogram("h", []float64{1, 10}).Observe(0.5)
+
+	// A source snapshot with a different layout: counts re-bin at each
+	// source bucket's upper bound, Count and Sum survive exactly.
+	src := NewRegistry()
+	sh := src.Histogram("h", []float64{2, 5, 50})
+	sh.Observe(1.5) // ≤2 → re-bins at bound 2 → dst bucket ≤10
+	sh.Observe(30)  // ≤50 → re-bins at bound 50 → dst overflow
+	sh.Observe(999) // overflow → dst overflow
+
+	dst.Merge(src.Snapshot())
+	h := dst.Histogram("h", []float64{1, 10})
+	if got := h.Count(); got != 4 {
+		t.Fatalf("count = %d, want 4", got)
+	}
+	if got := h.Sum(); got != 1031 {
+		t.Fatalf("sum = %g, want 1031", got)
+	}
+	if buckets := h.BucketCounts(); buckets[0] != 1 || buckets[1] != 1 || buckets[2] != 2 {
+		t.Fatalf("bucket counts = %v, want [1 1 2]", buckets)
+	}
+}
+
+func TestRegistryMergeCommutes(t *testing.T) {
+	build := func() *Registry {
+		r := NewRegistry()
+		r.Counter("c").Add(3)
+		r.Histogram("h", []float64{1}).Observe(2)
+		return r
+	}
+	a, b := build(), build()
+	b.Counter("c").Add(4)
+
+	ab := NewRegistry()
+	ab.Merge(a.Snapshot())
+	ab.Merge(b.Snapshot())
+	ba := NewRegistry()
+	ba.Merge(b.Snapshot())
+	ba.Merge(a.Snapshot())
+
+	var bufAB, bufBA bytes.Buffer
+	if err := ab.Snapshot().WritePrometheus(&bufAB); err != nil {
+		t.Fatal(err)
+	}
+	if err := ba.Snapshot().WritePrometheus(&bufBA); err != nil {
+		t.Fatal(err)
+	}
+	if bufAB.String() != bufBA.String() {
+		t.Fatalf("merge is not commutative:\n%s\nvs\n%s", bufAB.String(), bufBA.String())
+	}
+}
+
+func TestRegistryMergeNilSafe(t *testing.T) {
+	var r *Registry
+	r.Merge(Snapshot{Counters: []CounterValue{{Name: "c", Value: 1}}}) // must not panic
+}

@@ -136,6 +136,59 @@ func (h *Histogram) Observe(v float64) {
 	}
 }
 
+// mergeValue folds a snapshotted histogram into this one. When the
+// bucket layouts match (the invariant for same-named histograms emitted
+// by identical instrumentation), counts add bucket-by-bucket; a
+// mismatched layout degrades gracefully by re-binning each source
+// bucket at its upper bound, preserving Count and Sum exactly and
+// bucket placement approximately. Nil-safe.
+func (h *Histogram) mergeValue(hv HistogramValue) {
+	if h == nil {
+		return
+	}
+	if len(hv.Buckets) == len(h.counts) && boundsEqual(h.bounds, hv.Bounds) {
+		for i, c := range hv.Buckets {
+			h.counts[i].Add(c)
+		}
+	} else {
+		for i, c := range hv.Buckets {
+			if c == 0 {
+				continue
+			}
+			idx := len(h.bounds) // overflow unless a bound fits
+			if i < len(hv.Bounds) {
+				for j, bound := range h.bounds {
+					if hv.Bounds[i] <= bound {
+						idx = j
+						break
+					}
+				}
+			}
+			h.counts[idx].Add(c)
+		}
+	}
+	h.count.Add(hv.Count)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + hv.Sum)
+		if h.sum.CompareAndSwap(old, next) {
+			break
+		}
+	}
+}
+
+func boundsEqual(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
 // Count returns the number of observations; 0 on nil.
 func (h *Histogram) Count() uint64 {
 	if h == nil {

@@ -114,6 +114,28 @@ type Snapshot struct {
 	Histograms []HistogramValue `json:"histograms"`
 }
 
+// Merge folds a snapshot into the registry: counter and gauge values
+// add onto same-named metrics (creating them if absent), histogram
+// bucket counts, sums and totals likewise. Because addition commutes,
+// merging per-run snapshots in any order yields the same totals; the
+// sweep engine still merges in cell order so histogram bucket layouts
+// are adopted deterministically from the first cell that defines them.
+// A nil registry ignores the merge.
+func (r *Registry) Merge(s Snapshot) {
+	if r == nil {
+		return
+	}
+	for _, c := range s.Counters {
+		r.Counter(c.Name).Add(c.Value)
+	}
+	for _, g := range s.Gauges {
+		r.Gauge(g.Name).Add(g.Value)
+	}
+	for _, h := range s.Histograms {
+		r.Histogram(h.Name, h.Bounds).mergeValue(h)
+	}
+}
+
 // Snapshot captures the registry's current values. On a nil registry it
 // returns an empty snapshot.
 func (r *Registry) Snapshot() Snapshot {

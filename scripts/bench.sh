@@ -12,15 +12,19 @@
 #              numbers)
 #
 # Output: one JSON array of {suite, name, iterations, ns_per_op,
-# bytes_per_op, allocs_per_op} objects, default BENCH_PR4.json in the
+# bytes_per_op, allocs_per_op} objects, default BENCH_PR5.json in the
 # repo root. ns/B/allocs fields are null when a benchmark did not report
 # them (e.g. without -benchmem equivalents in its output line).
+#
+# The experiments suite carries BenchmarkFigure5Sweep/{serial,parallel8}:
+# the same grid replayed at -parallel 1 and 8, the sweep-engine
+# scaling pair this file exists to track.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_PR4.json}"
+out="${1:-BENCH_PR5.json}"
 benchtime="${BENCHTIME:-1x}"
-suites=(ndn cache fwd trace core)
+suites=(ndn cache fwd trace core experiments)
 
 tmp=$(mktemp)
 trap 'rm -f "$tmp"' EXIT
