@@ -2,13 +2,17 @@
 // over the packages matching the given go-list patterns (default ./...):
 // simulator determinism, seeded randomness, map-iteration order, lock
 // copying, wire-format error hygiene, inferred mutex guard discipline,
-// seed taint flow, shadowed errors, and duration unit provenance. See
-// internal/lint for the individual checks and the //ndnlint:allow
-// suppression syntax.
+// seed taint flow, shadowed errors, duration unit provenance, and the
+// interprocedural //ndnlint:hotpath allocation check. See internal/lint
+// for the individual checks and the //ndnlint:allow suppression syntax.
 //
 // Usage:
 //
-//	ndnlint [-json] [-sarif] [-list] [-c check[,check]] [packages...]
+//	ndnlint [-json] [-sarif] [-list] [-checks check[,check]] [-allocreport] [packages...]
+//
+// -allocreport emits the machine-readable allocation budget for every
+// annotated hot path (the committed ALLOC_BUDGET.json baseline) instead
+// of findings.
 //
 // Exit status is 0 when the tree is clean, 1 when findings were
 // reported, and 2 when analysis itself failed.
@@ -18,6 +22,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -25,30 +30,33 @@ import (
 )
 
 func main() {
-	os.Exit(run(os.Args[1:]))
+	os.Exit(run(os.Args[1:], os.Stdout))
 }
 
-func run(args []string) int {
+func run(args []string, stdout io.Writer) int {
 	flags := flag.NewFlagSet("ndnlint", flag.ContinueOnError)
 	jsonOut := flags.Bool("json", false, "emit findings as a JSON array for tooling")
 	sarifOut := flags.Bool("sarif", false, "emit findings as SARIF 2.1.0 for code scanning")
 	list := flags.Bool("list", false, "list available checks and exit")
-	only := flags.String("c", "", "comma-separated checks to run (default: all)")
+	allocReport := flags.Bool("allocreport", false, "emit the hot-path allocation budget as JSON and exit")
+	var only string
+	flags.StringVar(&only, "checks", "", "comma-separated checks to run (default: all)")
+	flags.StringVar(&only, "c", "", "shorthand for -checks")
 	if err := flags.Parse(args); err != nil {
 		return 2
 	}
 
 	if *list {
 		for _, a := range lint.All {
-			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+			fmt.Fprintf(stdout, "%-16s %s\n", a.Name, a.Doc)
 		}
 		return 0
 	}
 
 	checks := lint.All
-	if *only != "" {
+	if only != "" {
 		checks = nil
-		for _, name := range strings.Split(*only, ",") {
+		for _, name := range strings.Split(only, ",") {
 			a := lint.ByName(strings.TrimSpace(name))
 			if a == nil {
 				fmt.Fprintf(os.Stderr, "ndnlint: unknown check %q (try -list)\n", name)
@@ -64,19 +72,34 @@ func run(args []string) int {
 		return 2
 	}
 
-	var findings []lint.Finding
-	for _, pkg := range pkgs {
-		findings = append(findings, pkg.Check(checks)...)
+	if *allocReport {
+		if len(pkgs) == 0 {
+			fmt.Fprintln(os.Stderr, "ndnlint: no packages matched")
+			return 2
+		}
+		budget := lint.BuildAllocBudget(pkgs[0].Fset, lint.Units(pkgs))
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(budget); err != nil {
+			fmt.Fprintf(os.Stderr, "ndnlint: %v\n", err)
+			return 2
+		}
+		return 0
 	}
+
+	// One whole-tree pass: interprocedural checks (alloccheck) follow
+	// calls across package boundaries only when every package is
+	// analyzed together.
+	findings := lint.CheckAll(pkgs, checks)
 
 	switch {
 	case *sarifOut:
-		if err := writeSARIF(os.Stdout, checks, findings); err != nil {
+		if err := writeSARIF(stdout, checks, findings); err != nil {
 			fmt.Fprintf(os.Stderr, "ndnlint: %v\n", err)
 			return 2
 		}
 	case *jsonOut:
-		enc := json.NewEncoder(os.Stdout)
+		enc := json.NewEncoder(stdout)
 		enc.SetIndent("", "  ")
 		if findings == nil {
 			findings = []lint.Finding{} // emit [] rather than null
@@ -87,7 +110,7 @@ func run(args []string) int {
 		}
 	default:
 		for _, f := range findings {
-			fmt.Println(f)
+			fmt.Fprintln(stdout, f)
 		}
 	}
 

@@ -197,6 +197,7 @@ func (l *LFU) OnAccess(key string) {
 		}
 	}
 	if nextElem == nil {
+		//ndnlint:allow alloccheck — LFU is an ablation policy, not on the measured LRU path
 		nextElem = l.freqs.InsertAfter(&lfuBucket{freq: nextFreq, order: list.New()}, entry.bucketElem)
 	}
 	bucket.order.Remove(entry.keyElem)
@@ -205,7 +206,7 @@ func (l *LFU) OnAccess(key string) {
 	}
 	nextBucket, _ := nextElem.Value.(*lfuBucket)
 	entry.bucketElem = nextElem
-	entry.keyElem = nextBucket.order.PushFront(key)
+	entry.keyElem = nextBucket.order.PushFront(key) //ndnlint:allow alloccheck — LFU is an ablation policy, not on the measured LRU path
 }
 
 // OnRemove implements Policy.

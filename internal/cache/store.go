@@ -198,6 +198,8 @@ func (s *Store) Insert(data *ndn.Data, now, fetchDelay time.Duration) *Entry {
 }
 
 // Exact returns the entry whose name equals name exactly, if fresh.
+//
+//ndnlint:hotpath — the lookup latency the cache-timing adversary measures; must not allocate
 func (s *Store) Exact(name ndn.Name, now time.Duration) (*Entry, bool) {
 	entry, found := s.lookupExact(name, now)
 	s.countLookup(found)
@@ -212,7 +214,7 @@ func (s *Store) lookupExact(name ndn.Name, now time.Duration) (*Entry, bool) {
 		return nil, false
 	}
 	if entry.IsStale(now) {
-		s.removeKey(name.Key(), now, "stale")
+		s.removeKey(name.Key(), now, "stale") //ndnlint:allow alloccheck — stale purge is off the steady-state hit path
 		return nil, false
 	}
 	return entry, true
@@ -259,6 +261,8 @@ func (s *Store) Match(interest *ndn.Interest, now time.Duration) (*Entry, bool) 
 // Touch records a cache hit on the entry for eviction-recency purposes.
 // Call it on every hit, including hits the privacy layer disguises as
 // misses (Section VII: delayed responses still refresh the entry).
+//
+//ndnlint:hotpath — runs on every cache hit
 func (s *Store) Touch(name ndn.Name) {
 	s.policy.OnAccess(name.Key())
 }

@@ -1,0 +1,67 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// These tests pin the zero-allocation contract of the //ndnlint:hotpath
+// annotations on the cache managers' OnCacheHit: the per-hit privacy
+// decision executes inside the response latency the paper's adversary
+// measures, so an allocation there is timing noise in the hit/miss
+// distributions (BenchmarkRandomCacheDecision and
+// BenchmarkDelayManagerDecision report 0 allocs/op).
+
+func TestRandomCacheDecisionZeroAlloc(t *testing.T) {
+	dist, err := NewGeometricK(0.99, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewRandomCache(dist, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := privateEntryForQuick()
+	m.OnContentCached(e, 0, 0)
+	i := privateInterestForQuick()
+	if n := testing.AllocsPerRun(200, func() {
+		m.OnCacheHit(e, i, 0)
+	}); n != 0 {
+		t.Errorf("RandomCache.OnCacheHit: %.0f allocs/run, want 0", n)
+	}
+}
+
+func TestDelayManagerDecisionZeroAlloc(t *testing.T) {
+	m, err := NewDelayManager(NewContentSpecificDelay())
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := privateEntryForQuick()
+	e.FetchDelay = 20 * time.Millisecond
+	i := privateInterestForQuick()
+	if n := testing.AllocsPerRun(200, func() {
+		m.OnCacheHit(e, i, 0)
+	}); n != 0 {
+		t.Errorf("DelayManager.OnCacheHit: %.0f allocs/run, want 0", n)
+	}
+}
+
+func TestDynamicDelayDecisionZeroAlloc(t *testing.T) {
+	strategy, err := NewDynamicDelay(5*time.Millisecond, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewDelayManager(strategy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := privateEntryForQuick()
+	e.FetchDelay = 20 * time.Millisecond
+	i := privateInterestForQuick()
+	if n := testing.AllocsPerRun(200, func() {
+		m.OnCacheHit(e, i, 0)
+	}); n != 0 {
+		t.Errorf("DelayManager(dynamic).OnCacheHit: %.0f allocs/run, want 0", n)
+	}
+}

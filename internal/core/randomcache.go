@@ -232,6 +232,8 @@ func (m *RandomCache) SetTraceSink(sink telemetry.Sink, node string) {
 }
 
 // OnCacheHit implements CacheManager.
+//
+//ndnlint:hotpath — per-hit privacy decision (Algorithm 1) inside the latency the adversary measures
 func (m *RandomCache) OnCacheHit(entry *cache.Entry, interest *ndn.Interest, now time.Duration) Decision {
 	entry.ForwardCount++
 	if !EffectivePrivacy(entry, interest) {
@@ -261,7 +263,7 @@ func (m *RandomCache) ensureThreshold(entry *cache.Entry, now time.Duration) {
 	entry.Threshold = m.dist.Draw(m.rng)
 	entry.ThresholdSet = true
 	if m.sink != nil {
-		m.sink.Emit(telemetry.Event{
+		m.sink.Emit(telemetry.Event{ //ndnlint:allow alloccheck — trace emission is opt-in instrumentation
 			At:    int64(now),
 			Type:  telemetry.EvCMCoin,
 			Node:  m.node,

@@ -1,0 +1,59 @@
+package fwd
+
+import (
+	"testing"
+
+	"ndnprivacy/internal/ndn"
+	"ndnprivacy/internal/netsim"
+	"ndnprivacy/internal/telemetry"
+)
+
+// These tests pin the zero-allocation contract of the //ndnlint:hotpath
+// annotations on the forwarder's miss/drop accounting: the hit/miss
+// delay gap is the paper's attack signal, so the accounting on the miss
+// side must not add allocation jitter the hit side doesn't have.
+
+func TestMissTelemetryZeroAlloc(t *testing.T) {
+	// Registry-only instrumentation: counters are registered up front,
+	// the trace sink is absent (its emission path carries an explicit
+	// alloccheck waiver and is opt-in).
+	f, err := New(Config{Name: "n", Sim: netsim.New(1), Metrics: telemetry.NewRegistry()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	interest := ndn.NewInterest(ndn.MustParseName("/alloc/miss"), 3)
+	if n := testing.AllocsPerRun(200, func() {
+		f.missTelemetry(interest, 1, 0)
+	}); n != 0 {
+		t.Errorf("missTelemetry (instrumented): %.0f allocs/run, want 0", n)
+	}
+}
+
+func TestDropTelemetryZeroAlloc(t *testing.T) {
+	f, err := New(Config{Name: "n", Sim: netsim.New(1), Metrics: telemetry.NewRegistry()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	interest := ndn.NewInterest(ndn.MustParseName("/alloc/drop"), 4)
+	for _, reason := range []string{"scope", "dup_nonce", "pit_full", "no_route"} {
+		if n := testing.AllocsPerRun(200, func() {
+			f.dropTelemetry(interest, 1, 0, reason)
+		}); n != 0 {
+			t.Errorf("dropTelemetry(%s): %.0f allocs/run, want 0", reason, n)
+		}
+	}
+}
+
+func TestTelemetryDisabledZeroAlloc(t *testing.T) {
+	f, err := New(Config{Name: "n", Sim: netsim.New(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	interest := ndn.NewInterest(ndn.MustParseName("/alloc/off"), 5)
+	if n := testing.AllocsPerRun(200, func() {
+		f.missTelemetry(interest, 1, 0)
+		f.dropTelemetry(interest, 1, 0, "scope")
+	}); n != 0 {
+		t.Errorf("telemetry disabled: %.0f allocs/run, want 0", n)
+	}
+}

@@ -1,0 +1,155 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"sort"
+)
+
+// AllocCheck is the interprocedural allocation analysis: functions
+// annotated //ndnlint:hotpath — the Interest/Data fast path whose
+// latency the paper's cache-timing adversary measures — must be
+// allocation-free, transitively through everything they call. The
+// analysis builds a CHA call graph over the whole module, classifies
+// every intrinsic allocation site (allocsites.go), summarizes external
+// calls (allocgraph.go), and reports each reachable unwaived site with
+// the hot-path witness chain that reaches it.
+//
+// //ndnlint:allow alloccheck on a site's line waives that site; on a
+// call's line it also prunes the edge, so a deliberately-allocating
+// branch (telemetry emission, eviction bookkeeping) is waived once at
+// its entry call rather than once per transitive site.
+var AllocCheck = &Analyzer{
+	Name:      allocCheckName,
+	Doc:       "//ndnlint:hotpath functions must be allocation-free through every call they can reach",
+	Hint:      "hoist the allocation off the hot path, or waive the line with //ndnlint:allow alloccheck — reason",
+	RunModule: runAllocCheck,
+}
+
+func runAllocCheck(pass *ModulePass) {
+	var files []*ast.File
+	for _, u := range pass.Units {
+		files = append(files, u.Files...)
+	}
+	g := buildAllocGraph(pass.Fset, pass.Units)
+	g.markWaivers(collectAllows(pass.Fset, files))
+
+	reported := make(map[token.Pos]bool)
+	for _, root := range g.hotpathRoots() {
+		g.reportHotpath(pass, root, reported)
+	}
+}
+
+// hotpathRoots returns every annotated function in source order, so
+// witness chains and first-reporter-wins dedup are deterministic.
+func (g *allocGraph) hotpathRoots() []*funcNode {
+	var roots []*funcNode
+	for _, n := range g.nodes {
+		if n.hotpath {
+			roots = append(roots, n)
+		}
+	}
+	sort.Slice(roots, func(i, j int) bool {
+		a, b := g.fset.Position(roots[i].decl.Pos()), g.fset.Position(roots[j].decl.Pos())
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		return a.Line < b.Line
+	})
+	return roots
+}
+
+// reportHotpath walks the call graph breadth-first from root over
+// unwaived edges, reporting every unwaived allocation site it reaches
+// with the call chain that witnesses reachability. Sites already
+// reported for an earlier root are skipped: one fix, one finding.
+func (g *allocGraph) reportHotpath(pass *ModulePass, root *funcNode, reported map[token.Pos]bool) {
+	type item struct {
+		node  *funcNode
+		chain string
+	}
+	seen := map[*funcNode]bool{root: true}
+	queue := []item{{root, shortFuncName(root.fn)}}
+	for len(queue) > 0 {
+		it := queue[0]
+		queue = queue[1:]
+		for _, site := range it.node.sites {
+			if site.waived || reported[site.pos] {
+				continue
+			}
+			reported[site.pos] = true
+			pass.Reportf(site.pos, "%s (hot path: %s)", site.msg, it.chain)
+		}
+		for i := range it.node.calls {
+			call := &it.node.calls[i]
+			if call.waived {
+				continue
+			}
+			for _, callee := range call.callees {
+				next := g.nodes[callee]
+				if next == nil || seen[next] {
+					continue
+				}
+				seen[next] = true
+				queue = append(queue, item{next, it.chain + " → " + shortFuncName(callee)})
+			}
+		}
+	}
+}
+
+// computeVerdicts propagates may-allocate to a fixpoint over the whole
+// graph (independent of hotpath annotations): a function may allocate
+// if it has an unwaived intrinsic site or calls, through an unwaived
+// edge, a function that may allocate.
+func (g *allocGraph) computeVerdicts() {
+	for _, n := range g.nodes {
+		for _, site := range n.sites {
+			if !site.waived {
+				n.mayAlloc = true
+				break
+			}
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, n := range g.nodes {
+			if n.mayAlloc {
+				continue
+			}
+			for i := range n.calls {
+				call := &n.calls[i]
+				if call.waived {
+					continue
+				}
+				for _, callee := range call.callees {
+					if next := g.nodes[callee]; next != nil && next.mayAlloc {
+						n.mayAlloc = true
+						changed = true
+						break
+					}
+				}
+				if n.mayAlloc {
+					break
+				}
+			}
+		}
+	}
+}
+
+// MayAllocate runs the allocation analysis over the units and returns
+// the per-function verdicts keyed by types.Func.FullName — the hook the
+// precision tests cross-validate against testing.AllocsPerRun.
+func MayAllocate(fset *token.FileSet, units []*Unit) map[string]bool {
+	var files []*ast.File
+	for _, u := range units {
+		files = append(files, u.Files...)
+	}
+	g := buildAllocGraph(fset, units)
+	g.markWaivers(collectAllows(fset, files))
+	g.computeVerdicts()
+	out := make(map[string]bool, len(g.nodes))
+	for fn, n := range g.nodes {
+		out[fn.FullName()] = n.mayAlloc
+	}
+	return out
+}

@@ -1,0 +1,487 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// This file builds alloccheck's interprocedural view: call-edge
+// recording during the body walk, external-function summaries, and the
+// whole-module call graph with class-hierarchy-analysis resolution of
+// interface dispatch.
+
+// An allocCall is one call edge out of a function body, either to a
+// statically known function or through an interface method (resolved by
+// CHA once every module type is known).
+type allocCall struct {
+	pos token.Pos
+	// static is the direct callee, nil for interface dispatch.
+	static *types.Func
+	// iface/method describe an interface dispatch site.
+	iface  *types.Interface
+	method string
+	// label names the callee for messages (pkg.Func, (*T).M, I.M).
+	label string
+	// callees is filled by resolveAll: module-internal targets.
+	callees []*types.Func
+	// waived records an //ndnlint:allow alloccheck directive on the call
+	// line; it prunes the edge so waived calls hide their subtree.
+	waived bool
+}
+
+// A funcNode is one declared function in the allocation call graph.
+type funcNode struct {
+	fn    *types.Func
+	decl  *ast.FuncDecl
+	file  *ast.File
+	sites []allocSite
+	calls []allocCall
+	// hotpath marks a //ndnlint:hotpath annotation on the declaration.
+	hotpath bool
+	// mayAlloc is the propagated verdict (computeVerdicts).
+	mayAlloc bool
+}
+
+// An allocGraph is the whole-module allocation call graph.
+type allocGraph struct {
+	fset  *token.FileSet
+	nodes map[*types.Func]*funcNode
+	// named lists every non-generic named type for CHA, sorted for
+	// deterministic dispatch resolution.
+	named []*types.Named
+	// module is the set of packages under analysis.
+	module map[*types.Package]bool
+}
+
+// buildAllocGraph walks every function declaration of every unit.
+func buildAllocGraph(fset *token.FileSet, units []*Unit) *allocGraph {
+	g := &allocGraph{
+		fset:   fset,
+		nodes:  make(map[*types.Func]*funcNode),
+		module: make(map[*types.Package]bool),
+	}
+	for _, u := range units {
+		g.module[u.Pkg] = true
+	}
+	for _, u := range units {
+		scope := u.Pkg.Scope()
+		for _, name := range scope.Names() {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok || tn.IsAlias() {
+				continue
+			}
+			named, ok := tn.Type().(*types.Named)
+			if !ok || named.TypeParams().Len() > 0 {
+				continue // generic types have no ready method set
+			}
+			g.named = append(g.named, named)
+		}
+	}
+	sort.Slice(g.named, func(i, j int) bool {
+		a, b := g.named[i].Obj(), g.named[j].Obj()
+		if a.Pkg().Path() != b.Pkg().Path() {
+			return a.Pkg().Path() < b.Pkg().Path()
+		}
+		return a.Name() < b.Name()
+	})
+	for _, u := range units {
+		for _, f := range u.Files {
+			for _, d := range f.Decls {
+				fd, isFunc := d.(*ast.FuncDecl)
+				if !isFunc || fd.Body == nil {
+					continue
+				}
+				obj, isDef := u.Info.Defs[fd.Name].(*types.Func)
+				if !isDef {
+					continue
+				}
+				c := &siteCollector{
+					fset:    fset,
+					info:    u.Info,
+					results: resultsOf(obj),
+					parents: parentMap(fd),
+					module:  g.module,
+				}
+				c.collectBody(fd.Body)
+				g.nodes[obj] = &funcNode{
+					fn:      obj,
+					decl:    fd,
+					file:    f,
+					sites:   c.sites,
+					calls:   c.calls,
+					hotpath: hasHotpathDirective(fset, f, fd),
+				}
+			}
+		}
+	}
+	g.resolveAll()
+	return g
+}
+
+// resolveAll fills in every call's callee list. Interface dispatches
+// with no module implementation degrade to an intrinsic assumed-alloc
+// site on the caller (the target is outside the analyzed world).
+func (g *allocGraph) resolveAll() {
+	for _, n := range g.nodes {
+		for i := range n.calls {
+			call := &n.calls[i]
+			if call.static != nil {
+				if g.nodes[call.static] != nil {
+					call.callees = []*types.Func{call.static}
+				} else if clean, reason := externSummary(call.static); !clean {
+					// A module function without a body in the unit set
+					// (or summary gap) is treated like an external.
+					n.sites = append(n.sites, allocSite{pos: call.pos, kind: "extern", msg: reason})
+				}
+				continue
+			}
+			call.callees = g.implementers(call.iface, call.method)
+			if len(call.callees) == 0 {
+				n.sites = append(n.sites, allocSite{
+					pos:  call.pos,
+					kind: "dynamic",
+					msg:  fmt.Sprintf("interface call %s.%s has no implementation inside the module (assumed to allocate)", call.label, call.method),
+				})
+			}
+		}
+	}
+}
+
+// implementers returns every module method that an interface dispatch
+// of method on iface can reach, in deterministic order.
+func (g *allocGraph) implementers(iface *types.Interface, method string) []*types.Func {
+	var out []*types.Func
+	for _, named := range g.named {
+		var recv types.Type
+		switch {
+		case types.Implements(named, iface):
+			recv = named
+		case types.Implements(types.NewPointer(named), iface):
+			recv = types.NewPointer(named)
+		default:
+			continue
+		}
+		obj, _, _ := types.LookupFieldOrMethod(recv, true, named.Obj().Pkg(), method)
+		fn, isFunc := obj.(*types.Func)
+		if !isFunc {
+			continue
+		}
+		fn = fn.Origin()
+		// Promoted methods of embedded external types stay outside the
+		// graph; the closed-world assumption covers module code only.
+		if g.nodes[fn] != nil {
+			out = append(out, fn)
+		}
+	}
+	return out
+}
+
+// allocCheckName is AllocCheck's name as a constant, so graph code can
+// consult the allow index without an initialization cycle.
+const allocCheckName = "alloccheck"
+
+// markWaivers applies //ndnlint:allow alloccheck directives: a directive
+// covering a site's line waives the site, one covering a call's line
+// prunes the edge (the callee subtree is the author's responsibility).
+func (g *allocGraph) markWaivers(allows *allowIndex) {
+	for _, n := range g.nodes {
+		for i := range n.sites {
+			pos := g.fset.Position(n.sites[i].pos)
+			if allows.allows(pos.Filename, pos.Line, allocCheckName) {
+				n.sites[i].waived = true
+			}
+		}
+		for i := range n.calls {
+			pos := g.fset.Position(n.calls[i].pos)
+			if allows.allows(pos.Filename, pos.Line, allocCheckName) {
+				n.calls[i].waived = true
+			}
+		}
+	}
+}
+
+// recordCall classifies a call to a named function, method, or function
+// value: module-internal targets become graph edges, externals consult
+// the summaries, and dynamic calls are assumed to allocate.
+func (c *siteCollector) recordCall(call *ast.CallExpr) {
+	fun := ast.Unparen(call.Fun)
+
+	if sel, isSel := fun.(*ast.SelectorExpr); isSel {
+		if s := c.info.Selections[sel]; s != nil {
+			switch s.Kind() {
+			case types.MethodVal:
+				fn, isFunc := s.Obj().(*types.Func)
+				if !isFunc {
+					break
+				}
+				fn = fn.Origin()
+				recv := s.Recv()
+				if iface, isIface := recv.Underlying().(*types.Interface); isIface {
+					c.calls = append(c.calls, allocCall{
+						pos:    call.Pos(),
+						iface:  iface,
+						method: fn.Name(),
+						label:  types.TypeString(recv, shortQualifier),
+					})
+					c.argEffects(call, signatureOf(fn))
+					return
+				}
+				c.edgeTo(call, fn)
+				return
+			case types.FieldVal:
+				c.add(call.Pos(), "indirect", "call through function field %s (assumed to allocate)", sel.Sel.Name)
+				return
+			}
+		}
+	}
+
+	if id := calleeIdent(fun); id != nil {
+		switch obj := c.info.Uses[id].(type) {
+		case *types.Func:
+			c.edgeTo(call, obj.Origin())
+			return
+		case *types.Var:
+			c.add(call.Pos(), "indirect", "call through function value %s (assumed to allocate)", id.Name)
+			return
+		}
+	}
+
+	// Calls of call results, method values, etc.: no static target.
+	c.add(call.Pos(), "indirect", "dynamic call (assumed to allocate)")
+}
+
+// edgeTo records a direct call: a graph edge for module functions, a
+// summary lookup for externals.
+func (c *siteCollector) edgeTo(call *ast.CallExpr, fn *types.Func) {
+	if fn.Pkg() != nil && c.module[fn.Pkg()] {
+		c.calls = append(c.calls, allocCall{
+			pos:    call.Pos(),
+			static: fn,
+			label:  shortFuncName(fn),
+		})
+		c.argEffects(call, signatureOf(fn))
+		return
+	}
+	clean, reason := externSummary(fn)
+	if clean {
+		c.argEffects(call, signatureOf(fn))
+		return
+	}
+	// The call is flagged once; boxing its arguments would pile
+	// secondary findings onto the same fix.
+	c.add(call.Pos(), "extern", "%s", reason)
+}
+
+// argEffects flags boxing into interface parameters and variadic
+// argument packing for a call whose target itself is accounted for.
+func (c *siteCollector) argEffects(call *ast.CallExpr, sig *types.Signature) {
+	if sig == nil {
+		return
+	}
+	params := sig.Params()
+	n := params.Len()
+	if !sig.Variadic() {
+		for i := 0; i < n && i < len(call.Args); i++ {
+			c.boxingCheck(call.Args[i], params.At(i).Type(), "argument")
+		}
+		return
+	}
+	for i := 0; i < n-1 && i < len(call.Args); i++ {
+		c.boxingCheck(call.Args[i], params.At(i).Type(), "argument")
+	}
+	if call.Ellipsis.IsValid() {
+		return // xs... passes the existing slice through
+	}
+	if len(call.Args) >= n {
+		c.add(call.Args[n-1].Pos(), "variadic", "variadic call packs %d argument(s) into a slice", len(call.Args)-n+1)
+		if st, isSlice := params.At(n - 1).Type().Underlying().(*types.Slice); isSlice {
+			for i := n - 1; i < len(call.Args); i++ {
+				c.boxingCheck(call.Args[i], st.Elem(), "argument")
+			}
+		}
+	}
+}
+
+// signatureOf returns fn's signature, nil when unavailable.
+func signatureOf(fn *types.Func) *types.Signature {
+	sig, _ := fn.Type().(*types.Signature)
+	return sig
+}
+
+// resultsOf returns fn's result tuple, nil for result-less functions.
+func resultsOf(fn *types.Func) *types.Tuple {
+	sig := signatureOf(fn)
+	if sig == nil || sig.Results().Len() == 0 {
+		return nil
+	}
+	return sig.Results()
+}
+
+// shortFuncName renders fn as pkg.Func or (recv).Method without import
+// paths, for witness chains and budget keys.
+func shortFuncName(fn *types.Func) string {
+	sig := signatureOf(fn)
+	if sig != nil && sig.Recv() != nil {
+		return fmt.Sprintf("(%s).%s", types.TypeString(sig.Recv().Type(), shortQualifier), fn.Name())
+	}
+	if fn.Pkg() != nil {
+		return fn.Pkg().Name() + "." + fn.Name()
+	}
+	return fn.Name()
+}
+
+// hotpathDirective marks a function whose whole call tree must be
+// allocation-free.
+const hotpathDirective = "//ndnlint:hotpath"
+
+// hasHotpathDirective reports whether decl carries //ndnlint:hotpath in
+// its doc comment or on the line directly above the declaration.
+func hasHotpathDirective(fset *token.FileSet, file *ast.File, decl *ast.FuncDecl) bool {
+	if decl.Doc != nil {
+		for _, com := range decl.Doc.List {
+			if isHotpathComment(com.Text) {
+				return true
+			}
+		}
+	}
+	declLine := fset.Position(decl.Pos()).Line
+	for _, cg := range file.Comments {
+		for _, com := range cg.List {
+			if isHotpathComment(com.Text) && fset.Position(com.Pos()).Line == declLine-1 {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// isHotpathComment reports whether text is the hotpath directive,
+// optionally followed by free-form justification.
+func isHotpathComment(text string) bool {
+	if !strings.HasPrefix(text, hotpathDirective) {
+		return false
+	}
+	rest := strings.TrimPrefix(text, hotpathDirective)
+	return rest == "" || rest[0] == ' ' || rest[0] == '\t'
+}
+
+// --- external summaries -------------------------------------------------
+
+// cleanPkgs are standard-library packages none of whose exported
+// functions allocate.
+var cleanPkgs = map[string]bool{
+	"sync/atomic": true,
+	"math":        true,
+	"math/bits":   true,
+}
+
+// cleanFuncs are individually vetted allocation-free standard-library
+// functions and methods, keyed by types.Func.FullName.
+var cleanFuncs = map[string]bool{
+	// math/rand: generator draws mutate internal state, no heap.
+	"(*math/rand.Rand).Float64":     true,
+	"(*math/rand.Rand).Float32":     true,
+	"(*math/rand.Rand).ExpFloat64":  true,
+	"(*math/rand.Rand).NormFloat64": true,
+	"(*math/rand.Rand).Int":         true,
+	"(*math/rand.Rand).Int31":       true,
+	"(*math/rand.Rand).Int31n":      true,
+	"(*math/rand.Rand).Int63":       true,
+	"(*math/rand.Rand).Int63n":      true,
+	"(*math/rand.Rand).Intn":        true,
+	"(*math/rand.Rand).Uint32":      true,
+	"(*math/rand.Rand).Uint64":      true,
+
+	// container/list: traversal and unlinking reuse existing elements
+	// (PushFront/PushBack/InsertAfter allocate and are absent here).
+	"(*container/list.List).Back":        true,
+	"(*container/list.List).Front":       true,
+	"(*container/list.List).Len":         true,
+	"(*container/list.List).MoveToBack":  true,
+	"(*container/list.List).MoveToFront": true,
+	"(*container/list.List).Remove":      true,
+	"(*container/list.Element).Next":     true,
+	"(*container/list.Element).Prev":     true,
+
+	// strings/bytes: comparisons, searches, and sub-slicing trims.
+	"strings.Compare":       true,
+	"strings.Contains":      true,
+	"strings.Count":         true,
+	"strings.Cut":           true,
+	"strings.EqualFold":     true,
+	"strings.HasPrefix":     true,
+	"strings.HasSuffix":     true,
+	"strings.Index":         true,
+	"strings.IndexByte":     true,
+	"strings.IndexRune":     true,
+	"strings.LastIndex":     true,
+	"strings.LastIndexByte": true,
+	"strings.TrimPrefix":    true,
+	"strings.TrimSuffix":    true,
+	"strings.TrimSpace":     true,
+	"strings.TrimLeft":      true,
+	"strings.TrimRight":     true,
+	"bytes.Compare":         true,
+	"bytes.Contains":        true,
+	"bytes.Equal":           true,
+	"bytes.HasPrefix":       true,
+	"bytes.HasSuffix":       true,
+	"bytes.Index":           true,
+	"bytes.IndexByte":       true,
+
+	// sort: binary searches over caller-provided closures.
+	"sort.Search":         true,
+	"sort.SearchInts":     true,
+	"sort.SearchStrings":  true,
+	"sort.SearchFloat64s": true,
+
+	// time: value arithmetic (Duration.String is absent: it allocates).
+	"(time.Duration).Hours":        true,
+	"(time.Duration).Microseconds": true,
+	"(time.Duration).Milliseconds": true,
+	"(time.Duration).Minutes":      true,
+	"(time.Duration).Nanoseconds":  true,
+	"(time.Duration).Round":        true,
+	"(time.Duration).Seconds":      true,
+	"(time.Duration).Truncate":     true,
+	"(time.Time).Add":              true,
+	"(time.Time).After":            true,
+	"(time.Time).Before":           true,
+	"(time.Time).Equal":            true,
+	"(time.Time).Sub":              true,
+	"(time.Time).UnixNano":         true,
+	"time.Now":                     true,
+	"time.Since":                   true,
+
+	// sync: uncontended lock words.
+	"(*sync.Mutex).Lock":      true,
+	"(*sync.Mutex).TryLock":   true,
+	"(*sync.Mutex).Unlock":    true,
+	"(*sync.RWMutex).Lock":    true,
+	"(*sync.RWMutex).RLock":   true,
+	"(*sync.RWMutex).RUnlock": true,
+	"(*sync.RWMutex).TryLock": true,
+	"(*sync.RWMutex).Unlock":  true,
+}
+
+// externSummary classifies a call to a function outside the analyzed
+// module: (true, "") for vetted allocation-free functions, otherwise
+// (false, reason) — unknown externals are assumed to allocate.
+func externSummary(fn *types.Func) (clean bool, reason string) {
+	path := pkgPathOf(fn)
+	if cleanPkgs[path] {
+		return true, ""
+	}
+	if cleanFuncs[fn.FullName()] {
+		return true, ""
+	}
+	switch path {
+	case "fmt", "reflect":
+		return false, fmt.Sprintf("%s call %s allocates", path, shortFuncName(fn))
+	}
+	return false, fmt.Sprintf("call to %s (external, assumed to allocate; waive or add a summary)", shortFuncName(fn))
+}

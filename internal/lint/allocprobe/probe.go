@@ -1,0 +1,84 @@
+// Package allocprobe is alloccheck's calibration corpus: small real
+// functions whose static verdicts (lint.MayAllocate) are pinned by test
+// and cross-validated against testing.AllocsPerRun, so the analyzer's
+// precision — including its documented conservatism — is itself under
+// test. Three buckets:
+//
+//   - statically clean, dynamically zero-alloc (soundness: the analyzer
+//     must never call an allocating function clean);
+//   - statically may-alloc, dynamically allocating (the analyzer agrees
+//     with the runtime);
+//   - statically may-alloc, dynamically zero on the measured input
+//     (documented conservatism: map writes that hit existing keys,
+//     appends within capacity — "may allocate" is a worst-case verdict).
+package allocprobe
+
+// SumInts is statically clean: loop and arithmetic only.
+func SumInts(xs []int) int {
+	total := 0
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}
+
+// MapRead is statically clean: map reads never allocate.
+func MapRead(m map[string]int, k string) int {
+	return m[k]
+}
+
+// KeyCompare is statically clean: string(b) as a comparison operand is
+// guaranteed not to materialize.
+func KeyCompare(b []byte, s string) bool {
+	return string(b) == s
+}
+
+// MapIndexBytes is statically clean: string(b) as a map index is
+// guaranteed not to materialize.
+func MapIndexBytes(m map[string]int, b []byte) int {
+	return m[string(b)]
+}
+
+// CleanChain is statically clean through one call level.
+func CleanChain(m map[string]int, k string) int {
+	return MapRead(m, k)
+}
+
+// GrowSlice may allocate statically and does dynamically when capacity
+// is exhausted.
+func GrowSlice(xs []int, x int) []int {
+	return append(xs, x)
+}
+
+// NewBuffer allocates statically and dynamically.
+func NewBuffer(n int) []byte {
+	return make([]byte, n)
+}
+
+// Concat allocates statically and dynamically.
+func Concat(a, b string) string {
+	return a + b
+}
+
+// Box allocates statically and dynamically (for values outside the
+// runtime's small-integer cache).
+func Box(v int) any {
+	return v
+}
+
+// AllocChain reaches NewBuffer's make one call deep.
+func AllocChain(n int) []byte {
+	return NewBuffer(n)
+}
+
+// OverwriteExisting is the conservative bucket: a map write "may grow
+// the map" statically, but writes to existing keys never allocate.
+func OverwriteExisting(m map[string]int, k string) {
+	m[k]++
+}
+
+// AppendWithinCap is the conservative bucket: identical shape to
+// GrowSlice, dynamically zero-alloc when the caller reserves capacity.
+func AppendWithinCap(xs []int, x int) []int {
+	return append(xs, x)
+}

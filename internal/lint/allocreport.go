@@ -1,0 +1,109 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// This file renders the allocation analysis as a machine-readable
+// budget: per package, the //ndnlint:hotpath functions and whether
+// their reachable call tree is clean, clean-only-under-waivers, or
+// dirty. ALLOC_BUDGET.json at the repo root is the committed baseline;
+// CI regenerates it and fails on drift, so a new allocation (or a new
+// waiver) on an annotated path must be reviewed in the diff.
+//
+// Only hotpath data is recorded — non-annotated functions churn with
+// every refactor and would make the baseline unreviewable.
+
+// AllocBudget is the whole-module allocation budget.
+type AllocBudget struct {
+	// Packages maps import path → that package's hotpath statuses.
+	// encoding/json sorts map keys, so the marshaled form is stable.
+	Packages map[string]*PackageBudget `json:"packages"`
+}
+
+// PackageBudget is one package's slice of the allocation budget.
+type PackageBudget struct {
+	// Hotpaths maps a function rendered as Func or (recv).Method to its
+	// propagated status.
+	Hotpaths map[string]HotpathStatus `json:"hotpaths"`
+}
+
+// HotpathStatus summarizes one annotated function's reachable tree.
+type HotpathStatus struct {
+	// Status is "clean" (no allocation anywhere reachable), "waived"
+	// (allocation-free only thanks to //ndnlint:allow alloccheck
+	// directives), or "dirty" (unwaived allocations reachable).
+	Status string `json:"status"`
+	// WaivedSites and WaivedCalls count the directives the status
+	// depends on, so new waivers show up as budget drift.
+	WaivedSites int `json:"waived_sites,omitempty"`
+	WaivedCalls int `json:"waived_calls,omitempty"`
+}
+
+// BuildAllocBudget runs the allocation analysis over the units and
+// returns the hotpath budget (ndnlint -allocreport).
+func BuildAllocBudget(fset *token.FileSet, units []*Unit) *AllocBudget {
+	var files []*ast.File
+	for _, u := range units {
+		files = append(files, u.Files...)
+	}
+	g := buildAllocGraph(fset, units)
+	g.markWaivers(collectAllows(fset, files))
+
+	budget := &AllocBudget{Packages: make(map[string]*PackageBudget)}
+	for _, root := range g.hotpathRoots() {
+		status := g.hotpathStatus(root)
+		path := root.fn.Pkg().Path()
+		pkg := budget.Packages[path]
+		if pkg == nil {
+			pkg = &PackageBudget{Hotpaths: make(map[string]HotpathStatus)}
+			budget.Packages[path] = pkg
+		}
+		pkg.Hotpaths[shortFuncName(root.fn)] = status
+	}
+	return budget
+}
+
+// hotpathStatus walks root's reachable tree over unwaived edges and
+// aggregates: any unwaived site → dirty; otherwise any waiver
+// encountered → waived; otherwise clean.
+func (g *allocGraph) hotpathStatus(root *funcNode) HotpathStatus {
+	status := HotpathStatus{Status: "clean"}
+	dirty := false
+	seen := map[*funcNode]bool{root: true}
+	queue := []*funcNode{root}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		for _, site := range n.sites {
+			if site.waived {
+				status.WaivedSites++
+			} else {
+				dirty = true
+			}
+		}
+		for i := range n.calls {
+			call := &n.calls[i]
+			if call.waived {
+				status.WaivedCalls++
+				continue
+			}
+			for _, callee := range call.callees {
+				next := g.nodes[callee]
+				if next == nil || seen[next] {
+					continue
+				}
+				seen[next] = true
+				queue = append(queue, next)
+			}
+		}
+	}
+	switch {
+	case dirty:
+		status.Status = "dirty"
+	case status.WaivedSites+status.WaivedCalls > 0:
+		status.Status = "waived"
+	}
+	return status
+}

@@ -1,0 +1,494 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// This file is alloccheck's intrinsic classifier: the walk over one
+// function body that records every construct which may heap-allocate,
+// independent of what the function's callees do. Call edges are
+// collected by allocgraph.go; propagation lives in alloccheck.go.
+
+// An allocSite is one potentially-allocating construct inside a
+// function body.
+type allocSite struct {
+	pos token.Pos
+	// kind is a short machine-friendly tag (make, append, box, ...).
+	kind string
+	// msg says what allocates, for the finding message.
+	msg string
+	// waived records an //ndnlint:allow alloccheck directive covering
+	// the site's line.
+	waived bool
+}
+
+// siteCollector walks one function body.
+type siteCollector struct {
+	fset *token.FileSet
+	info *types.Info
+	// results is the enclosing function's result tuple, for boxing
+	// checks on return statements (nil for result-less functions).
+	results *types.Tuple
+	// parents maps each AST node to its parent within the walked body,
+	// for context-sensitive exemptions (string conversions compared or
+	// used as map keys never reach the heap).
+	parents map[ast.Node]ast.Node
+	// module is the set of packages being analyzed together; calls into
+	// them become graph edges, calls out of them consult the external
+	// summaries in allocgraph.go.
+	module map[*types.Package]bool
+
+	sites []allocSite
+	calls []allocCall
+}
+
+// add records one site.
+func (c *siteCollector) add(pos token.Pos, kind, format string, args ...any) {
+	c.sites = append(c.sites, allocSite{pos: pos, kind: kind, msg: fmt.Sprintf(format, args...)})
+}
+
+// collectBody classifies body, which belongs to a function with the
+// given result tuple. Function literals are not descended into (each is
+// its own node in the call graph), except immediately-invoked ones,
+// which execute synchronously as part of this body.
+func (c *siteCollector) collectBody(body *ast.BlockStmt) {
+	c.walk(body)
+}
+
+func (c *siteCollector) walk(n ast.Node) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		switch x := m.(type) {
+		case *ast.FuncLit:
+			// A literal's body runs at some other time; here only the
+			// closure value's creation can allocate.
+			if capturesVariables(c.info, x) {
+				c.add(x.Pos(), "closure", "closure captures variables (allocates a closure object)")
+			}
+			return false
+		case *ast.CallExpr:
+			c.classifyCall(x)
+			// Arguments were visited by classifyCall where needed;
+			// still descend so nested calls inside arguments are seen.
+			return true
+		case *ast.CompositeLit:
+			c.classifyCompositeLit(x)
+			return true
+		case *ast.UnaryExpr:
+			if x.Op == token.AND {
+				if _, isLit := ast.Unparen(x.X).(*ast.CompositeLit); isLit {
+					c.add(x.Pos(), "newobj", "&%s escapes to the heap", typeLabel(c.info, x.X))
+				}
+			}
+			return true
+		case *ast.BinaryExpr:
+			c.classifyBinary(x)
+			return true
+		case *ast.AssignStmt:
+			c.classifyAssign(x)
+			return true
+		case *ast.IncDecStmt:
+			if ix, isIndex := ast.Unparen(x.X).(*ast.IndexExpr); isIndex && isMapIndex(c.info, ix) {
+				c.add(x.Pos(), "mapwrite", "map write may grow the map")
+			}
+			return true
+		case *ast.GoStmt:
+			c.add(x.Pos(), "go", "go statement allocates a goroutine")
+			return true
+		case *ast.ReturnStmt:
+			c.classifyReturn(x)
+			return true
+		case *ast.ValueSpec:
+			c.classifyValueSpec(x)
+			return true
+		case *ast.SendStmt:
+			if ch, ok := c.info.Types[x.Chan]; ok {
+				if chT, isChan := ch.Type.Underlying().(*types.Chan); isChan {
+					c.boxingCheck(x.Value, chT.Elem(), "value sent on channel")
+				}
+			}
+			return true
+		}
+		return true
+	})
+}
+
+// classifyCall handles builtins, conversions, and the boxing of
+// arguments into interface parameters. Call edges to named functions
+// are recorded for the graph; unknown callees become intrinsic sites.
+func (c *siteCollector) classifyCall(call *ast.CallExpr) {
+	fun := ast.Unparen(call.Fun)
+
+	// Immediately-invoked function literal: runs synchronously, body
+	// belongs to this function. (Rare; the creation itself is free when
+	// invoked in place.)
+	if lit, isLit := fun.(*ast.FuncLit); isLit {
+		c.walkFuncLitInline(lit)
+		return
+	}
+
+	// Type conversion?
+	if tv, ok := c.info.Types[fun]; ok && tv.IsType() {
+		c.classifyConversion(call, tv.Type)
+		return
+	}
+
+	// Builtin?
+	if id := calleeIdent(fun); id != nil {
+		if b, isBuiltin := c.info.Uses[id].(*types.Builtin); isBuiltin {
+			c.classifyBuiltin(call, b)
+			return
+		}
+	}
+
+	// Named function, method, or dynamic call: allocgraph resolves it.
+	c.recordCall(call)
+}
+
+// walkFuncLitInline classifies an immediately-invoked literal's body as
+// part of the enclosing function.
+func (c *siteCollector) walkFuncLitInline(lit *ast.FuncLit) {
+	if lit.Body != nil {
+		c.walk(lit.Body)
+	}
+}
+
+// classifyBuiltin flags the allocating builtins.
+func (c *siteCollector) classifyBuiltin(call *ast.CallExpr, b *types.Builtin) {
+	switch b.Name() {
+	case "make":
+		c.add(call.Pos(), "make", "make(%s) allocates", typeLabel(c.info, call.Args[0]))
+	case "new":
+		c.add(call.Pos(), "newobj", "new(%s) allocates", typeLabel(c.info, call.Args[0]))
+	case "append":
+		c.add(call.Pos(), "append", "append may grow the backing array")
+	case "print", "println":
+		c.add(call.Pos(), "print", "%s allocates (debug builtin)", b.Name())
+	}
+	// len/cap/min/max/copy/delete/clear/close/panic/recover: no heap
+	// allocation attributable to the hot path (a panicking hot path has
+	// already left the fast path).
+}
+
+// classifyConversion flags conversions that copy memory: string↔byte
+// and rune slices, and rune/byte→string. Conversions whose result the
+// compiler provably keeps off the heap — comparison operands and map
+// index keys — are exempt, matching gc's optimizations.
+func (c *siteCollector) classifyConversion(call *ast.CallExpr, to types.Type) {
+	if len(call.Args) != 1 {
+		return
+	}
+	if tv, ok := c.info.Types[call]; ok && tv.Value != nil {
+		return // constant-folded
+	}
+	from, ok := c.info.Types[call.Args[0]]
+	if !ok {
+		return
+	}
+	if !isCopyingConversion(from.Type, to) {
+		return
+	}
+	if c.conversionStaysOffHeap(call) {
+		return
+	}
+	c.add(call.Pos(), "convert", "conversion %s(%s) copies memory", types.TypeString(to, shortQualifier), exprLabel(call.Args[0]))
+}
+
+// isCopyingConversion reports whether a conversion from → to must copy
+// its operand: string↔[]byte, string↔[]rune, and rune/integer→string.
+func isCopyingConversion(from, to types.Type) bool {
+	fu, tu := from.Underlying(), to.Underlying()
+	isString := func(t types.Type) bool {
+		b, ok := t.(*types.Basic)
+		return ok && b.Info()&types.IsString != 0
+	}
+	isByteOrRuneSlice := func(t types.Type) bool {
+		s, ok := t.(*types.Slice)
+		if !ok {
+			return false
+		}
+		e, ok := s.Elem().Underlying().(*types.Basic)
+		return ok && (e.Kind() == types.Byte || e.Kind() == types.Rune ||
+			e.Kind() == types.Uint8 || e.Kind() == types.Int32)
+	}
+	isInteger := func(t types.Type) bool {
+		b, ok := t.(*types.Basic)
+		return ok && b.Info()&types.IsInteger != 0
+	}
+	switch {
+	case isString(tu) && (isByteOrRuneSlice(fu) || isInteger(fu)):
+		return true
+	case isByteOrRuneSlice(tu) && isString(fu):
+		return true
+	}
+	return false
+}
+
+// conversionStaysOffHeap recognizes the gc compiler's guaranteed
+// non-allocating conversion contexts: a string(b) used directly as a
+// comparison operand or as a map index never materializes on the heap.
+func (c *siteCollector) conversionStaysOffHeap(call *ast.CallExpr) bool {
+	parent := c.parents[call]
+	for {
+		if p, isParen := parent.(*ast.ParenExpr); isParen {
+			parent = c.parents[p]
+			continue
+		}
+		break
+	}
+	switch p := parent.(type) {
+	case *ast.BinaryExpr:
+		switch p.Op {
+		case token.EQL, token.NEQ, token.LSS, token.GTR, token.LEQ, token.GEQ:
+			return true
+		}
+	case *ast.IndexExpr:
+		// m[string(b)]: exempt only when it indexes a map and the
+		// conversion is the key.
+		if isMapIndex(c.info, p) && withinNode(p.Index, call) {
+			return true
+		}
+	case *ast.CaseClause:
+		return true // switch string(b) { case ... } comparisons
+	}
+	return false
+}
+
+// classifyBinary flags non-constant string concatenation.
+func (c *siteCollector) classifyBinary(x *ast.BinaryExpr) {
+	if x.Op != token.ADD {
+		return
+	}
+	tv, ok := c.info.Types[x]
+	if !ok || tv.Value != nil {
+		return
+	}
+	if b, isBasic := tv.Type.Underlying().(*types.Basic); isBasic && b.Info()&types.IsString != 0 {
+		c.add(x.Pos(), "concat", "string concatenation allocates")
+	}
+}
+
+// classifyAssign flags map writes and boxing into interface-typed
+// destinations.
+func (c *siteCollector) classifyAssign(x *ast.AssignStmt) {
+	for _, lhs := range x.Lhs {
+		if ix, isIndex := ast.Unparen(lhs).(*ast.IndexExpr); isIndex && isMapIndex(c.info, ix) {
+			c.add(lhs.Pos(), "mapwrite", "map write may grow the map")
+		}
+	}
+	// Boxing: only for 1:1 assignments (multi-value RHS keeps its own
+	// types; interface results from calls are already interfaces).
+	if len(x.Lhs) != len(x.Rhs) {
+		return
+	}
+	for i, rhs := range x.Rhs {
+		lt, ok := c.info.Types[x.Lhs[i]]
+		if !ok {
+			// := definitions: the LHS type is the RHS type, no boxing.
+			continue
+		}
+		c.boxingCheck(rhs, lt.Type, "value assigned to interface")
+	}
+}
+
+// classifyValueSpec flags boxing in var declarations with explicit
+// interface types.
+func (c *siteCollector) classifyValueSpec(x *ast.ValueSpec) {
+	if x.Type == nil || len(x.Values) == 0 {
+		return
+	}
+	tv, ok := c.info.Types[x.Type]
+	if !ok {
+		return
+	}
+	for _, v := range x.Values {
+		c.boxingCheck(v, tv.Type, "value assigned to interface")
+	}
+}
+
+// classifyReturn flags boxing into interface-typed results.
+func (c *siteCollector) classifyReturn(x *ast.ReturnStmt) {
+	if c.results == nil || len(x.Results) != c.results.Len() {
+		return // bare return or multi-value call spread
+	}
+	for i, r := range x.Results {
+		c.boxingCheck(r, c.results.At(i).Type(), "value returned as interface")
+	}
+}
+
+// boxingCheck records a site when expr's concrete value is converted to
+// the interface type target and the conversion must heap-allocate: the
+// value is not pointer-shaped (pointers, channels, maps, and funcs
+// store directly in the interface word).
+func (c *siteCollector) boxingCheck(expr ast.Expr, target types.Type, what string) {
+	if target == nil || !types.IsInterface(target.Underlying()) {
+		return
+	}
+	tv, ok := c.info.Types[expr]
+	if !ok || tv.Type == nil {
+		return
+	}
+	from := tv.Type
+	if from == types.Typ[types.UntypedNil] {
+		return
+	}
+	if b, isBasic := from.Underlying().(*types.Basic); isBasic && b.Kind() == types.UntypedNil {
+		return
+	}
+	if types.IsInterface(from.Underlying()) {
+		return // interface→interface: no allocation
+	}
+	if _, isTypeParam := from.(*types.TypeParam); isTypeParam {
+		return // unknowable statically; keep generic code quiet
+	}
+	if isPointerShaped(from) {
+		return
+	}
+	c.add(expr.Pos(), "box", "%s boxes %s into an interface", what, types.TypeString(from, shortQualifier))
+}
+
+// isPointerShaped reports whether values of t fit directly in an
+// interface's data word without allocation.
+func isPointerShaped(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return true
+	case *types.Basic:
+		return u.Kind() == types.UnsafePointer
+	}
+	return false
+}
+
+// classifyCompositeLit flags slice and map literals (heap-backed); a
+// plain struct or array value literal is a stack value.
+func (c *siteCollector) classifyCompositeLit(lit *ast.CompositeLit) {
+	tv, ok := c.info.Types[lit]
+	if !ok {
+		return
+	}
+	switch tv.Type.Underlying().(type) {
+	case *types.Slice:
+		c.add(lit.Pos(), "slicelit", "slice literal allocates its backing array")
+	case *types.Map:
+		c.add(lit.Pos(), "maplit", "map literal allocates")
+	}
+	// Boxing of elements into interface-typed fields/elements.
+	c.compositeLitBoxing(lit, tv.Type)
+}
+
+// compositeLitBoxing checks literal elements against interface-typed
+// destinations (struct fields, slice/array/map elements).
+func (c *siteCollector) compositeLitBoxing(lit *ast.CompositeLit, t types.Type) {
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i, elt := range lit.Elts {
+			if kv, isKV := elt.(*ast.KeyValueExpr); isKV {
+				if id, isIdent := kv.Key.(*ast.Ident); isIdent {
+					for j := 0; j < u.NumFields(); j++ {
+						if u.Field(j).Name() == id.Name {
+							c.boxingCheck(kv.Value, u.Field(j).Type(), "literal field boxes")
+						}
+					}
+				}
+			} else if i < u.NumFields() {
+				c.boxingCheck(elt, u.Field(i).Type(), "literal field boxes")
+			}
+		}
+	case *types.Slice:
+		for _, elt := range lit.Elts {
+			c.boxingCheck(compositeValue(elt), u.Elem(), "literal element boxes")
+		}
+	case *types.Array:
+		for _, elt := range lit.Elts {
+			c.boxingCheck(compositeValue(elt), u.Elem(), "literal element boxes")
+		}
+	case *types.Map:
+		for _, elt := range lit.Elts {
+			if kv, isKV := elt.(*ast.KeyValueExpr); isKV {
+				c.boxingCheck(kv.Value, u.Elem(), "literal element boxes")
+			}
+		}
+	}
+}
+
+func compositeValue(elt ast.Expr) ast.Expr {
+	if kv, isKV := elt.(*ast.KeyValueExpr); isKV {
+		return kv.Value
+	}
+	return elt
+}
+
+// capturesVariables reports whether the literal references any variable
+// declared outside itself in a function scope (package-level globals
+// and constants don't force a closure allocation).
+func capturesVariables(info *types.Info, lit *ast.FuncLit) bool {
+	captured := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, isIdent := n.(*ast.Ident)
+		if !isIdent || captured {
+			return !captured
+		}
+		v, isVar := info.Uses[id].(*types.Var)
+		if !isVar || v.IsField() {
+			return true
+		}
+		if v.Pos() >= lit.Pos() && v.Pos() < lit.End() {
+			return true // the literal's own local or parameter
+		}
+		if pkgLevelVar(v) {
+			return true
+		}
+		captured = true
+		return false
+	})
+	return captured
+}
+
+// pkgLevelVar reports whether v is declared at package scope.
+func pkgLevelVar(v *types.Var) bool {
+	return v.Pkg() != nil && v.Parent() == v.Pkg().Scope()
+}
+
+// isMapIndex reports whether ix indexes a map.
+func isMapIndex(info *types.Info, ix *ast.IndexExpr) bool {
+	tv, ok := info.Types[ix.X]
+	if !ok {
+		return false
+	}
+	_, isMap := tv.Type.Underlying().(*types.Map)
+	return isMap
+}
+
+// withinNode reports whether inner lies within outer's span.
+func withinNode(outer ast.Node, inner ast.Node) bool {
+	return inner.Pos() >= outer.Pos() && inner.End() <= outer.End()
+}
+
+// calleeIdent extracts the identifier a call expression names, through
+// selectors and generic instantiations.
+func calleeIdent(fun ast.Expr) *ast.Ident {
+	switch x := ast.Unparen(fun).(type) {
+	case *ast.Ident:
+		return x
+	case *ast.SelectorExpr:
+		return x.Sel
+	case *ast.IndexExpr:
+		return calleeIdent(x.X)
+	case *ast.IndexListExpr:
+		return calleeIdent(x.X)
+	}
+	return nil
+}
+
+// typeLabel renders the type of e compactly for messages.
+func typeLabel(info *types.Info, e ast.Expr) string {
+	if tv, ok := info.Types[e]; ok && tv.Type != nil {
+		return types.TypeString(tv.Type, shortQualifier)
+	}
+	return exprLabel(e)
+}
+
+// shortQualifier renders package names without import paths.
+func shortQualifier(p *types.Package) string { return p.Name() }

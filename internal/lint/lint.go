@@ -37,7 +37,12 @@ type Analyzer struct {
 	// Hint tells a developer how to fix a finding from this check.
 	Hint string
 	// Run inspects one package and reports findings through the pass.
+	// Nil for module-level analyzers.
 	Run func(*Pass)
+	// RunModule, when set, runs once over every loaded package together.
+	// It is how whole-program analyses (alloccheck's interprocedural
+	// call graph) see across package boundaries; Run may be nil then.
+	RunModule func(*ModulePass)
 }
 
 // A Pass carries one type-checked package through one analyzer.
@@ -49,6 +54,39 @@ type Pass struct {
 
 	analyzer *Analyzer
 	findings *[]Finding
+}
+
+// A Unit is one type-checked package inside a module-level pass. All
+// units of one pass share a single token.FileSet.
+type Unit struct {
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+}
+
+// A ModulePass carries every loaded package through one module-level
+// analyzer at once.
+type ModulePass struct {
+	Fset  *token.FileSet
+	Units []*Unit
+
+	analyzer *Analyzer
+	findings *[]Finding
+}
+
+// Reportf records a module-pass finding at pos using the analyzer's
+// default hint.
+func (p *ModulePass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	*p.findings = append(*p.findings, Finding{
+		Check:   p.analyzer.Name,
+		Pos:     position,
+		File:    position.Filename,
+		Line:    position.Line,
+		Column:  position.Column,
+		Message: fmt.Sprintf(format, args...),
+		Hint:    p.analyzer.Hint,
+	})
 }
 
 // A Finding is one rule violation at one source position.
@@ -86,8 +124,9 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 }
 
 // All is every check this linter ships, in reporting order. The first
-// five are single-node AST checks; the last four are flow-sensitive,
-// built on the internal/lint/cfg dataflow engine.
+// five are single-node AST checks; the next four are flow-sensitive,
+// built on the internal/lint/cfg dataflow engine; alloccheck is the one
+// module-level (interprocedural) analysis.
 var All = []*Analyzer{
 	SimDeterminism,
 	GlobalRand,
@@ -98,6 +137,7 @@ var All = []*Analyzer{
 	SeedFlow,
 	ErrShadow,
 	DurUnits,
+	AllocCheck,
 }
 
 // ByName returns the named analyzer, or nil.
@@ -112,21 +152,47 @@ func ByName(name string) *Analyzer {
 
 // Check runs every analyzer in checks over one type-checked package and
 // returns surviving findings: suppressed ones are dropped, the rest are
-// sorted by position then check name.
+// sorted by position then check name. Module-level analyzers see the
+// single package as the whole program.
 func Check(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, checks []*Analyzer) []Finding {
+	return CheckUnits(fset, []*Unit{{Files: files, Pkg: pkg, Info: info}}, checks)
+}
+
+// CheckUnits runs every analyzer over the given set of type-checked
+// packages: per-package analyzers run once per unit, module-level
+// analyzers once over all units together (the call graph alloccheck
+// propagates over is only as complete as the unit set, so whole-tree
+// invocations should pass every module package). Suppressed findings
+// are dropped, the rest sorted by position then check name.
+func CheckUnits(fset *token.FileSet, units []*Unit, checks []*Analyzer) []Finding {
 	var findings []Finding
 	for _, a := range checks {
-		pass := &Pass{
-			Fset:     fset,
-			Files:    files,
-			Pkg:      pkg,
-			Info:     info,
-			analyzer: a,
-			findings: &findings,
+		if a.Run != nil {
+			for _, u := range units {
+				a.Run(&Pass{
+					Fset:     fset,
+					Files:    u.Files,
+					Pkg:      u.Pkg,
+					Info:     u.Info,
+					analyzer: a,
+					findings: &findings,
+				})
+			}
 		}
-		a.Run(pass)
+		if a.RunModule != nil {
+			a.RunModule(&ModulePass{
+				Fset:     fset,
+				Units:    units,
+				analyzer: a,
+				findings: &findings,
+			})
+		}
 	}
-	findings = suppress(fset, files, findings)
+	var allFiles []*ast.File
+	for _, u := range units {
+		allFiles = append(allFiles, u.Files...)
+	}
+	findings = suppress(fset, allFiles, findings)
 	sort.Slice(findings, func(i, j int) bool {
 		a, b := findings[i], findings[j]
 		if a.File != b.File {
@@ -146,12 +212,25 @@ func Check(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *typ
 // allowDirective is the comment prefix that suppresses findings.
 const allowDirective = "//ndnlint:allow"
 
-// suppress drops findings covered by an //ndnlint:allow comment on the
-// same line or the line directly above.
-func suppress(fset *token.FileSet, files []*ast.File, findings []Finding) []Finding {
-	// allowed maps file → line → set of allowed check names.
-	allowed := make(map[string]map[int]map[string]bool)
+// An allowIndex records every //ndnlint:allow directive in a file set:
+// statement-scoped directives by file and line, file-scoped directives
+// (any directive above the package clause, for generated or fixture
+// files) by file alone.
+type allowIndex struct {
+	// lines maps file → line → set of allowed check names.
+	lines map[string]map[int]map[string]bool
+	// files maps file → set of check names allowed for the whole file.
+	files map[string]map[string]bool
+}
+
+// collectAllows indexes the allow directives of every file.
+func collectAllows(fset *token.FileSet, files []*ast.File) *allowIndex {
+	ix := &allowIndex{
+		lines: make(map[string]map[int]map[string]bool),
+		files: make(map[string]map[string]bool),
+	}
 	for _, f := range files {
+		pkgLine := fset.Position(f.Package).Line
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
 				checks, ok := parseAllow(c.Text)
@@ -159,10 +238,22 @@ func suppress(fset *token.FileSet, files []*ast.File, findings []Finding) []Find
 					continue
 				}
 				pos := fset.Position(c.Pos())
-				byLine := allowed[pos.Filename]
+				if pos.Line < pkgLine {
+					// Above the package clause: file-scoped.
+					set := ix.files[pos.Filename]
+					if set == nil {
+						set = make(map[string]bool)
+						ix.files[pos.Filename] = set
+					}
+					for _, name := range checks {
+						set[name] = true
+					}
+					continue
+				}
+				byLine := ix.lines[pos.Filename]
 				if byLine == nil {
 					byLine = make(map[int]map[string]bool)
-					allowed[pos.Filename] = byLine
+					ix.lines[pos.Filename] = byLine
 				}
 				if byLine[pos.Line] == nil {
 					byLine[pos.Line] = make(map[string]bool)
@@ -173,10 +264,28 @@ func suppress(fset *token.FileSet, files []*ast.File, findings []Finding) []Find
 			}
 		}
 	}
+	return ix
+}
+
+// allows reports whether a finding of check at file:line is suppressed:
+// by a directive on the same line, on the line directly above, or by a
+// file-scoped directive.
+func (ix *allowIndex) allows(file string, line int, check string) bool {
+	if lineAllows(ix.files[file], check) {
+		return true
+	}
+	byLine := ix.lines[file]
+	return lineAllows(byLine[line], check) || lineAllows(byLine[line-1], check)
+}
+
+// suppress drops findings covered by an //ndnlint:allow comment on the
+// same line, the line directly above, or above the file's package
+// clause (file scope).
+func suppress(fset *token.FileSet, files []*ast.File, findings []Finding) []Finding {
+	ix := collectAllows(fset, files)
 	kept := findings[:0]
 	for _, fd := range findings {
-		byLine := allowed[fd.File]
-		if lineAllows(byLine[fd.Line], fd.Check) || lineAllows(byLine[fd.Line-1], fd.Check) {
+		if ix.allows(fd.File, fd.Line, fd.Check) {
 			continue
 		}
 		kept = append(kept, fd)

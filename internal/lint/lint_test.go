@@ -43,6 +43,10 @@ var fixtures = map[string]string{
 	"durunits_violation":   "ndnprivacy/internal/util",
 	"durunits_clean":       "ndnprivacy/internal/util",
 	"durunits_allow":       "ndnprivacy/internal/util",
+	"alloccheck_violation": "ndnprivacy/internal/util",
+	"alloccheck_clean":     "ndnprivacy/internal/util",
+	"alloccheck_allow":     "ndnprivacy/internal/util",
+	"filescope_allow":      "ndnprivacy/internal/util",
 }
 
 // expectFiring names the fixtures that must produce at least one finding
@@ -57,6 +61,7 @@ var expectFiring = map[string]string{
 	"seedflow_violation":   "seedflow",
 	"errshadow_violation":  "errshadow",
 	"durunits_violation":   "durunits",
+	"alloccheck_violation": "alloccheck",
 }
 
 // expectClean names the fixtures that must stay silent: clean idiomatic
@@ -67,6 +72,7 @@ var expectClean = []string{
 	"seedflow_clean", "seedflow_allow",
 	"errshadow_clean", "errshadow_allow",
 	"durunits_clean", "durunits_allow",
+	"alloccheck_clean", "alloccheck_allow", "filescope_allow",
 }
 
 func TestGolden(t *testing.T) {
@@ -223,9 +229,9 @@ func TestRepoLintsClean(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, pkg := range pkgs {
-		for _, f := range pkg.Check(lint.All) {
-			t.Errorf("%s", f)
-		}
+	// One whole-tree pass, exactly like cmd/ndnlint: alloccheck's call
+	// graph needs every package at once to follow cross-package calls.
+	for _, f := range lint.CheckAll(pkgs, lint.All) {
+		t.Errorf("%s", f)
 	}
 }

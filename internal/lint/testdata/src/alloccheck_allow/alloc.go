@@ -1,0 +1,24 @@
+// Package util exercises alloccheck waivers: //ndnlint:allow alloccheck
+// on a site's line waives the site; on a call's line it prunes the edge
+// so the callee's allocations are not reported either.
+package util
+
+// HotWaived allocates on a waived line: no finding.
+//
+//ndnlint:hotpath
+func HotWaived(n int) []int {
+	return make([]int, n) //ndnlint:allow alloccheck — setup path, measured separately
+}
+
+// HotPruned calls an allocating helper through a waived edge: build's
+// make is not reported because the edge into it is pruned.
+//
+//ndnlint:hotpath
+func HotPruned(n int) int {
+	xs := build(n) //ndnlint:allow alloccheck — slow path by design
+	return len(xs)
+}
+
+func build(n int) []int {
+	return make([]int, n)
+}

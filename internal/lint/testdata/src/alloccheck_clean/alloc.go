@@ -1,0 +1,54 @@
+// Package util exercises alloccheck's precision: hot paths that look
+// allocation-adjacent but provably stay off the heap must not fire.
+package util
+
+import "strings"
+
+// CleanLookup: string(key) used directly as a map index never
+// materializes — the compiler guarantees it.
+//
+//ndnlint:hotpath
+func CleanLookup(m map[string]int, key []byte) (int, bool) {
+	v, ok := m[string(key)]
+	return v, ok
+}
+
+// CleanCompare: string(b) as a comparison operand never materializes.
+//
+//ndnlint:hotpath
+func CleanCompare(b []byte, s string) bool {
+	return string(b) == s
+}
+
+// CleanPrefix: strings.HasPrefix is on the vetted allocation-free list.
+//
+//ndnlint:hotpath
+func CleanPrefix(a, b string) bool {
+	return strings.HasPrefix(a, b)
+}
+
+// CleanChain: propagation follows the call and finds nothing.
+//
+//ndnlint:hotpath
+func CleanChain(m map[string]int, k string) int {
+	return lookup(m, k)
+}
+
+func lookup(m map[string]int, k string) int {
+	return m[k]
+}
+
+type pair struct{ a, b int }
+
+// CleanStruct: a struct value literal is a stack value, not a heap
+// allocation.
+//
+//ndnlint:hotpath
+func CleanStruct(a, b int) pair {
+	return pair{a: a, b: b}
+}
+
+// NotHot allocates freely: without the annotation nothing is enforced.
+func NotHot(n int) []int {
+	return make([]int, n)
+}

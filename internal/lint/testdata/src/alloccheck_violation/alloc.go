@@ -1,0 +1,71 @@
+// Package util exercises the alloccheck analyzer: annotated hot paths
+// that allocate intrinsically, through a callee, through interface
+// dispatch, and through an unsummarized external call.
+package util
+
+import "strconv"
+
+// HotAppend allocates directly: append may grow the backing array.
+//
+//ndnlint:hotpath
+func HotAppend(xs []int, x int) []int {
+	return append(xs, x)
+}
+
+// HotConcat allocates directly: non-constant string concatenation.
+//
+//ndnlint:hotpath
+func HotConcat(a, b string) string {
+	return a + b
+}
+
+// HotBox allocates directly: a non-pointer-shaped value boxed into an
+// interface result.
+//
+//ndnlint:hotpath
+func HotBox(v int) any {
+	return v
+}
+
+// HotChain reaches an allocation one call deep; the finding lands on
+// helper's make with a witness chain back to HotChain.
+//
+//ndnlint:hotpath
+func HotChain(n int) []int {
+	return helper(n)
+}
+
+func helper(n int) []int {
+	return make([]int, n)
+}
+
+type doer interface {
+	do(n int) int
+}
+
+type adder struct{ base int }
+
+func (a *adder) do(n int) int { return a.base + n }
+
+type slicer struct{}
+
+func (s *slicer) do(n int) int {
+	scratch := make([]int, n)
+	return len(scratch)
+}
+
+// HotDispatch reaches slicer.do's make through CHA: the interface call
+// fans out to every module implementation of doer.
+//
+//ndnlint:hotpath
+func HotDispatch(d doer, n int) int {
+	return d.do(n)
+}
+
+// HotExtern calls an external function with no summary, which the
+// analysis assumes allocates.
+//
+//ndnlint:hotpath
+func HotExtern(n int) string {
+	return strconv.Itoa(n)
+}

@@ -1,0 +1,20 @@
+//ndnlint:allow durunits — generated-style file: suppression is file-scoped above the package clause
+
+// Package util exercises file-scoped suppression: the directive above
+// the package clause waives durunits for the whole file, so the bare
+// conversions below stay silent.
+package util
+
+import "time"
+
+// Timeout would fire durunits (bare int, implicit nanoseconds) without
+// the file-scoped directive.
+func Timeout(ms int) time.Duration {
+	return time.Duration(ms)
+}
+
+// Derived likewise.
+func Derived(n int) time.Duration {
+	v := n * 3
+	return time.Duration(v)
+}

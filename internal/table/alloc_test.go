@@ -1,0 +1,50 @@
+package table
+
+import (
+	"testing"
+	"time"
+
+	"ndnprivacy/internal/ndn"
+)
+
+// These tests pin the allocation-free PIT operations declared by the
+// //ndnlint:hotpath annotations: the steady-state probes (HasPending)
+// and the duplicate-nonce drop path run on every looped or
+// retransmitted Interest and must not allocate. (New-entry admission
+// allocates by design and carries explicit waivers.)
+
+func TestPITHasPendingZeroAlloc(t *testing.T) {
+	p := NewPIT()
+	name := ndn.MustParseName("/alloc/pending")
+	p.Insert(ndn.NewInterest(name, 1), 1, 0)
+	found := 0
+	if n := testing.AllocsPerRun(200, func() {
+		if p.HasPending(name, time.Millisecond) {
+			found++
+		}
+	}); n != 0 {
+		t.Errorf("PIT.HasPending: %.0f allocs/run, want 0", n)
+	}
+	if found == 0 {
+		t.Fatal("entry unexpectedly absent")
+	}
+}
+
+func TestPITDuplicateNonceZeroAlloc(t *testing.T) {
+	p := NewPIT()
+	interest := ndn.NewInterest(ndn.MustParseName("/alloc/dup"), 7)
+	if got := p.Insert(interest, 1, 0); got != InsertedNew {
+		t.Fatalf("first insert: %v", got)
+	}
+	outcomes := 0
+	if n := testing.AllocsPerRun(200, func() {
+		if p.Insert(interest, 1, time.Millisecond) == DuplicateNonce {
+			outcomes++
+		}
+	}); n != 0 {
+		t.Errorf("PIT.Insert duplicate-nonce: %.0f allocs/run, want 0", n)
+	}
+	if outcomes == 0 {
+		t.Fatal("expected duplicate-nonce outcomes")
+	}
+}

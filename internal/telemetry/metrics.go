@@ -19,6 +19,8 @@ type Counter struct {
 func NewCounter() *Counter { return &Counter{} }
 
 // Inc adds one.
+//
+//ndnlint:hotpath — incremented on every forwarded Interest/Data
 func (c *Counter) Inc() {
 	if c == nil {
 		return
@@ -27,6 +29,8 @@ func (c *Counter) Inc() {
 }
 
 // Add adds n.
+//
+//ndnlint:hotpath
 func (c *Counter) Add(n uint64) {
 	if c == nil {
 		return
@@ -52,6 +56,8 @@ type Gauge struct {
 func NewGauge() *Gauge { return &Gauge{} }
 
 // Set stores v.
+//
+//ndnlint:hotpath
 func (g *Gauge) Set(v int64) {
 	if g == nil {
 		return
@@ -60,6 +66,8 @@ func (g *Gauge) Set(v int64) {
 }
 
 // Add adds delta (may be negative).
+//
+//ndnlint:hotpath
 func (g *Gauge) Add(delta int64) {
 	if g == nil {
 		return
@@ -114,6 +122,8 @@ func ExponentialBounds(start, growth float64, n int) []float64 {
 }
 
 // Observe records one sample. Nil-safe.
+//
+//ndnlint:hotpath — latency observation must not perturb the latency
 func (h *Histogram) Observe(v float64) {
 	if h == nil {
 		return

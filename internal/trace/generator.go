@@ -5,6 +5,7 @@ import (
 	"hash/fnv"
 	"math"
 	"math/rand"
+	"strconv"
 	"time"
 
 	"ndnprivacy/internal/ndn"
@@ -100,6 +101,11 @@ type Generator struct {
 	rng  *rand.Rand
 	emit int
 	now  time.Duration
+	// names memoizes ObjectName per rank: names depend only on the rank,
+	// and Zipf popularity revisits hot ranks constantly, so building the
+	// name once per distinct object (instead of once per request) removes
+	// the dominant allocation in trace replay. The memo survives Reset.
+	names map[int]ndn.Name
 }
 
 // NewGenerator builds a generator.
@@ -112,9 +118,10 @@ func NewGenerator(cfg GeneratorConfig) (*Generator, error) {
 		return nil, err
 	}
 	return &Generator{
-		cfg:  cfg,
-		zipf: z,
-		rng:  rand.New(rand.NewSource(cfg.Seed)),
+		cfg:   cfg,
+		zipf:  z,
+		rng:   rand.New(rand.NewSource(cfg.Seed)),
+		names: make(map[int]ndn.Name),
 	}, nil
 }
 
@@ -131,7 +138,7 @@ func (g *Generator) Next() (Request, bool) {
 	req := Request{
 		At:      g.now,
 		User:    g.rng.Intn(g.cfg.Users),
-		Name:    ObjectName(obj),
+		Name:    g.objectName(obj),
 		Private: g.ObjectIsPrivate(obj),
 		Object:  obj,
 	}
@@ -185,12 +192,23 @@ func (g *Generator) interArrival() time.Duration {
 	return time.Duration(gap)
 }
 
+func (g *Generator) objectName(obj int) ndn.Name {
+	if n, ok := g.names[obj]; ok {
+		return n
+	}
+	n := ObjectName(obj)
+	g.names[obj] = n
+	return n
+}
+
+var webRoot = ndn.MustParseName("/web")
+
 // ObjectName maps a popularity rank to a hierarchical content name. The
 // two-level layout (sites of 100 objects) gives the correlation-grouping
 // experiments a realistic namespace.
 func ObjectName(obj int) ndn.Name {
-	return ndn.MustParseName("/web").AppendString(
-		fmt.Sprintf("site%d", obj/100),
-		fmt.Sprintf("obj%d", obj),
+	return webRoot.AppendString(
+		"site"+strconv.Itoa(obj/100),
+		"obj"+strconv.Itoa(obj),
 	)
 }

@@ -117,6 +117,11 @@ func replayStream(next func() (Request, bool, error), cfg ReplayConfig) (ReplayS
 	}
 
 	var stats ReplayStats
+	// One interest buffer serves the whole replay: managers only read the
+	// interest during OnCacheHit, and allocating a fresh packet per
+	// request dominated the replay's allocation profile.
+	interest := ndn.NewInterest(ndn.Name{}, 0)
+	payload := []byte("x") // content size is uniform in the evaluation
 	for {
 		req, more, err := next()
 		if err != nil {
@@ -129,12 +134,13 @@ func replayStream(next func() (Request, bool, error), cfg ReplayConfig) (ReplayS
 		if req.Private {
 			stats.PrivateRequests++
 		}
-		interest := ndn.NewInterest(req.Name, stats.Requests)
+		interest.Name = req.Name
+		interest.Nonce = stats.Requests
 
 		entry, found := store.Exact(req.Name, req.At)
 		if !found {
 			stats.RealMisses++
-			insertFetched(store, cfg.Manager, req, cfg.UpstreamDelay)
+			insertFetched(store, cfg.Manager, req, payload, cfg.UpstreamDelay)
 			continue
 		}
 		store.Touch(req.Name)
@@ -157,8 +163,7 @@ func replayStream(next func() (Request, bool, error), cfg ReplayConfig) (ReplayS
 	return stats, nil
 }
 
-func insertFetched(store *cache.Store, manager core.CacheManager, req Request, fetchDelay time.Duration) {
-	payload := []byte("x") // content size is uniform in the evaluation
+func insertFetched(store *cache.Store, manager core.CacheManager, req Request, payload []byte, fetchDelay time.Duration) {
 	d, err := ndn.NewData(req.Name, payload)
 	if err != nil {
 		return // unreachable: payload is non-empty

@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # bench.sh — run the benchmark suites that watch the simulator's hot
 # paths (ndn wire handling, cache, forwarding, trace replay, core
-# countermeasures) and write a machine-readable summary.
+# countermeasures, whole-tree alloccheck) and write a machine-readable
+# summary.
 #
 # Usage:
 #   scripts/bench.sh [output.json]
@@ -24,7 +25,7 @@ cd "$(dirname "$0")/.."
 
 out="${1:-BENCH_PR5.json}"
 benchtime="${BENCHTIME:-1x}"
-suites=(ndn cache fwd trace core experiments)
+suites=(ndn cache fwd trace core experiments lint)
 
 tmp=$(mktemp)
 trap 'rm -f "$tmp"' EXIT
