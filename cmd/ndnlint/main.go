@@ -2,9 +2,11 @@
 // over the packages matching the given go-list patterns (default ./...):
 // simulator determinism, seeded randomness, map-iteration order, lock
 // copying, wire-format error hygiene, inferred mutex guard discipline,
-// seed taint flow, shadowed errors, duration unit provenance, and the
-// interprocedural //ndnlint:hotpath allocation check. See internal/lint
-// for the individual checks and the //ndnlint:allow suppression syntax.
+// seed taint flow, shadowed errors, duration unit provenance, the
+// interprocedural //ndnlint:hotpath allocation check, and the viewsafe
+// escape/retention analysis for //ndnlint:viewtype zero-copy wire views.
+// See internal/lint for the individual checks and the //ndnlint:allow
+// suppression syntax.
 //
 // Usage:
 //

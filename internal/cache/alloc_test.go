@@ -41,6 +41,34 @@ func TestStoreExactMissZeroAlloc(t *testing.T) {
 	}
 }
 
+func TestStoreExactViewZeroAlloc(t *testing.T) {
+	s := MustNewStore(0, nil)
+	d := benchData(1)
+	s.Insert(d, 0, 0)
+	wire := ndn.EncodeName(nil, d.Name)
+	missWire := ndn.EncodeName(nil, ndn.MustParseName("/bench/absent"))
+	hits := 0
+	if n := testing.AllocsPerRun(200, func() {
+		v, err := ndn.ParseNameView(wire)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, found := s.ExactView(&v, 0); found {
+			hits++
+		}
+		m, err := ndn.ParseNameView(missWire)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.ExactView(&m, 0)
+	}); n != 0 {
+		t.Errorf("Store.ExactView (wire parse + hit + miss): %.0f allocs/run, want 0", n)
+	}
+	if hits == 0 {
+		t.Fatal("lookups unexpectedly missed")
+	}
+}
+
 func TestStoreTouchZeroAlloc(t *testing.T) {
 	s := MustNewStore(16, NewLRU())
 	d := benchData(1)

@@ -61,6 +61,30 @@ func BenchmarkStoreExactHit(b *testing.B) {
 	}
 }
 
+// BenchmarkStoreExactViewHit is BenchmarkStoreExactHit taken directly
+// over the wire buffer: parse a zero-copy view, probe the hash-indexed
+// table. This is the full per-interest hit/miss decision the paper's
+// timing adversary measures, with no owned name materialized.
+func BenchmarkStoreExactViewHit(b *testing.B) {
+	s := MustNewStore(0, nil)
+	for i := 0; i < 10000; i++ {
+		s.Insert(benchData(i), 0, 0)
+	}
+	name := ndn.MustParseName(fmt.Sprintf("/bench/site%d/obj%d", 5000%31, 5000))
+	wire := ndn.EncodeName(nil, name)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for n := 0; n < b.N; n++ {
+		v, err := ndn.ParseNameView(wire)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, found := s.ExactView(&v, 0); !found {
+			b.Fatal("miss")
+		}
+	}
+}
+
 func BenchmarkStorePrefixMatch(b *testing.B) {
 	s := MustNewStore(0, nil)
 	for i := 0; i < 10000; i++ {

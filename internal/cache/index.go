@@ -27,7 +27,7 @@ func newNameIndex() *nameIndex {
 func (ix *nameIndex) insert(name ndn.Name) {
 	node := ix.root
 	for i := 0; i < name.Len(); i++ {
-		key := string(name.Component(i))
+		key := string(name.ComponentRef(i))
 		if node.children == nil {
 			node.children = make(map[string]*indexNode, 1)
 		}
@@ -50,7 +50,7 @@ func (ix *nameIndex) remove(name ndn.Name) {
 	path := make([]step, 0, name.Len())
 	node := ix.root
 	for i := 0; i < name.Len(); i++ {
-		key := string(name.Component(i))
+		key := string(name.ComponentRef(i))
 		child, found := node.children[key]
 		if !found {
 			return
@@ -72,7 +72,7 @@ func (ix *nameIndex) remove(name ndn.Name) {
 func (ix *nameIndex) under(prefix ndn.Name) []ndn.Name {
 	node := ix.root
 	for i := 0; i < prefix.Len(); i++ {
-		child, found := node.children[string(prefix.Component(i))]
+		child, found := node.children[string(prefix.ComponentRef(i))]
 		if !found {
 			return nil
 		}

@@ -57,8 +57,13 @@ type Store struct {
 	capacity int
 	policy   Policy
 	entries  map[string]*Entry
-	index    *nameIndex
-	onEvict  func(*Entry)
+	// byHash buckets entries by Name.Hash so the view lookup path
+	// (ExactView) can find an entry without materializing a name key.
+	// Buckets are tiny — collisions require a 64-bit hash collision —
+	// and membership is verified by full component comparison.
+	byHash  map[uint64][]*Entry
+	index   *nameIndex
+	onEvict func(*Entry)
 
 	// Activity counters live on telemetry.Counter so an instrumented
 	// store shares them with the run's registry; uninstrumented stores
@@ -87,6 +92,7 @@ func NewStore(capacity int, policy Policy) (*Store, error) {
 		capacity:   capacity,
 		policy:     policy,
 		entries:    make(map[string]*Entry),
+		byHash:     make(map[uint64][]*Entry),
 		index:      newNameIndex(),
 		insertions: telemetry.NewCounter(),
 		evictions:  telemetry.NewCounter(),
@@ -190,6 +196,8 @@ func (s *Store) Insert(data *ndn.Data, now, fetchDelay time.Duration) *Entry {
 		Private:    data.IsPrivate(),
 	}
 	s.entries[key] = entry
+	h := data.Name.Hash()
+	s.byHash[h] = append(s.byHash[h], entry)
 	s.index.insert(data.Name)
 	s.policy.OnInsert(key)
 	s.insertions.Inc()
@@ -204,6 +212,35 @@ func (s *Store) Exact(name ndn.Name, now time.Duration) (*Entry, bool) {
 	entry, found := s.lookupExact(name, now)
 	s.countLookup(found)
 	return entry, found
+}
+
+// ExactView is Exact for a zero-copy name view: the hit/miss decision the
+// timing adversary measures, taken directly over the wire buffer without
+// materializing an owned name. The view's precomputed hash selects a
+// bucket and full component comparison verifies membership.
+//
+//ndnlint:hotpath — the lookup latency the cache-timing adversary measures; must not allocate
+func (s *Store) ExactView(v *ndn.NameView, now time.Duration) (*Entry, bool) {
+	entry, found := s.lookupExactView(v, now)
+	s.countLookup(found)
+	return entry, found
+}
+
+// lookupExactView is ExactView without hit/miss accounting.
+//
+//ndnlint:hotpath — called per probe from ExactView; must not allocate
+func (s *Store) lookupExactView(v *ndn.NameView, now time.Duration) (*Entry, bool) {
+	for _, entry := range s.byHash[v.Hash()] {
+		if !v.EqualName(entry.Data.Name) {
+			continue
+		}
+		if entry.IsStale(now) {
+			s.removeKey(entry.Data.Name.Key(), now, "stale") //ndnlint:allow alloccheck — stale purge is off the steady-state hit path
+			return nil, false
+		}
+		return entry, true
+	}
+	return nil, false
 }
 
 // lookupExact is Exact without hit/miss accounting, shared with Match so
@@ -298,11 +335,34 @@ func (s *Store) removeKey(key string, now time.Duration, reason string) {
 		return
 	}
 	delete(s.entries, key)
+	s.unindexHash(entry)
 	s.index.remove(entry.Data.Name)
 	s.policy.OnRemove(key)
 	s.emit(telemetry.EvCSEvict, key, now, reason)
 	if s.onEvict != nil {
 		s.onEvict(entry)
+	}
+}
+
+// unindexHash removes entry from its hash bucket. Bucket order is
+// irrelevant (lookups verify full equality), so removal swaps with the
+// last element.
+func (s *Store) unindexHash(entry *Entry) {
+	h := entry.Data.Name.Hash()
+	bucket := s.byHash[h]
+	for i, e := range bucket {
+		if e != entry {
+			continue
+		}
+		bucket[i] = bucket[len(bucket)-1]
+		bucket[len(bucket)-1] = nil
+		bucket = bucket[:len(bucket)-1]
+		break
+	}
+	if len(bucket) == 0 {
+		delete(s.byHash, h)
+	} else {
+		s.byHash[h] = bucket
 	}
 }
 

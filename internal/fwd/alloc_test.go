@@ -44,6 +44,35 @@ func TestDropTelemetryZeroAlloc(t *testing.T) {
 	}
 }
 
+func TestProbeWireZeroAlloc(t *testing.T) {
+	sim := netsim.New(1)
+	router, err := NewRouter(sim, "R", 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := ndn.NewData(ndn.MustParseName("/probe/hot"), []byte("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	router.Store().Insert(d, 0, 0)
+	hitWire := ndn.EncodeInterest(ndn.NewInterest(d.Name, 1))
+	missWire := ndn.EncodeInterest(ndn.NewInterest(ndn.MustParseName("/probe/cold"), 2))
+	hits := 0
+	if n := testing.AllocsPerRun(200, func() {
+		if cached, _ := router.ProbeWire(hitWire, 0); cached {
+			hits++
+		}
+		if cached, _ := router.ProbeWire(missWire, 0); cached {
+			t.Fatal("cold probe reported cached")
+		}
+	}); n != 0 {
+		t.Errorf("ProbeWire (hit + miss): %.0f allocs/run, want 0", n)
+	}
+	if hits == 0 {
+		t.Fatal("hot probe unexpectedly missed")
+	}
+}
+
 func TestTelemetryDisabledZeroAlloc(t *testing.T) {
 	f, err := New(Config{Name: "n", Sim: netsim.New(1)})
 	if err != nil {

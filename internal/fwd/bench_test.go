@@ -96,6 +96,31 @@ func BenchmarkEndToEndFetchHit(b *testing.B) {
 	}
 }
 
+// BenchmarkProbeWire measures the wire-facing hit/miss classification:
+// raw encoded Interest → zero-copy name view → hash-indexed CS and PIT
+// probes, with no packet decode and no owned name. This is the latency
+// surface the paper's timing adversary samples, end to end.
+func BenchmarkProbeWire(b *testing.B) {
+	sim := netsim.New(1)
+	router, err := NewRouter(sim, "R", 0, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	d, err := ndn.NewData(ndn.MustParseName("/p/hot"), []byte("x"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	router.Store().Insert(d, 0, 0)
+	wire := ndn.EncodeInterest(ndn.NewInterest(d.Name, 1))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if cached, _ := router.ProbeWire(wire, 0); !cached {
+			b.Fatal("miss")
+		}
+	}
+}
+
 // discardSink counts events without retaining them, so telemetry-on
 // benchmarks are not dominated by sink memory growth.
 type discardSink struct{ n uint64 }

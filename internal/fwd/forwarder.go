@@ -313,6 +313,30 @@ func (f *Forwarder) receive(from table.FaceID, pkt any) {
 	})
 }
 
+// ProbeWire classifies an encoded Interest against this node's tables
+// directly from the raw wire buffer: a zero-copy name view probes the
+// hash-indexed Content Store and PIT without decoding the packet or
+// materializing an owned name. This is the wire-facing fast path — the
+// hit/miss decision whose latency the paper's timing adversary measures
+// — and it must not allocate. It is a pure probe: no Touch, no cache-
+// manager decision, no PIT mutation. Oversized names (ErrViewCapacity) and
+// malformed wire report neither cached nor pending; callers needing the
+// full pipeline decode and use handleInterest.
+//
+//ndnlint:hotpath — wire→CS/PIT-lookup fast path; must not allocate
+func (f *Forwarder) ProbeWire(wire []byte, now time.Duration) (cached, pending bool) {
+	v, err := ndn.InterestNameView(wire)
+	if err != nil {
+		return false, false
+	}
+	if f.cs != nil {
+		if _, found := f.cs.ExactView(&v, now); found {
+			cached = true
+		}
+	}
+	return cached, f.pit.HasPendingView(&v, now)
+}
+
 func (f *Forwarder) handleInterest(from table.FaceID, interest *ndn.Interest) {
 	f.stats.InterestsReceived++
 	if f.tel != nil {

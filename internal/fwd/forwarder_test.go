@@ -169,6 +169,41 @@ func TestSecondFetchIsCacheHit(t *testing.T) {
 	}
 }
 
+func TestProbeWireClassifiesFromRawWire(t *testing.T) {
+	topo := buildLAN(t, core.NewNoPrivacy(), fastEthernet(), backbone())
+	publish(t, topo.producer, "/p/doc", false)
+	wire := ndn.EncodeInterest(ndn.NewInterest(ndn.MustParseName("/p/doc"), 99))
+
+	// Cold tables: neither cached nor pending.
+	if cached, pending := topo.router.ProbeWire(wire, topo.sim.Now()); cached || pending {
+		t.Fatalf("cold probe = (%v, %v), want (false, false)", cached, pending)
+	}
+
+	// Probe mid-flight: by 1.5ms the user's interest has reached R
+	// (edge ≤ 0.5ms + processing) but the producer's data has not
+	// returned (backbone ≥ 2ms each way), so the name is pending.
+	var midCached, midPending bool
+	topo.user.FetchName(ndn.MustParseName("/p/doc"), func(FetchResult) {})
+	topo.sim.Schedule(1500*time.Microsecond, func() {
+		midCached, midPending = topo.router.ProbeWire(wire, topo.sim.Now())
+	})
+	topo.sim.Run()
+	if midCached || !midPending {
+		t.Errorf("mid-flight probe = (%v, %v), want (false, true)", midCached, midPending)
+	}
+
+	// After the fetch completes the content is cached and the PIT entry
+	// is gone.
+	if cached, pending := topo.router.ProbeWire(wire, topo.sim.Now()); !cached || pending {
+		t.Errorf("post-fetch probe = (%v, %v), want (true, false)", cached, pending)
+	}
+
+	// Malformed wire classifies as neither, never panics.
+	if cached, pending := topo.router.ProbeWire([]byte{0xFF, 0x00}, topo.sim.Now()); cached || pending {
+		t.Errorf("malformed probe = (%v, %v), want (false, false)", cached, pending)
+	}
+}
+
 func TestFetchMissingContentTimesOut(t *testing.T) {
 	topo := buildLAN(t, core.NewNoPrivacy(), fastEthernet(), backbone())
 	interest := ndn.NewInterest(ndn.MustParseName("/p/ghost"), 7)

@@ -433,6 +433,21 @@ var cleanFuncs = map[string]bool{
 	"bytes.Index":           true,
 	"bytes.IndexByte":       true,
 
+	// encoding/binary: fixed-width loads and stores on caller buffers
+	// (AppendUint* are absent: they may grow the slice).
+	"(encoding/binary.bigEndian).Uint16":       true,
+	"(encoding/binary.bigEndian).Uint32":       true,
+	"(encoding/binary.bigEndian).Uint64":       true,
+	"(encoding/binary.bigEndian).PutUint16":    true,
+	"(encoding/binary.bigEndian).PutUint32":    true,
+	"(encoding/binary.bigEndian).PutUint64":    true,
+	"(encoding/binary.littleEndian).Uint16":    true,
+	"(encoding/binary.littleEndian).Uint32":    true,
+	"(encoding/binary.littleEndian).Uint64":    true,
+	"(encoding/binary.littleEndian).PutUint16": true,
+	"(encoding/binary.littleEndian).PutUint32": true,
+	"(encoding/binary.littleEndian).PutUint64": true,
+
 	// sort: binary searches over caller-provided closures.
 	"sort.Search":         true,
 	"sort.SearchInts":     true,

@@ -27,3 +27,23 @@ func BenchmarkAlloccheckWholeTree(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkViewsafeWholeTree times the escape/retention analysis for
+// view types over the entire module, load cost excluded, and doubles as
+// a compile-check that the tree stays viewsafe-clean.
+func BenchmarkViewsafeWholeTree(b *testing.B) {
+	pkgs, err := lint.Load("../..", "./...")
+	if err != nil {
+		b.Fatal(err)
+	}
+	units := lint.Units(pkgs)
+	fset := pkgs[0].Fset
+	checks := []*lint.Analyzer{lint.ViewSafe}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		findings := lint.CheckUnits(fset, units, checks)
+		if len(findings) != 0 {
+			b.Fatalf("whole-tree viewsafe not clean: %d findings, first: %s", len(findings), findings[0])
+		}
+	}
+}

@@ -125,8 +125,8 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 
 // All is every check this linter ships, in reporting order. The first
 // five are single-node AST checks; the next four are flow-sensitive,
-// built on the internal/lint/cfg dataflow engine; alloccheck is the one
-// module-level (interprocedural) analysis.
+// built on the internal/lint/cfg dataflow engine; alloccheck and
+// viewsafe are the module-level (interprocedural) analyses.
 var All = []*Analyzer{
 	SimDeterminism,
 	GlobalRand,
@@ -138,6 +138,7 @@ var All = []*Analyzer{
 	ErrShadow,
 	DurUnits,
 	AllocCheck,
+	ViewSafe,
 }
 
 // ByName returns the named analyzer, or nil.

@@ -29,6 +29,11 @@ var fixtures = map[string]string{
 	"maporder_violation":   "ndnprivacy/internal/fwd",
 	"maporder_clean":       "ndnprivacy/internal/fwd",
 	"copylocks_violation":  "ndnprivacy/internal/util",
+	"viewsafe_violation":   "ndnprivacy/internal/util",
+	"viewsafe_clean":       "ndnprivacy/internal/util",
+	"viewsafe_viewcopy":    "ndnprivacy/internal/util",
+	"viewsafe_allow":       "ndnprivacy/internal/util",
+	"viewsafe_filescope":   "ndnprivacy/internal/util",
 	"wireerr_violation":    "ndnprivacy/internal/fwd",
 	"clean":                "ndnprivacy/internal/netsim",
 	"guardedby_violation":  "ndnprivacy/internal/util",
@@ -62,6 +67,7 @@ var expectFiring = map[string]string{
 	"errshadow_violation":  "errshadow",
 	"durunits_violation":   "durunits",
 	"alloccheck_violation": "alloccheck",
+	"viewsafe_violation":   "viewsafe",
 }
 
 // expectClean names the fixtures that must stay silent: clean idiomatic
@@ -73,6 +79,7 @@ var expectClean = []string{
 	"errshadow_clean", "errshadow_allow",
 	"durunits_clean", "durunits_allow",
 	"alloccheck_clean", "alloccheck_allow", "filescope_allow",
+	"viewsafe_clean", "viewsafe_viewcopy", "viewsafe_allow", "viewsafe_filescope",
 }
 
 func TestGolden(t *testing.T) {

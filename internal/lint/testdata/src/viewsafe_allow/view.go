@@ -1,0 +1,22 @@
+// Fixture: explicit waivers on the sink lines silence viewsafe, with
+// the justification following the em-dash like every other check.
+package util
+
+// View aliases a caller-owned decode buffer.
+//
+//ndnlint:viewtype — aliases the decode buffer
+type View []byte
+
+// Wrap returns a view of b without copying.
+//
+//ndnlint:viewprop — propagates a view of the argument buffer
+func Wrap(b []byte) View { return View(b) }
+
+var current []byte
+
+// Track retains a view deliberately: the caller guarantees the buffer
+// is arena-allocated and outlives the table.
+func Track(buf []byte) {
+	v := Wrap(buf)
+	current = v //ndnlint:allow viewsafe — arena-backed buffer outlives the table
+}

@@ -1,0 +1,59 @@
+// Fixture: idiomatic view usage that viewsafe must accept — read-only
+// access, string conversions (which copy), owned copies via the
+// viewcopy bridge, and flow-sensitive taint kills on reassignment.
+package util
+
+// View aliases a caller-owned decode buffer.
+//
+//ndnlint:viewtype — aliases the decode buffer
+type View []byte
+
+// Wrap returns a view of b without copying.
+//
+//ndnlint:viewprop — propagates a view of the argument buffer
+func Wrap(b []byte) View { return View(b) }
+
+// Clone returns an owned copy of the viewed bytes.
+//
+//ndnlint:viewcopy — the bridge from view to owned bytes
+func (v View) Clone() []byte {
+	cp := make([]byte, len(v))
+	copy(cp, v)
+	return cp
+}
+
+var stash []byte
+
+// Use reads the view in place: lengths and string conversions are
+// owned values.
+func Use(buf []byte) (int, string) {
+	v := Wrap(buf)
+	return len(v), string(v)
+}
+
+// Keep crosses the retention boundary through the viewcopy bridge.
+func Keep(buf []byte) {
+	v := Wrap(buf)
+	stash = v.Clone()
+}
+
+// hash takes a view parameter and only reads it.
+func hash(v View) uint64 {
+	var h uint64 = 1469598103934665603
+	for i := 0; i < len(v); i++ {
+		h = (h ^ uint64(v[i])) * 1099511628211
+	}
+	return h
+}
+
+// Sum derives an owned scalar from a view.
+func Sum(buf []byte) uint64 { return hash(Wrap(buf)) }
+
+// Reassign shows the flow-sensitivity: b is a view on one path, but the
+// append copies the bytes into fresh storage before the store.
+func Reassign(buf []byte) {
+	var b []byte
+	b = Wrap(buf)
+	b = append([]byte(nil), b...)
+	stash = b
+}

@@ -1,0 +1,23 @@
+// Fixture: a file-scope waiver above the package clause silences
+// viewsafe for the whole file.
+//
+//ndnlint:allow viewsafe — fixture file retains views by design
+package util
+
+// View aliases a caller-owned decode buffer.
+//
+//ndnlint:viewtype — aliases the decode buffer
+type View []byte
+
+// Wrap returns a view of b without copying.
+//
+//ndnlint:viewprop — propagates a view of the argument buffer
+func Wrap(b []byte) View { return View(b) }
+
+var current []byte
+
+// Track retains a view; the file-scope waiver covers it.
+func Track(buf []byte) {
+	v := Wrap(buf)
+	current = v
+}

@@ -1,0 +1,42 @@
+// Fixture: the //ndnlint:viewcopy bridge makes retention legal — the
+// same registry shape as the violation fixture, but every stored value
+// is an owned copy.
+package util
+
+// View aliases a caller-owned decode buffer.
+//
+//ndnlint:viewtype — aliases the decode buffer
+type View []byte
+
+// Wrap returns a view of b without copying.
+//
+//ndnlint:viewprop — propagates a view of the argument buffer
+func Wrap(b []byte) View { return View(b) }
+
+// Clone returns an owned copy of the viewed bytes.
+//
+//ndnlint:viewcopy — the bridge from view to owned bytes
+func (v View) Clone() []byte {
+	cp := make([]byte, len(v))
+	copy(cp, v)
+	return cp
+}
+
+type holder struct {
+	last []byte
+}
+
+var registry = map[string]*holder{}
+
+// Record retains an owned copy, never the view itself.
+func Record(key string, buf []byte) {
+	v := Wrap(buf)
+	registry[key].last = v.Clone()
+}
+
+// Latest re-wraps retained owned bytes as a fresh view for the caller.
+//
+//ndnlint:viewprop — propagates a view of the retained copy
+func Latest(key string) View {
+	return Wrap(registry[key].last)
+}

@@ -1,0 +1,65 @@
+// Fixture: every retention class viewsafe must catch, including a view
+// smuggled through a plain []byte parameter chain into a struct field
+// reachable from a package-level map (the witness-chain case).
+package util
+
+// View aliases a caller-owned decode buffer.
+//
+//ndnlint:viewtype — aliases the decode buffer
+type View []byte
+
+// Wrap returns a view of b without copying.
+//
+//ndnlint:viewprop — propagates a view of the argument buffer
+func Wrap(b []byte) View { return View(b) }
+
+// holder retains raw bytes; fine for owned bytes, fatal for views.
+type holder struct {
+	last []byte
+}
+
+// registry makes every holder reachable long after any call returns.
+var registry = map[string]*holder{}
+
+// record is ordinary Go on its own: it only becomes a violation when a
+// caller hands it a view.
+func record(key string, b []byte) {
+	registry[key].last = b
+}
+
+// remember forwards to record, adding a hop to the witness chain.
+func remember(b []byte) {
+	record("latest", b)
+}
+
+// Observe decodes a view and accidentally retains it three calls down.
+func Observe(buf []byte) {
+	v := Wrap(buf)
+	remember(v)
+}
+
+// Smuggle returns view-backed bytes from a function not marked viewprop.
+func Smuggle(buf []byte) []byte {
+	return Wrap(buf)
+}
+
+// Publish sends a view to a consumer that may outlive the buffer.
+func Publish(ch chan []byte, buf []byte) {
+	ch <- Wrap(buf)
+}
+
+// Spawn hands a view to a goroutine with an unbounded lifetime.
+func Spawn(buf []byte) {
+	v := Wrap(buf)
+	go func() {
+		record("async", v)
+	}()
+}
+
+// lastView holds a view at package scope: a structural violation.
+var lastView View
+
+// sticky embeds a view in an un-annotated struct: a structural violation.
+type sticky struct {
+	v View
+}

@@ -2,6 +2,7 @@ package ndn
 
 import (
 	"bytes"
+	"errors"
 	"testing"
 )
 
@@ -78,6 +79,83 @@ func FuzzPacketStream(f *testing.F) {
 			}
 		}
 		t.Fatal("reader did not terminate on bounded input")
+	})
+}
+
+// FuzzParseNameView differentially tests the zero-copy view parser
+// against the owned decode path on arbitrary wire input: whenever the
+// view parser accepts a buffer, the owned path must accept it too and
+// agree on component count, per-component bytes, every prefix hash, and
+// the canonical URI; whenever the view parser rejects, the owned path
+// must reject as well — except for ErrViewCapacity, the sanctioned
+// fallback for names beyond the view's fixed-size index.
+func FuzzParseNameView(f *testing.F) {
+	f.Add(EncodeName(nil, MustParseName("/a/b/c")))
+	f.Add(EncodeName(nil, MustParseName("/")))
+	f.Add(EncodeName(nil, MustParseName("/%41%42/xyz")))
+	f.Add(EncodeName(nil, MustParseName("/youtube/alice/video-749.avi/137")))
+	f.Add([]byte{0x07, 0x00})
+	f.Add([]byte{0x07, 0x02, 0x08, 0x00})
+	f.Add([]byte{0x08, 0x01, 0x61})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, wire []byte) {
+		v, verr := ParseNameView(wire)
+
+		// Decode the same buffer on the owned path: one Name TLV spanning
+		// the whole input, then its component list.
+		var own Name
+		oerr := errors.New("not a name TLV")
+		if typ, value, n, err := readTLV(wire); err == nil && typ == tlvName && n == len(wire) {
+			own, oerr = decodeName(value)
+		}
+
+		if verr != nil {
+			if errors.Is(verr, ErrViewCapacity) {
+				return // owned fallback may still accept; that is the contract
+			}
+			if oerr == nil {
+				t.Fatalf("view parse rejected (%v) wire the owned path accepts as %q", verr, own)
+			}
+			return
+		}
+		if oerr != nil {
+			t.Fatalf("view parse accepted wire the owned path rejects: %v", oerr)
+		}
+
+		if v.Len() != own.Len() {
+			t.Fatalf("component count: view %d, owned %d", v.Len(), own.Len())
+		}
+		for i := 0; i < v.Len(); i++ {
+			if !bytes.Equal(v.Component(i), ComponentView(own.Component(i))) {
+				t.Fatalf("component %d: view %x, owned %x", i, v.Component(i), own.Component(i))
+			}
+		}
+		for k := 0; k <= v.Len(); k++ {
+			if v.PrefixHash(k) != own.Prefix(k).Hash() {
+				t.Fatalf("prefix hash %d: view %#x, owned %#x", k, v.PrefixHash(k), own.Prefix(k).Hash())
+			}
+		}
+		if v.Hash() != own.Hash() {
+			t.Fatalf("hash: view %#x, owned %#x", v.Hash(), own.Hash())
+		}
+		if v.URI() != own.String() {
+			t.Fatalf("URI: view %q, owned %q", v.URI(), own.String())
+		}
+		if !v.EqualName(own) {
+			t.Fatal("EqualName(owned) = false for equal names")
+		}
+		clone := v.Clone()
+		if !clone.Equal(own) {
+			t.Fatalf("Clone mismatch: %q vs %q", clone, own)
+		}
+		// The clone's canonical wire must re-parse to an identical view.
+		back, err := ParseNameView(EncodeName(nil, clone))
+		if err != nil {
+			t.Fatalf("re-encoded clone unparsable: %v", err)
+		}
+		if back.Hash() != v.Hash() || back.URI() != v.URI() {
+			t.Fatalf("re-encode round trip mismatch: %q vs %q", back.URI(), v.URI())
+		}
 	})
 }
 

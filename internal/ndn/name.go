@@ -38,6 +38,10 @@ type Name struct {
 	// uri caches the canonical rendering; names are immutable after
 	// construction so this is safe to precompute.
 	uri string
+	// hash caches the rolling component hash (see nameview.go); like uri
+	// it is precomputed by every constructor. Zero means "not cached"
+	// (a literal zero-value Name), in which case Hash recomputes.
+	hash uint64
 }
 
 // NewName builds a name from raw components. The components are copied.
@@ -50,6 +54,7 @@ func NewName(components ...[]byte) Name {
 	}
 	n := Name{components: comps}
 	n.uri = n.render()
+	n.hash = hashName(comps)
 	return n
 }
 
@@ -61,7 +66,7 @@ func ParseName(uri string) (Name, error) {
 		return Name{}, fmt.Errorf("%w: %q must start with '/'", ErrBadURI, uri)
 	}
 	if uri == "/" {
-		return Name{uri: "/"}, nil
+		return Name{uri: "/", hash: nameHashBasis}, nil
 	}
 	parts := strings.Split(uri[1:], "/")
 	comps := make([]Component, 0, len(parts))
@@ -77,6 +82,7 @@ func ParseName(uri string) (Name, error) {
 	}
 	n := Name{components: comps}
 	n.uri = n.render()
+	n.hash = hashName(comps)
 	return n, nil
 }
 
@@ -96,12 +102,25 @@ func (n Name) Len() int { return len(n.components) }
 // IsEmpty reports whether the name has no components.
 func (n Name) IsEmpty() bool { return len(n.components) == 0 }
 
-// Component returns a copy of component i.
+// Component returns a copy of component i. Callers that only read — map
+// keys, comparisons, hashing — should prefer ComponentRef, which avoids
+// the copy.
 func (n Name) Component(i int) Component {
 	c := n.components[i]
 	cp := make(Component, len(c))
 	copy(cp, c)
 	return cp
+}
+
+// ComponentRef returns component i without copying. The result aliases
+// the name's backing storage and is typed as a view so the viewsafe check
+// keeps callers from retaining it; use Component (or Clone on the view)
+// when the bytes must outlive the lookup.
+//
+//ndnlint:viewprop — propagates a view of the name's backing storage
+//ndnlint:hotpath — per-component lookup access; must not allocate
+func (n Name) ComponentRef(i int) ComponentView {
+	return ComponentView(n.components[i])
 }
 
 // Append returns a new name with the given components appended.
@@ -115,6 +134,7 @@ func (n Name) Append(components ...[]byte) Name {
 	}
 	out := Name{components: comps}
 	out.uri = out.render()
+	out.hash = hashName(comps)
 	return out
 }
 
@@ -138,6 +158,7 @@ func (n Name) Prefix(k int) Name {
 	}
 	out := Name{components: n.components[:k]}
 	out.uri = out.render()
+	out.hash = hashName(out.components)
 	return out
 }
 
@@ -145,7 +166,7 @@ func (n Name) Prefix(k int) Name {
 // the name is already empty.
 func (n Name) Parent() (Name, bool) {
 	if n.IsEmpty() {
-		return Name{uri: "/"}, false
+		return Name{uri: "/", hash: nameHashBasis}, false
 	}
 	return n.Prefix(n.Len() - 1), true
 }
@@ -213,6 +234,20 @@ func (n Name) String() string { return n.uri }
 // Key returns a map key uniquely identifying the name. It is the
 // canonical URI, which is injective because escaping is canonical.
 func (n Name) Key() string { return n.uri }
+
+// Hash returns the name's rolling component hash — the key the
+// hash-indexed CS and PIT tables use. It equals ParseNameView(...).Hash()
+// for the same name on the wire. Constructed names return the cached
+// value; a literal zero-value Name recomputes (the root hash is the
+// non-zero seed, so a zero hash field can only mean "not cached").
+//
+//ndnlint:hotpath — CS/PIT hash-table probe key; must not allocate
+func (n Name) Hash() uint64 {
+	if n.hash != 0 {
+		return n.hash
+	}
+	return hashName(n.components)
+}
 
 func (n Name) render() string {
 	if len(n.components) == 0 {

@@ -152,11 +152,20 @@ func (d *Data) IsPrivate() bool {
 // content whose final component is an unpredictable (rand) component is
 // only returned to interests that name it explicitly.
 func (d *Data) Matches(interest *Interest) bool {
-	if !interest.Name.IsPrefixOf(d.Name) {
+	return d.MatchesName(interest.Name)
+}
+
+// MatchesName is Matches for a bare interest name, so lookup paths that
+// track only the pending name (the PIT) can test satisfaction without
+// materializing a synthetic Interest.
+//
+//ndnlint:hotpath — PIT satisfaction test on every data arrival; must not allocate
+func (d *Data) MatchesName(name Name) bool {
+	if !name.IsPrefixOf(d.Name) {
 		return false
 	}
 	// Footnote 5: /alice/skype/0/<rand> must not satisfy /alice/skype/.
-	if interest.Name.Len() < d.Name.Len() && hasUnpredictableSuffix(d.Name) {
+	if name.Len() < d.Name.Len() && hasUnpredictableSuffix(d.Name) {
 		return false
 	}
 	return true

@@ -57,7 +57,7 @@ func ParseSegment(name Name) (base Name, seq uint64, ok bool) {
 	if name.IsEmpty() {
 		return Name{}, 0, false
 	}
-	last := string(name.Component(name.Len() - 1))
+	last := string(name.ComponentRef(name.Len() - 1))
 	seq, err := strconv.ParseUint(last, 10, 64)
 	if err != nil {
 		return Name{}, 0, false

@@ -110,10 +110,13 @@ func readTLV(b []byte) (typ uint64, value []byte, n int, err error) {
 	return typ, b[start:end], end, nil
 }
 
-func encodeName(b []byte, n Name) []byte {
+// EncodeName appends the Name TLV encoding of n to b. The result is a
+// valid input for ParseNameView, which is how lookup benchmarks and the
+// forwarder's wire fast path obtain view-parseable buffers.
+func EncodeName(b []byte, n Name) []byte {
 	var inner []byte
 	for i := 0; i < n.Len(); i++ {
-		inner = appendTLV(inner, tlvComponent, n.Component(i))
+		inner = appendTLV(inner, tlvComponent, n.ComponentRef(i))
 	}
 	return appendTLV(b, tlvName, inner)
 }
@@ -159,7 +162,7 @@ func decodeUint(value []byte) (uint64, error) {
 // EncodeInterest serializes an interest.
 func EncodeInterest(i *Interest) []byte {
 	var inner []byte
-	inner = encodeName(inner, i.Name)
+	inner = EncodeName(inner, i.Name)
 	inner = appendUintTLV(inner, tlvNonce, i.Nonce)
 	if i.Scope != ScopeUnlimited {
 		inner = appendUintTLV(inner, tlvScope, uint64(i.Scope))
@@ -233,7 +236,7 @@ func DecodeInterest(wire []byte) (*Interest, error) {
 // EncodeData serializes a Data packet.
 func EncodeData(d *Data) []byte {
 	var inner []byte
-	inner = encodeName(inner, d.Name)
+	inner = EncodeName(inner, d.Name)
 	inner = appendTLV(inner, tlvPayload, d.Payload)
 	if d.Producer != "" {
 		inner = appendTLV(inner, tlvProducer, []byte(d.Producer))

@@ -97,7 +97,7 @@ func TestDecodeRejectsMissingFields(t *testing.T) {
 	}
 	// Data with name but no payload.
 	var dInner []byte
-	dInner = encodeName(dInner, MustParseName("/a"))
+	dInner = EncodeName(dInner, MustParseName("/a"))
 	dWire := appendTLV(nil, tlvData, dInner)
 	if _, err := DecodeData(dWire); err == nil {
 		t.Error("Data without Payload accepted")
@@ -106,7 +106,7 @@ func TestDecodeRejectsMissingFields(t *testing.T) {
 
 func TestDecodeSkipsUnknownTLVs(t *testing.T) {
 	var inner []byte
-	inner = encodeName(inner, MustParseName("/a"))
+	inner = EncodeName(inner, MustParseName("/a"))
 	inner = appendUintTLV(inner, tlvNonce, 9)
 	inner = appendTLV(inner, 0xF0, []byte("future extension"))
 	wire := appendTLV(nil, tlvInterest, inner)
@@ -148,7 +148,7 @@ func TestDecodeUintBounds(t *testing.T) {
 
 func TestDecodeRejectsOutOfRangeEnums(t *testing.T) {
 	var inner []byte
-	inner = encodeName(inner, MustParseName("/a"))
+	inner = EncodeName(inner, MustParseName("/a"))
 	inner = appendUintTLV(inner, tlvScope, 300)
 	wire := appendTLV(nil, tlvInterest, inner)
 	if _, err := DecodeInterest(wire); err == nil {
@@ -156,7 +156,7 @@ func TestDecodeRejectsOutOfRangeEnums(t *testing.T) {
 	}
 
 	inner = nil
-	inner = encodeName(inner, MustParseName("/a"))
+	inner = EncodeName(inner, MustParseName("/a"))
 	inner = appendUintTLV(inner, tlvPrivacyMark, 17)
 	wire = appendTLV(nil, tlvInterest, inner)
 	if _, err := DecodeInterest(wire); err == nil {

@@ -30,6 +30,28 @@ func TestPITHasPendingZeroAlloc(t *testing.T) {
 	}
 }
 
+func TestPITHasPendingViewZeroAlloc(t *testing.T) {
+	p := NewPIT()
+	name := ndn.MustParseName("/alloc/pending/view")
+	p.Insert(ndn.NewInterest(name, 1), 1, 0)
+	wire := ndn.EncodeName(nil, name)
+	found := 0
+	if n := testing.AllocsPerRun(200, func() {
+		v, err := ndn.ParseNameView(wire)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.HasPendingView(&v, time.Millisecond) {
+			found++
+		}
+	}); n != 0 {
+		t.Errorf("PIT.HasPendingView: %.0f allocs/run, want 0", n)
+	}
+	if found == 0 {
+		t.Fatal("entry unexpectedly absent")
+	}
+}
+
 func TestPITDuplicateNonceZeroAlloc(t *testing.T) {
 	p := NewPIT()
 	interest := ndn.NewInterest(ndn.MustParseName("/alloc/dup"), 7)

@@ -52,7 +52,7 @@ func (f *FIB) Insert(prefix ndn.Name, faces ...FaceID) error {
 	}
 	node := f.root
 	for i := 0; i < prefix.Len(); i++ {
-		key := string(prefix.Component(i))
+		key := string(prefix.ComponentRef(i))
 		if node.children == nil {
 			node.children = make(map[string]*fibNode, 1)
 		}
@@ -80,7 +80,7 @@ func (f *FIB) Remove(prefix ndn.Name) bool {
 	path := make([]step, 0, prefix.Len())
 	node := f.root
 	for i := 0; i < prefix.Len(); i++ {
-		key := string(prefix.Component(i))
+		key := string(prefix.ComponentRef(i))
 		child, found := node.children[key]
 		if !found {
 			return false
@@ -110,7 +110,7 @@ func (f *FIB) Lookup(name ndn.Name) ([]FaceID, error) {
 	node := f.root
 	best := node.faces
 	for i := 0; i < name.Len(); i++ {
-		child, found := node.children[string(name.Component(i))]
+		child, found := node.children[string(name.ComponentRef(i))]
 		if !found {
 			break
 		}
@@ -132,7 +132,7 @@ func (f *FIB) LookupPrefixLen(name ndn.Name) ([]FaceID, int, error) {
 	best := node.faces
 	bestLen := 0
 	for i := 0; i < name.Len(); i++ {
-		child, found := node.children[string(name.Component(i))]
+		child, found := node.children[string(name.ComponentRef(i))]
 		if !found {
 			break
 		}

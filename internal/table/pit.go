@@ -61,7 +61,13 @@ type pitEntry struct {
 // virtual-clock offset so the table works under the discrete-event
 // simulator. PIT is not safe for concurrent use.
 type PIT struct {
-	entries  map[string]*pitEntry
+	entries map[string]*pitEntry
+	// byHash buckets entries by Name.Hash so view lookups and the
+	// rolling-hash prefix probe in SatisfyWithInfo can find entries
+	// without materializing name keys. Membership is verified by full
+	// component comparison; buckets only exceed one entry on a 64-bit
+	// hash collision.
+	byHash   map[uint64][]*pitEntry
 	capacity int
 	rejected uint64
 
@@ -72,7 +78,11 @@ type PIT struct {
 
 // NewPIT returns an empty, unbounded PIT.
 func NewPIT() *PIT {
-	return &PIT{entries: make(map[string]*pitEntry), expired: telemetry.NewCounter()}
+	return &PIT{
+		entries: make(map[string]*pitEntry),
+		byHash:  make(map[uint64][]*pitEntry),
+		expired: telemetry.NewCounter(),
+	}
 }
 
 // Instrument registers the table's expiry counter on the registry under
@@ -94,6 +104,9 @@ func (p *PIT) Expired() uint64 { return p.expired.Value() }
 
 // expire removes one lapsed entry and accounts for it.
 func (p *PIT) expire(key string, now time.Duration) {
+	if entry, found := p.entries[key]; found {
+		p.unindexHash(entry)
+	}
 	delete(p.entries, key)
 	p.expired.Inc()
 	if p.sink != nil {
@@ -151,7 +164,7 @@ func (p *PIT) Insert(interest *ndn.Interest, face FaceID, now time.Duration) Ins
 				return RejectedFull
 			}
 		}
-		p.entries[key] = &pitEntry{ //ndnlint:allow alloccheck — new-entry admission allocates by design
+		fresh := &pitEntry{ //ndnlint:allow alloccheck — new-entry admission allocates by design
 			name:    interest.Name,
 			faces:   map[FaceID]struct{}{face: {}},           //ndnlint:allow alloccheck — new-entry admission
 			nonces:  map[uint64]struct{}{interest.Nonce: {}}, //ndnlint:allow alloccheck — new-entry admission
@@ -159,6 +172,9 @@ func (p *PIT) Insert(interest *ndn.Interest, face FaceID, now time.Duration) Ins
 			created: now,
 			privacy: interest.Privacy == ndn.PrivacyRequested,
 		}
+		p.entries[key] = fresh //ndnlint:allow alloccheck — new-entry admission
+		h := interest.Name.Hash()
+		p.byHash[h] = append(p.byHash[h], fresh) //ndnlint:allow alloccheck — new-entry admission
 		return InsertedNew
 	}
 	if _, dup := entry.nonces[interest.Nonce]; dup {
@@ -198,40 +214,57 @@ func (p *PIT) Satisfy(data *ndn.Data, now time.Duration) []FaceID {
 }
 
 // SatisfyWithInfo is Satisfy plus the timing/privacy metadata the
-// forwarder needs for caching decisions.
+// forwarder needs for caching decisions. Prefix candidates are probed by
+// rolling hash (see ndn.MixComponentHash), so the match path neither
+// materializes prefix names nor synthesizes probe interests; the only
+// remaining allocations assemble the result face list (waived below,
+// pinned by the allocation budget).
 //
-// below (result assembly, prefix probes) are the next zero-copy target
-// and are pinned by the allocation budget.
-//
-//ndnlint:hotpath — runs on every arriving Data; the waived allocations
+//ndnlint:hotpath — runs on every arriving Data
 func (p *PIT) SatisfyWithInfo(data *ndn.Data, now time.Duration) (SatisfyResult, bool) {
 	faceSet := make(map[FaceID]struct{}) //ndnlint:allow alloccheck — result assembly
 	var res SatisfyResult
 	matched := false
-	// Candidate entries are exactly the prefixes of the data name.
-	for k := 0; k <= data.Name.Len(); k++ {
-		prefix := data.Name.Prefix(k) //ndnlint:allow alloccheck — prefix probe; zero-copy name views are the next PR
-		entry, found := p.entries[prefix.Key()]
-		if !found {
-			continue
+	// Candidate entries are exactly the prefixes of the data name. The
+	// rolling hash probes every prefix length without materializing a
+	// prefix name: folding component k takes the k-prefix hash to the
+	// (k+1)-prefix hash, matching what Insert cached via Name.Hash.
+	h := ndn.NameHashSeed()
+	for k := 0; ; k++ {
+		// Names are unique PIT keys, so at most one bucket entry is the
+		// exact k-prefix of the data name; find it before mutating the
+		// bucket (expire and remove swap entries around).
+		var hit *pitEntry
+		for _, entry := range p.byHash[h] {
+			if entry.name.Len() == k && entry.name.IsPrefixOf(data.Name) {
+				hit = entry
+				break
+			}
 		}
-		if now >= entry.expires {
-			p.expire(prefix.Key(), now)
-			continue
+		if hit != nil {
+			switch {
+			case now >= hit.expires:
+				p.expire(hit.name.Key(), now)
+			case !data.MatchesName(hit.name):
+				// Unpredictable-suffix restriction: a shorter pending
+				// prefix must not consume /…/<rand> content.
+			default:
+				if !matched || hit.created < res.FirstCreated {
+					res.FirstCreated = hit.created
+					res.PrivacyRequested = hit.privacy
+				}
+				matched = true
+				for f := range hit.faces {
+					faceSet[f] = struct{}{} //ndnlint:allow alloccheck — result assembly
+				}
+				p.unindexHash(hit)
+				delete(p.entries, hit.name.Key())
+			}
 		}
-		probe := &ndn.Interest{Name: entry.name} //ndnlint:allow alloccheck — synthetic probe interest
-		if !data.Matches(probe) {                //ndnlint:allow alloccheck — suffix check copies one component
-			continue
+		if k == data.Name.Len() {
+			break
 		}
-		if !matched || entry.created < res.FirstCreated {
-			res.FirstCreated = entry.created
-			res.PrivacyRequested = entry.privacy
-		}
-		matched = true
-		for f := range entry.faces {
-			faceSet[f] = struct{}{} //ndnlint:allow alloccheck — result assembly
-		}
-		delete(p.entries, prefix.Key())
+		h = ndn.MixComponentHash(h, data.Name.ComponentRef(k))
 	}
 	if !matched {
 		return SatisfyResult{}, false
@@ -252,6 +285,41 @@ func (p *PIT) SatisfyWithInfo(data *ndn.Data, now time.Duration) (SatisfyResult,
 func (p *PIT) HasPending(name ndn.Name, now time.Duration) bool {
 	entry, found := p.entries[name.Key()]
 	return found && now < entry.expires
+}
+
+// HasPendingView is HasPending for a zero-copy name view: the pending
+// probe taken directly over the wire buffer, keyed by the view's
+// precomputed hash and verified by full component comparison.
+//
+//ndnlint:hotpath — loop-detection probe on the wire Interest path; must not allocate
+func (p *PIT) HasPendingView(v *ndn.NameView, now time.Duration) bool {
+	for _, entry := range p.byHash[v.Hash()] {
+		if v.EqualName(entry.name) {
+			return now < entry.expires
+		}
+	}
+	return false
+}
+
+// unindexHash removes entry from its hash bucket with a swap-remove;
+// bucket order is irrelevant because lookups verify full equality.
+func (p *PIT) unindexHash(entry *pitEntry) {
+	h := entry.name.Hash()
+	bucket := p.byHash[h]
+	for i, e := range bucket {
+		if e != entry {
+			continue
+		}
+		bucket[i] = bucket[len(bucket)-1]
+		bucket[len(bucket)-1] = nil
+		bucket = bucket[:len(bucket)-1]
+		break
+	}
+	if len(bucket) == 0 {
+		delete(p.byHash, h)
+	} else {
+		p.byHash[h] = bucket //ndnlint:allow alloccheck — rewrites an existing key; cannot grow the map
+	}
 }
 
 // Expire removes every entry whose lifetime has passed and returns the

@@ -234,11 +234,11 @@ func nameToURLParts(name ndn.Name) (host, path string) {
 	case name.Len() >= 3:
 		comps := make([]string, 0, name.Len()-2)
 		for i := 2; i < name.Len(); i++ {
-			comps = append(comps, string(name.Component(i)))
+			comps = append(comps, string(name.ComponentRef(i)))
 		}
-		return string(name.Component(1)), strings.Join(comps, "/")
+		return string(name.ComponentRef(1)), strings.Join(comps, "/")
 	case name.Len() == 2:
-		return string(name.Component(1)), ""
+		return string(name.ComponentRef(1)), ""
 	default:
 		return "unknown", ""
 	}

@@ -1,8 +1,8 @@
 #!/usr/bin/env bash
 # bench.sh — run the benchmark suites that watch the simulator's hot
 # paths (ndn wire handling, cache, forwarding, trace replay, core
-# countermeasures, whole-tree alloccheck) and write a machine-readable
-# summary.
+# countermeasures, whole-tree alloccheck and viewsafe) and write a
+# machine-readable summary.
 #
 # Usage:
 #   scripts/bench.sh [output.json]
@@ -11,11 +11,15 @@
 #   BENCHTIME  go test -benchtime value (default 1x: one iteration per
 #              benchmark, a smoke run; use e.g. 2s locally for stable
 #              numbers)
+#   BENCH_OUT  default output filename when no argument is given
 #
 # Output: one JSON array of {suite, name, iterations, ns_per_op,
-# bytes_per_op, allocs_per_op} objects, default BENCH_PR5.json in the
-# repo root. ns/B/allocs fields are null when a benchmark did not report
-# them (e.g. without -benchmem equivalents in its output line).
+# bytes_per_op, allocs_per_op} objects in the repo root. The output name
+# is per-PR (BENCH_PR7.json for this one) so BENCH_*.json snapshots
+# accumulate into a perf trajectory instead of overwriting each other;
+# CI pins the name explicitly via BENCH_OUT. ns/B/allocs fields are null
+# when a benchmark did not report them (e.g. without -benchmem
+# equivalents in its output line).
 #
 # The experiments suite carries BenchmarkFigure5Sweep/{serial,parallel8}:
 # the same grid replayed at -parallel 1 and 8, the sweep-engine
@@ -23,7 +27,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_PR5.json}"
+out="${1:-${BENCH_OUT:-BENCH_PR7.json}}"
 benchtime="${BENCHTIME:-1x}"
 suites=(ndn cache fwd trace core experiments lint)
 
