@@ -9,7 +9,8 @@
 //
 //	ndnsim -fig 3a|3b|3c|3d|seg|scope|corr|loss|counter|conv|place|all
 //	       [-objects N] [-runs N] [-seed S] [-parallel N] [-json]
-//	       [-metrics FILE] [-trace FILE]
+//	       [-metrics FILE] [-trace FILE] [-spans FILE]
+//	       [-profile FILE] [-selfprofile N]
 //
 // The paper's scale is -objects 1000 -runs 50; defaults are smaller so a
 // full sweep finishes in seconds. With -json, structured results are
@@ -25,6 +26,22 @@
 // record per forwarding decision, cache transition, countermeasure coin,
 // and adversary probe, stamped with virtual time. Both outputs are
 // byte-identical across runs with the same seed.
+//
+// -spans records causal interest-lifecycle spans for the figure-3
+// simulations: one root span per consumer-admitted interest plus child
+// spans for forwarder hops, link traversals, PIT aggregation, cache
+// lookups and countermeasure decisions, all in deterministic virtual
+// time. FILE ending in .json selects Chrome trace_event form (open it
+// in Perfetto or chrome://tracing); anything else writes NDJSON. Span
+// output is byte-identical across runs with the same seed and any
+// -parallel value.
+//
+// -profile writes a CPU profile of the whole invocation; per-cell
+// pprof labels ("sweep_cell") attribute samples to grid cells.
+// -selfprofile N samples the simulator event loop every Nth event
+// (wall time and allocations per event kind and scenario phase) and
+// prints the table to stderr; it observes wall-clock cost only and
+// never perturbs virtual-time results.
 package main
 
 import (
@@ -32,10 +49,13 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 
 	"ndnprivacy/internal/attack"
 	"ndnprivacy/internal/experiments"
+	"ndnprivacy/internal/netsim"
 	"ndnprivacy/internal/telemetry"
+	"ndnprivacy/internal/telemetry/span"
 )
 
 func main() {
@@ -54,10 +74,24 @@ func run() error {
 	paper := flag.Bool("paper", false, "run at the paper's scale (-objects 1000 -runs 50)")
 	metricsPath := flag.String("metrics", "", "write a metrics snapshot of the figure-3 simulations (.json → JSON, else Prometheus text)")
 	tracePath := flag.String("trace", "", "write an NDJSON virtual-time event trace of the figure-3 simulations")
+	spansPath := flag.String("spans", "", "write interest-lifecycle spans of the figure-3 simulations (.json → Chrome trace_event, else NDJSON)")
+	profilePath := flag.String("profile", "", "write a CPU profile of the whole invocation (go tool pprof; sweep cells carry pprof labels)")
+	selfProfile := flag.Int("selfprofile", 0, "sample the simulator event loop every Nth event and print per-kind/per-phase cost to stderr (0 = off)")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "worker pool size for independent trials (output is identical for any value)")
 	flag.Parse()
 	if *paper {
 		*objects, *runs = 1000, 50
+	}
+	if *profilePath != "" {
+		profFile, err := os.Create(*profilePath)
+		if err != nil {
+			return err
+		}
+		defer profFile.Close()
+		if err := pprof.StartCPUProfile(profFile); err != nil {
+			return fmt.Errorf("profile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
 	}
 
 	switch *fig {
@@ -83,11 +117,23 @@ func run() error {
 		tracer = telemetry.NewTraceWriter(traceFile)
 		sink = tracer
 	}
+	var spanTracer *span.Tracer
+	if *spansPath != "" {
+		spanTracer = span.NewTracer(*seed)
+	}
+	var profiler *netsim.Profiler
+	if *selfProfile > 0 {
+		profiler = netsim.NewProfiler(*selfProfile)
+		cfg.Observe = func(run int, sim *netsim.Simulator) {
+			sim.SetProfiler(profiler)
+		}
+	}
 	// The sweep engine gives each run a private registry and trace
 	// buffer and merges them here in run order, so these outputs stay
 	// byte-identical at any -parallel value.
 	cfg.Metrics = reg
 	cfg.Trace = sink
+	cfg.Spans = spanTracer
 	all := *fig == "all"
 	report := experiments.NewReporter(os.Stdout, *jsonMode)
 
@@ -181,6 +227,14 @@ func run() error {
 		if err := reg.Snapshot().WriteFile(*metricsPath); err != nil {
 			return fmt.Errorf("metrics: %w", err)
 		}
+	}
+	if spanTracer != nil {
+		if err := span.WriteFile(*spansPath, spanTracer.Records()); err != nil {
+			return fmt.Errorf("spans: %w", err)
+		}
+	}
+	if profiler != nil {
+		fmt.Fprint(os.Stderr, profiler.Render())
 	}
 	return nil
 }

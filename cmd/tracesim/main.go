@@ -8,7 +8,7 @@
 //
 //	tracesim -fig 5a|5b|ablate|all [-requests N] [-seed S]
 //	         [-private 0.1] [-k 5] [-eps 0.005] [-parallel N] [-json]
-//	         [-metrics FILE] [-trace FILE]
+//	         [-metrics FILE] [-trace FILE] [-spans FILE] [-profile FILE]
 //
 // The paper's scale is -requests 3200000; the default keeps a full sweep
 // under a minute. -parallel replays independent grid cells on a worker
@@ -23,6 +23,12 @@
 // -trace streams an NDJSON record per cache insert/evict and
 // countermeasure coin, labeled per (figure, algorithm, cache size)
 // cell. Both apply to the 5a/5b replays and -squidlog runs.
+//
+// -spans records cache-residency spans (entry insert → eviction, in
+// deterministic virtual time) for the 5a/5b grid cells, merged in grid
+// order; FILE ending in .json selects Chrome trace_event form, else
+// NDJSON. -profile writes a CPU profile of the whole invocation with
+// per-cell "sweep_cell" pprof labels.
 package main
 
 import (
@@ -31,11 +37,13 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 
 	"ndnprivacy/internal/core"
 	"ndnprivacy/internal/experiments"
 	"ndnprivacy/internal/sweep"
 	"ndnprivacy/internal/telemetry"
+	"ndnprivacy/internal/telemetry/span"
 	"ndnprivacy/internal/trace"
 )
 
@@ -58,8 +66,22 @@ func run() error {
 	cacheSize := flag.Int("cache", 2000, "cache size for -squidlog replay (0 = unlimited)")
 	metricsPath := flag.String("metrics", "", "write a metrics snapshot of the replayed caches (.json → JSON, else Prometheus text)")
 	tracePath := flag.String("trace", "", "write an NDJSON event trace of the replayed caches")
+	spansPath := flag.String("spans", "", "write cache-residency spans of the 5a/5b replays (.json → Chrome trace_event, else NDJSON)")
+	profilePath := flag.String("profile", "", "write a CPU profile of the whole invocation (go tool pprof; grid cells carry pprof labels)")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "worker pool size for independent grid cells (output is identical for any value)")
 	flag.Parse()
+
+	if *profilePath != "" {
+		profFile, err := os.Create(*profilePath)
+		if err != nil {
+			return err
+		}
+		defer profFile.Close()
+		if err := pprof.StartCPUProfile(profFile); err != nil {
+			return fmt.Errorf("profile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	var reg *telemetry.Registry
 	if *metricsPath != "" {
@@ -76,6 +98,10 @@ func run() error {
 		tracer = telemetry.NewTraceWriter(traceFile)
 		sink = tracer
 	}
+	var spanTracer *span.Tracer
+	if *spansPath != "" {
+		spanTracer = span.NewTracer(*seed)
+	}
 	finishTelemetry := func() error {
 		if tracer != nil {
 			if err := tracer.Flush(); err != nil {
@@ -85,6 +111,11 @@ func run() error {
 		if reg != nil {
 			if err := reg.Snapshot().WriteFile(*metricsPath); err != nil {
 				return fmt.Errorf("metrics: %w", err)
+			}
+		}
+		if spanTracer != nil {
+			if err := span.WriteFile(*spansPath, spanTracer.Records()); err != nil {
+				return fmt.Errorf("spans: %w", err)
 			}
 		}
 		return nil
@@ -112,6 +143,7 @@ func run() error {
 		Parallel:        *parallel,
 		Metrics:         reg,
 		Trace:           sink,
+		Spans:           spanTracer,
 	}
 	all := *fig == "all"
 	report := experiments.NewReporter(os.Stdout, *jsonMode)

@@ -1,0 +1,85 @@
+package attack
+
+import (
+	"time"
+
+	"ndnprivacy/internal/telemetry/span"
+)
+
+// GroundTruth scores the timing adversary's hit/miss inference against
+// causal span ground truth. The prober only sees RTTs; the span trace
+// records whether a cache actually served each probe. Comparing the two
+// quantifies how much of the paper's "probability of determining whether
+// C is retrieved from R's cache" survives in a given scenario.
+type GroundTruth struct {
+	// Probes is the number of classified probe fetches (timeouts are
+	// excluded — the classifier never sees an RTT for them).
+	Probes int
+	// Hits and Misses count the ground-truth classes: a hit is a probe
+	// some cache on the path served.
+	Hits, Misses int
+	// Agreements counts probes where the threshold classifier matched
+	// ground truth; Accuracy is Agreements/Probes.
+	Agreements int
+	Accuracy   float64
+	// Mismatches lists every disagreement, for diagnosing which latency
+	// component misled the classifier.
+	Mismatches []GroundTruthMismatch
+}
+
+// GroundTruthMismatch is one probe the threshold classifier got wrong.
+type GroundTruthMismatch struct {
+	// Trace identifies the probe fetch; Name is the probed content.
+	Trace uint64
+	Name  string
+	// TotalMS is the RTT the classifier saw.
+	TotalMS float64
+	// PredictedHit is the classifier's call; the ground truth is its
+	// negation (this is a mismatch).
+	PredictedHit bool
+	// ServedBy names the serving cache when the probe was actually a
+	// hit; empty for a true miss the classifier called a hit.
+	ServedBy string
+}
+
+// LatencyGroundTruth replays the prober's single-threshold classifier
+// over span-derived latency decompositions and scores it against causal
+// ground truth. records is a full scenario span set (e.g. from
+// ScenarioConfig.Spans); proberNode filters root spans to fetches issued
+// at the adversary's host forwarder, so honest-consumer traffic on other
+// nodes is ignored. On topologies where the adversary shares a forwarder
+// with honest consumers (Figure 3(d)'s local daemon), pass the shared
+// node and expect the honest fetches to be scored too. thresholdMS is
+// the classifier cut, normally Result.Threshold: RTT ≤ threshold ⇒ hit,
+// matching stats.ThresholdAccuracy's orientation.
+func LatencyGroundTruth(records []span.Record, proberNode string, thresholdMS float64) GroundTruth {
+	var gt GroundTruth
+	for _, d := range span.Analyze(records) {
+		if d.Node != proberNode || d.TimedOut {
+			continue
+		}
+		gt.Probes++
+		if d.CacheServed {
+			gt.Hits++
+		} else {
+			gt.Misses++
+		}
+		totalMS := float64(d.TotalNS) / float64(time.Millisecond)
+		predictedHit := totalMS <= thresholdMS
+		if predictedHit == d.CacheServed {
+			gt.Agreements++
+			continue
+		}
+		gt.Mismatches = append(gt.Mismatches, GroundTruthMismatch{
+			Trace:        d.Trace,
+			Name:         d.Name,
+			TotalMS:      totalMS,
+			PredictedHit: predictedHit,
+			ServedBy:     d.ServedBy,
+		})
+	}
+	if gt.Probes > 0 {
+		gt.Accuracy = float64(gt.Agreements) / float64(gt.Probes)
+	}
+	return gt
+}

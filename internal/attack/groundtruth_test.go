@@ -1,0 +1,124 @@
+package attack
+
+import (
+	"bytes"
+	"math"
+	"reflect"
+	"testing"
+
+	"ndnprivacy/internal/core"
+	"ndnprivacy/internal/netsim"
+	"ndnprivacy/internal/telemetry/span"
+)
+
+// TestLatencyGroundTruthLAN is the tentpole acceptance check: the span
+// trace of a scenario run, exported to Chrome trace_event form and
+// decoded back, yields per-interest latency decompositions whose
+// hit/miss ground truth agrees with the prober's threshold classifier
+// at the classifier's own accuracy.
+func TestLatencyGroundTruthLAN(t *testing.T) {
+	tracer := span.NewTracer(11)
+	res, err := RunLAN(ScenarioConfig{Seed: 11, Objects: 40, Runs: 2, Spans: tracer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	records := tracer.Records()
+	if len(records) == 0 {
+		t.Fatal("scenario produced no span records")
+	}
+
+	// The decomposition must survive the Chrome export round trip: the
+	// ground-truth check below runs on decoded records, not the live
+	// tracer.
+	var buf bytes.Buffer
+	if err := span.WriteChrome(&buf, records); err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := span.DecodeChrome(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(records, decoded) {
+		t.Fatal("chrome trace round trip altered span records")
+	}
+
+	gt := LatencyGroundTruth(decoded, "A", res.Threshold)
+	wantProbes := len(res.Hit) + len(res.Miss)
+	if gt.Probes != wantProbes {
+		t.Errorf("ground truth saw %d probes, prober issued %d", gt.Probes, wantProbes)
+	}
+	if gt.Hits != len(res.Hit) || gt.Misses != len(res.Miss) {
+		t.Errorf("ground-truth classes %d hit / %d miss, prober labels %d/%d",
+			gt.Hits, gt.Misses, len(res.Hit), len(res.Miss))
+	}
+	// On the LAN topology the threshold classifier is near-perfect, and
+	// its span-scored accuracy must match the distribution-derived one.
+	if gt.Accuracy < 0.99 {
+		t.Errorf("span-scored accuracy = %g, want ≥ 0.99", gt.Accuracy)
+	}
+	if diff := math.Abs(gt.Accuracy - res.Accuracy); diff > 0.02 {
+		t.Errorf("span-scored accuracy %g deviates from threshold accuracy %g by %g",
+			gt.Accuracy, res.Accuracy, diff)
+	}
+	for _, m := range gt.Mismatches {
+		t.Logf("mismatch: trace=%016x name=%s rtt=%.3fms predictedHit=%v servedBy=%q",
+			m.Trace, m.Name, m.TotalMS, m.PredictedHit, m.ServedBy)
+	}
+}
+
+// TestLatencyGroundTruthCountermeasure checks the other direction: with
+// Always-Delay active the classifier collapses toward a coin flip, and
+// the span ground truth must report that collapse rather than mirror
+// the (now wrong) predictions.
+func TestLatencyGroundTruthCountermeasure(t *testing.T) {
+	tracer := span.NewTracer(12)
+	res, err := RunLAN(ScenarioConfig{
+		Seed:        12,
+		Objects:     40,
+		Runs:        2,
+		MarkPrivate: true,
+		Spans:       tracer,
+		Manager: func(*netsim.Simulator) core.CacheManager {
+			m, err := core.NewDelayManager(core.NewContentSpecificDelay())
+			if err != nil {
+				panic(err)
+			}
+			return m
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gt := LatencyGroundTruth(tracer.Records(), "A", res.Threshold)
+	if gt.Probes != len(res.Hit)+len(res.Miss) {
+		t.Fatalf("ground truth saw %d probes, want %d", gt.Probes, len(res.Hit)+len(res.Miss))
+	}
+	// Ground truth still knows which probes the cache served even though
+	// the classifier cannot tell: hits stay hits causally.
+	if gt.Hits != len(res.Hit) {
+		t.Errorf("ground-truth hits = %d, want %d (cache served every primed probe)", gt.Hits, len(res.Hit))
+	}
+	if diff := math.Abs(gt.Accuracy - res.Accuracy); diff > 0.05 {
+		t.Errorf("span-scored accuracy %g deviates from threshold accuracy %g", gt.Accuracy, res.Accuracy)
+	}
+	if gt.Accuracy > 0.8 {
+		t.Errorf("classifier beat the countermeasure with %g accuracy under span scoring", gt.Accuracy)
+	}
+}
+
+// TestSpansDoNotPerturbScenario asserts telemetry non-perturbation:
+// attaching a span tracer changes no measured RTT and no derived
+// statistic.
+func TestSpansDoNotPerturbScenario(t *testing.T) {
+	base, err := RunLAN(ScenarioConfig{Seed: 13, Objects: 24, Runs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	traced, err := RunLAN(ScenarioConfig{Seed: 13, Objects: 24, Runs: 2, Spans: span.NewTracer(13)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(base, traced) {
+		t.Errorf("span tracing perturbed the scenario result:\n%+v\nvs\n%+v", base, traced)
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"ndnprivacy/internal/stats"
 	"ndnprivacy/internal/sweep"
 	"ndnprivacy/internal/telemetry"
+	"ndnprivacy/internal/telemetry/span"
 )
 
 // ScenarioConfig parameterizes one Figure 3 experiment.
@@ -44,6 +45,9 @@ type ScenarioConfig struct {
 	// stamps a run_start trace record per run.
 	Metrics *telemetry.Registry `json:"-"`
 	Trace   telemetry.Sink      `json:"-"`
+	// Spans, when non-nil, collects every run's interest-lifecycle spans
+	// (see internal/telemetry/span), merged in run order like Trace.
+	Spans *span.Tracer `json:"-"`
 	// Observe, when non-nil, is invoked with each run's freshly built
 	// simulator before any topology exists — an escape hatch for
 	// attaching custom telemetry (Simulator.SetTelemetry) directly.
@@ -136,6 +140,7 @@ func runScenarioBatch(label string, cfg ScenarioConfig, runOne func(sim *netsim.
 			Run: func(seed int64, prov telemetry.Provider) (runSample, error) {
 				sim := netsim.New(seed)
 				sim.SetTelemetry(prov.Metrics(), prov.TraceSink())
+				sim.SetSpans(prov.Spans())
 				telemetry.Emit(prov.TraceSink(), telemetry.Event{
 					At:   int64(sim.Now()),
 					Type: telemetry.EvRunStart,
@@ -155,6 +160,7 @@ func runScenarioBatch(label string, cfg ScenarioConfig, runOne func(sim *netsim.
 		Parallel: parallel,
 		Metrics:  cfg.Metrics,
 		Trace:    cfg.Trace,
+		Spans:    cfg.Spans,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("attack: %s: %w", label, err)
@@ -267,6 +273,7 @@ func runConsumerScenario(label string, cfg ScenarioConfig, extraEdgeRouters int,
 	}
 	return runScenarioBatch(label, cfg, func(sim *netsim.Simulator) (runSample, error) {
 		var sample runSample
+		sim.SetPhase("build")
 		var manager core.CacheManager
 		if cfg.Manager != nil {
 			manager = cfg.Manager(sim)
@@ -362,6 +369,7 @@ func runConsumerScenario(label string, cfg ScenarioConfig, extraEdgeRouters int,
 		}
 
 		// Miss samples: Adv requests the first half cold.
+		sim.SetPhase("probe-miss")
 		for i := 0; i < half; i++ {
 			rtt, err := adv.Probe(objectName(i))
 			if err != nil {
@@ -370,9 +378,11 @@ func runConsumerScenario(label string, cfg ScenarioConfig, extraEdgeRouters int,
 			sample.miss = append(sample.miss, ms(rtt))
 		}
 		// Hit samples: U primes the second half, then Adv probes.
+		sim.SetPhase("prime")
 		for i := half; i < cfg.Objects; i++ {
 			fetchSync(sim, user, objectName(i))
 		}
+		sim.SetPhase("probe-hit")
 		for i := half; i < cfg.Objects; i++ {
 			rtt, err := adv.Probe(objectName(i))
 			if err != nil {
@@ -397,6 +407,7 @@ func RunProducerPrivacy(cfg ScenarioConfig) (*Result, error) {
 	}
 	return runScenarioBatch("producer", cfg, func(sim *netsim.Simulator) (runSample, error) {
 		var sample runSample
+		sim.SetPhase("build")
 		var manager core.CacheManager
 		if cfg.Manager != nil {
 			manager = cfg.Manager(sim)
@@ -481,6 +492,7 @@ func RunProducerPrivacy(cfg ScenarioConfig) (*Result, error) {
 		}
 
 		// Miss: nobody requested; Adv's probe travels to P.
+		sim.SetPhase("probe-miss")
 		for i := 0; i < half; i++ {
 			rtt, err := adv.Probe(objectName(i))
 			if err != nil {
@@ -489,9 +501,11 @@ func RunProducerPrivacy(cfg ScenarioConfig) (*Result, error) {
 			sample.miss = append(sample.miss, ms(rtt))
 		}
 		// Hit: U recently fetched, so R serves from cache.
+		sim.SetPhase("prime")
 		for i := half; i < cfg.Objects; i++ {
 			fetchSync(sim, user, objectName(i))
 		}
+		sim.SetPhase("probe-hit")
 		for i := half; i < cfg.Objects; i++ {
 			rtt, err := adv.Probe(objectName(i))
 			if err != nil {
@@ -515,6 +529,7 @@ func RunLocalHost(cfg ScenarioConfig) (*Result, error) {
 	}
 	return runScenarioBatch("local", cfg, func(sim *netsim.Simulator) (runSample, error) {
 		var sample runSample
+		sim.SetPhase("build")
 		var manager core.CacheManager
 		if cfg.Manager != nil {
 			manager = cfg.Manager(sim)
@@ -558,6 +573,7 @@ func RunLocalHost(cfg ScenarioConfig) (*Result, error) {
 			return sample, err
 		}
 
+		sim.SetPhase("probe-miss")
 		for i := 0; i < half; i++ {
 			rtt, err := malicious.Probe(objectName(i))
 			if err != nil {
@@ -565,9 +581,11 @@ func RunLocalHost(cfg ScenarioConfig) (*Result, error) {
 			}
 			sample.miss = append(sample.miss, ms(rtt))
 		}
+		sim.SetPhase("prime")
 		for i := half; i < cfg.Objects; i++ {
 			fetchSync(sim, honest, objectName(i))
 		}
+		sim.SetPhase("probe-hit")
 		for i := half; i < cfg.Objects; i++ {
 			rtt, err := malicious.Probe(objectName(i))
 			if err != nil {

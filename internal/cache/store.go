@@ -6,6 +6,7 @@ import (
 
 	"ndnprivacy/internal/ndn"
 	"ndnprivacy/internal/telemetry"
+	"ndnprivacy/internal/telemetry/span"
 )
 
 // Entry is one cached content object plus the metadata the paper's cache
@@ -42,6 +43,9 @@ type Entry struct {
 	// shares Random-Cache state with (Section VI, "Addressing Content
 	// Correlation").
 	GroupKey string
+	// residency is the open cache-lifetime span (insert → eviction);
+	// nil when span tracing is disabled.
+	residency *span.Record
 }
 
 // IsStale reports whether the entry's freshness period has lapsed at
@@ -74,6 +78,7 @@ type Store struct {
 	misses     *telemetry.Counter
 	sink       telemetry.Sink
 	node       string
+	spans      *span.Tracer
 }
 
 // NewStore creates a store with the given capacity and eviction policy.
@@ -147,6 +152,34 @@ func (s *Store) Instrument(reg *telemetry.Registry, sink telemetry.Sink, node st
 	s.node = node
 }
 
+// InstrumentSpans attaches a span tracer recording cache-residency
+// spans (one per entry, insert → eviction) under the given node label.
+// A nil tracer disables residency recording.
+func (s *Store) InstrumentSpans(tr *span.Tracer, node string) {
+	s.spans = tr
+	if node != "" {
+		s.node = node
+	}
+}
+
+// FinishSpans closes every still-open residency span at virtual time
+// now with action "resident" — call once at end of run so entries that
+// were never evicted still export a bounded span. The walk follows the
+// sorted name index, so output order is deterministic.
+func (s *Store) FinishSpans(now time.Duration) {
+	if s.spans == nil {
+		return
+	}
+	for _, name := range s.index.all() {
+		entry, found := s.entries[name.Key()]
+		if !found || entry.residency == nil {
+			continue
+		}
+		s.spans.End(entry.residency, int64(now), "resident")
+		entry.residency = nil
+	}
+}
+
 // adoptCounter registers a node-labeled counter and folds the standalone
 // counter's running total into it.
 func adoptCounter(reg *telemetry.Registry, name, node string, old *telemetry.Counter) *telemetry.Counter {
@@ -194,6 +227,11 @@ func (s *Store) Insert(data *ndn.Data, now, fetchDelay time.Duration) *Entry {
 		InsertedAt: now,
 		FetchDelay: fetchDelay,
 		Private:    data.IsPrivate(),
+	}
+	if s.spans != nil {
+		// Residency spans live outside any trace (zero context): one
+		// entry serves many fetches across its cache lifetime.
+		entry.residency, _ = s.spans.Begin(span.Context{}, span.KindResidency, s.node, key, int64(now))
 	}
 	s.entries[key] = entry
 	h := data.Name.Hash()
@@ -338,6 +376,10 @@ func (s *Store) removeKey(key string, now time.Duration, reason string) {
 	s.unindexHash(entry)
 	s.index.remove(entry.Data.Name)
 	s.policy.OnRemove(key)
+	if entry.residency != nil {
+		s.spans.End(entry.residency, int64(now), reason)
+		entry.residency = nil
+	}
 	s.emit(telemetry.EvCSEvict, key, now, reason)
 	if s.onEvict != nil {
 		s.onEvict(entry)

@@ -29,6 +29,7 @@ import (
 	"ndnprivacy/internal/cache"
 	"ndnprivacy/internal/ndn"
 	"ndnprivacy/internal/telemetry"
+	"ndnprivacy/internal/telemetry/span"
 )
 
 // Action says how the router must respond to an interest that matched
@@ -97,6 +98,15 @@ type CacheManager interface {
 // the manager's events.
 type TraceInstrumentable interface {
 	SetTraceSink(sink telemetry.Sink, node string)
+}
+
+// SpanInstrumentable is implemented by cache managers that record their
+// randomized decisions as causal spans (the Random-Cache family's
+// threshold coin becomes a cm_coin child of the triggering interest's
+// hop). The forwarder wires the tracer automatically when span tracing
+// is enabled.
+type SpanInstrumentable interface {
+	SetSpanTracer(tr *span.Tracer, node string)
 }
 
 // NoPrivacy is the baseline CM: every cache hit is revealed immediately.

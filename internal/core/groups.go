@@ -8,6 +8,7 @@ import (
 	"ndnprivacy/internal/cache"
 	"ndnprivacy/internal/ndn"
 	"ndnprivacy/internal/telemetry"
+	"ndnprivacy/internal/telemetry/span"
 )
 
 // Section VI, "Addressing Content Correlation": Random-Cache assumes
@@ -74,6 +75,7 @@ type GroupedRandomCache struct {
 	group  GroupFunc
 	sink   telemetry.Sink
 	node   string
+	spans  *span.Tracer
 }
 
 var _ CacheManager = (*GroupedRandomCache)(nil)
@@ -101,6 +103,13 @@ func NewGroupedRandomCache(dist KDistribution, rng *rand.Rand, group GroupFunc) 
 // every fresh per-group threshold draw.
 func (m *GroupedRandomCache) SetTraceSink(sink telemetry.Sink, node string) {
 	m.sink = sink
+	m.node = node
+}
+
+// SetSpanTracer implements SpanInstrumentable: per-group threshold
+// draws become cm_coin spans parented under the triggering packet.
+func (m *GroupedRandomCache) SetSpanTracer(tr *span.Tracer, node string) {
+	m.spans = tr
 	m.node = node
 }
 
@@ -170,6 +179,14 @@ func (m *GroupedRandomCache) stateFor(entry *cache.Entry, now time.Duration) *gr
 					Name:  key,
 					Value: threshold,
 				})
+			}
+			if m.spans != nil {
+				// The cached Data carries the local hop's span context,
+				// so the draw parents under the hop that cached it.
+				if tid, sid := entry.Data.SpanContext(); tid != 0 {
+					m.spans.Span(span.Context{Trace: tid, Span: sid}, span.KindCoin,
+						m.node, key, "draw", int64(now), int64(now), threshold)
+				}
 			}
 		}
 	}

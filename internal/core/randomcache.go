@@ -10,6 +10,7 @@ import (
 	"ndnprivacy/internal/cache"
 	"ndnprivacy/internal/ndn"
 	"ndnprivacy/internal/telemetry"
+	"ndnprivacy/internal/telemetry/span"
 )
 
 // KDistribution is the distribution of the per-content threshold k_C in
@@ -205,10 +206,11 @@ func (n *NaiveK) Name() string { return fmt.Sprintf("naive(k=%d)", n.k) }
 // point a fresh k_C is drawn, exactly as Algorithm 1 re-initializes
 // content not in T.
 type RandomCache struct {
-	dist KDistribution
-	rng  *rand.Rand
-	sink telemetry.Sink
-	node string
+	dist  KDistribution
+	rng   *rand.Rand
+	sink  telemetry.Sink
+	node  string
+	spans *span.Tracer
 }
 
 var _ CacheManager = (*RandomCache)(nil)
@@ -231,6 +233,13 @@ func (m *RandomCache) SetTraceSink(sink telemetry.Sink, node string) {
 	m.node = node
 }
 
+// SetSpanTracer implements SpanInstrumentable: threshold draws become
+// cm_coin spans parented under the triggering packet's span context.
+func (m *RandomCache) SetSpanTracer(tr *span.Tracer, node string) {
+	m.spans = tr
+	m.node = node
+}
+
 // OnCacheHit implements CacheManager.
 //
 //ndnlint:hotpath — per-hit privacy decision (Algorithm 1) inside the latency the adversary measures
@@ -239,7 +248,7 @@ func (m *RandomCache) OnCacheHit(entry *cache.Entry, interest *ndn.Interest, now
 	if !EffectivePrivacy(entry, interest) {
 		return serveNow()
 	}
-	m.ensureThreshold(entry, now)
+	m.ensureThreshold(entry, now, interest.TraceID, interest.SpanID)
 	entry.Counter++
 	if entry.Counter <= entry.Threshold {
 		return Decision{Action: ActionMiss}
@@ -251,11 +260,14 @@ func (m *RandomCache) OnCacheHit(entry *cache.Entry, interest *ndn.Interest, now
 func (m *RandomCache) OnContentCached(entry *cache.Entry, _ time.Duration, now time.Duration) {
 	// The initial fetch is Algorithm 1's unconditional first miss; it
 	// initializes c_C = 0 and draws k_C. Re-fetches caused by disguised
-	// misses land on the same live entry and must not redraw.
-	m.ensureThreshold(entry, now)
+	// misses land on the same live entry and must not redraw. The
+	// cached Data carries the local hop's span context, so the coin
+	// span parents under the hop that fetched the content.
+	tid, sid := entry.Data.SpanContext()
+	m.ensureThreshold(entry, now, tid, sid)
 }
 
-func (m *RandomCache) ensureThreshold(entry *cache.Entry, now time.Duration) {
+func (m *RandomCache) ensureThreshold(entry *cache.Entry, now time.Duration, tid, sid uint64) {
 	if entry.ThresholdSet {
 		return
 	}
@@ -270,6 +282,10 @@ func (m *RandomCache) ensureThreshold(entry *cache.Entry, now time.Duration) {
 			Name:  entry.Data.Name.Key(),
 			Value: entry.Threshold,
 		})
+	}
+	if m.spans != nil && tid != 0 {
+		m.spans.Span(span.Context{Trace: tid, Span: sid}, span.KindCoin, m.node,
+			entry.Data.Name.Key(), "draw", int64(now), int64(now), entry.Threshold)
 	}
 }
 

@@ -14,6 +14,7 @@ import (
 	"ndnprivacy/internal/core"
 	"ndnprivacy/internal/netsim"
 	"ndnprivacy/internal/telemetry"
+	"ndnprivacy/internal/telemetry/span"
 )
 
 // Figure3Config scales the timing-attack experiments. The paper used
@@ -34,6 +35,9 @@ type Figure3Config struct {
 	// run order.
 	Metrics *telemetry.Registry `json:"-"`
 	Trace   telemetry.Sink      `json:"-"`
+	// Spans, when non-nil, collects every run's interest-lifecycle spans,
+	// merged in run order like Trace.
+	Spans *span.Tracer `json:"-"`
 	// Observe is forwarded to every attack run's ScenarioConfig so the
 	// caller can attach telemetry to each fresh simulator. Shared state
 	// it writes is only deterministic under serial execution; prefer
@@ -52,6 +56,7 @@ func (c Figure3Config) scenario() attack.ScenarioConfig {
 		Parallel: c.Parallel,
 		Metrics:  c.Metrics,
 		Trace:    c.Trace,
+		Spans:    c.Spans,
 		Observe:  c.Observe,
 	}
 }

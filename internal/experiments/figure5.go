@@ -8,6 +8,7 @@ import (
 	"ndnprivacy/internal/core"
 	"ndnprivacy/internal/sweep"
 	"ndnprivacy/internal/telemetry"
+	"ndnprivacy/internal/telemetry/span"
 	"ndnprivacy/internal/trace"
 )
 
@@ -38,6 +39,9 @@ type Figure5Config struct {
 	// wiring, not results.
 	Metrics *telemetry.Registry `json:"-"`
 	Trace   telemetry.Sink      `json:"-"`
+	// Spans, when non-nil, collects each replay cell's cache-residency
+	// spans, merged in grid order.
+	Spans *span.Tracer `json:"-"`
 }
 
 func (c *Figure5Config) setDefaults() {
@@ -154,6 +158,7 @@ func replayCell(cfg Figure5Config, frac float64, algo string, size int, node str
 		Manager:   manager,
 		Metrics:   prov.Metrics(),
 		Trace:     prov.TraceSink(),
+		Spans:     prov.Spans(),
 		Node:      node,
 	})
 	if err != nil {
@@ -210,6 +215,7 @@ func runFigure5Cells(cfg Figure5Config, cells []sweep.Cell[Figure5Row]) ([]Figur
 		Parallel: parallel,
 		Metrics:  cfg.Metrics,
 		Trace:    cfg.Trace,
+		Spans:    cfg.Spans,
 	})
 	rows := make([]Figure5Row, 0, len(results))
 	for _, row := range results {

@@ -7,21 +7,24 @@ import (
 
 	"ndnprivacy/internal/attack"
 	"ndnprivacy/internal/telemetry"
+	"ndnprivacy/internal/telemetry/span"
 )
 
 // figure5aArtifacts runs a small Figure 5(a) sweep at the given
 // parallelism and returns the result rows as JSON plus the merged
-// Prometheus exposition and trace stream.
-func figure5aArtifacts(t *testing.T, parallel int) (rowsJSON, prom []byte, events []telemetry.Event) {
+// Prometheus exposition, trace stream, and span stream (as NDJSON).
+func figure5aArtifacts(t *testing.T, parallel int) (rowsJSON, prom []byte, events []telemetry.Event, spansNDJSON []byte) {
 	t.Helper()
 	reg := telemetry.NewRegistry()
 	rec := telemetry.NewRecorder()
+	spans := span.NewTracer(3)
 	res, err := Figure5a(Figure5Config{
 		Seed:     3,
 		Requests: 4000,
 		Parallel: parallel,
 		Metrics:  reg,
 		Trace:    rec,
+		Spans:    spans,
 	})
 	if err != nil {
 		t.Fatalf("parallel=%d: %v", parallel, err)
@@ -34,18 +37,25 @@ func figure5aArtifacts(t *testing.T, parallel int) (rowsJSON, prom []byte, event
 	if err := reg.Snapshot().WritePrometheus(&buf); err != nil {
 		t.Fatal(err)
 	}
-	return rowsJSON, buf.Bytes(), rec.Events()
+	var spanBuf bytes.Buffer
+	if err := span.WriteNDJSON(&spanBuf, spans.Records()); err != nil {
+		t.Fatal(err)
+	}
+	return rowsJSON, buf.Bytes(), rec.Events(), spanBuf.Bytes()
 }
 
 // TestSweepDeterminismFigure5a is the tentpole guarantee: a parallel
-// sweep's results, merged metrics, and trace stream are byte-identical
-// to the serial run with the same root seed.
+// sweep's results, merged metrics, trace stream, and span stream are
+// byte-identical to the serial run with the same root seed.
 func TestSweepDeterminismFigure5a(t *testing.T) {
-	serialRows, serialProm, serialEvents := figure5aArtifacts(t, 1)
+	serialRows, serialProm, serialEvents, serialSpans := figure5aArtifacts(t, 1)
 	if len(serialEvents) == 0 {
 		t.Fatal("expected trace events from the replay")
 	}
-	parRows, parProm, parEvents := figure5aArtifacts(t, 8)
+	if len(serialSpans) == 0 {
+		t.Fatal("expected span records from the replay")
+	}
+	parRows, parProm, parEvents, parSpans := figure5aArtifacts(t, 8)
 	if !bytes.Equal(serialRows, parRows) {
 		t.Errorf("result rows differ between -parallel 1 and 8:\n%s\nvs\n%s", serialRows, parRows)
 	}
@@ -60,15 +70,19 @@ func TestSweepDeterminismFigure5a(t *testing.T) {
 			t.Fatalf("trace event %d differs: %+v vs %+v", i, serialEvents[i], parEvents[i])
 		}
 	}
+	if !bytes.Equal(serialSpans, parSpans) {
+		t.Error("span NDJSON differs between -parallel 1 and 8")
+	}
 }
 
 // TestSweepDeterminismFigure3LAN covers the simulator-backed batches:
 // per-run derived seeds plus in-order merge make the attack result and
 // its telemetry independent of the worker count.
 func TestSweepDeterminismFigure3LAN(t *testing.T) {
-	run := func(parallel int) ([]byte, []byte, []telemetry.Event) {
+	run := func(parallel int) ([]byte, []byte, []telemetry.Event, []byte) {
 		reg := telemetry.NewRegistry()
 		rec := telemetry.NewRecorder()
+		spans := span.NewTracer(7)
 		res, err := attack.RunLAN(attack.ScenarioConfig{
 			Seed:     7,
 			Objects:  24,
@@ -76,6 +90,7 @@ func TestSweepDeterminismFigure3LAN(t *testing.T) {
 			Parallel: parallel,
 			Metrics:  reg,
 			Trace:    rec,
+			Spans:    spans,
 		})
 		if err != nil {
 			t.Fatalf("parallel=%d: %v", parallel, err)
@@ -88,10 +103,20 @@ func TestSweepDeterminismFigure3LAN(t *testing.T) {
 		if err := reg.Snapshot().WritePrometheus(&buf); err != nil {
 			t.Fatal(err)
 		}
-		return resJSON, buf.Bytes(), rec.Events()
+		var spanBuf bytes.Buffer
+		if err := span.WriteNDJSON(&spanBuf, spans.Records()); err != nil {
+			t.Fatal(err)
+		}
+		return resJSON, buf.Bytes(), rec.Events(), spanBuf.Bytes()
 	}
-	serialJSON, serialProm, serialEvents := run(1)
-	parJSON, parProm, parEvents := run(8)
+	serialJSON, serialProm, serialEvents, serialSpans := run(1)
+	parJSON, parProm, parEvents, parSpans := run(8)
+	if len(serialSpans) == 0 {
+		t.Fatal("expected span records from the scenario")
+	}
+	if !bytes.Equal(serialSpans, parSpans) {
+		t.Error("span NDJSON differs between -parallel 1 and 8")
+	}
 	if !bytes.Equal(serialJSON, parJSON) {
 		t.Errorf("scenario result differs between -parallel 1 and 8:\n%s\nvs\n%s", serialJSON, parJSON)
 	}

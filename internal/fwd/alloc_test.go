@@ -6,6 +6,7 @@ import (
 	"ndnprivacy/internal/ndn"
 	"ndnprivacy/internal/netsim"
 	"ndnprivacy/internal/telemetry"
+	"ndnprivacy/internal/telemetry/span"
 )
 
 // These tests pin the zero-allocation contract of the //ndnlint:hotpath
@@ -70,6 +71,36 @@ func TestProbeWireZeroAlloc(t *testing.T) {
 	}
 	if hits == 0 {
 		t.Fatal("hot probe unexpectedly missed")
+	}
+}
+
+func TestProbeWireWithSpansZeroAlloc(t *testing.T) {
+	// Span recording on the wire-probe path must stay allocation-free
+	// when the tracer's chunk storage is pre-reserved: the paper's
+	// timing signal must not gain GC jitter from observability.
+	sim := netsim.New(1)
+	tracer := span.NewTracer(1)
+	sim.SetSpans(tracer)
+	router, err := NewRouter(sim, "R", 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := ndn.NewData(ndn.MustParseName("/probe/hot"), []byte("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	router.Store().Insert(d, 0, 0)
+	hitWire := ndn.EncodeInterest(ndn.NewInterest(d.Name, 1))
+	missWire := ndn.EncodeInterest(ndn.NewInterest(ndn.MustParseName("/probe/cold"), 2))
+	tracer.Reserve(tracer.Len() + 4096)
+	if n := testing.AllocsPerRun(200, func() {
+		router.ProbeWire(hitWire, 0)
+		router.ProbeWire(missWire, 0)
+	}); n != 0 {
+		t.Errorf("ProbeWire with spans enabled: %.0f allocs/run, want 0", n)
+	}
+	if tracer.Len() == 0 {
+		t.Fatal("no view-probe spans recorded")
 	}
 }
 

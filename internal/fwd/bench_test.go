@@ -9,12 +9,22 @@ import (
 	"ndnprivacy/internal/ndn"
 	"ndnprivacy/internal/netsim"
 	"ndnprivacy/internal/telemetry"
+	"ndnprivacy/internal/telemetry/span"
 )
 
 // benchTopology builds consumer — router — producer with fast links.
 func benchTopology(b *testing.B, manager core.CacheManager) (*netsim.Simulator, *Consumer, *Producer) {
 	b.Helper()
 	sim := netsim.New(1)
+	consumer, producer := benchTopologyOn(b, sim, manager)
+	return sim, consumer, producer
+}
+
+// benchTopologyOn builds the same topology on a caller-prepared
+// simulator, so instrumentation (telemetry, span tracing) attached to
+// sim before the call is captured by every node.
+func benchTopologyOn(b *testing.B, sim *netsim.Simulator, manager core.CacheManager) (*Consumer, *Producer) {
+	b.Helper()
 	router, err := NewRouter(sim, "R", 0, manager)
 	if err != nil {
 		b.Fatal(err)
@@ -51,7 +61,7 @@ func benchTopology(b *testing.B, manager core.CacheManager) (*netsim.Simulator, 
 	if err != nil {
 		b.Fatal(err)
 	}
-	return sim, consumer, producer
+	return consumer, producer
 }
 
 // BenchmarkEndToEndFetchMiss measures a full interest→producer→data
@@ -137,42 +147,7 @@ func BenchmarkEndToEndFetchHitTelemetry(b *testing.B) {
 	sim := netsim.New(1)
 	sink := &discardSink{}
 	sim.SetTelemetry(telemetry.NewRegistry(), sink)
-	router, err := NewRouter(sim, "R", 0, nil)
-	if err != nil {
-		b.Fatal(err)
-	}
-	host, err := NewBareHost(sim, "U")
-	if err != nil {
-		b.Fatal(err)
-	}
-	pHost, err := NewBareHost(sim, "P")
-	if err != nil {
-		b.Fatal(err)
-	}
-	cfg := netsim.LinkConfig{Latency: netsim.Fixed(100 * time.Microsecond)}
-	uFace, _, _, err := Connect(sim, host, router, cfg)
-	if err != nil {
-		b.Fatal(err)
-	}
-	rFace, _, _, err := Connect(sim, router, pHost, cfg)
-	if err != nil {
-		b.Fatal(err)
-	}
-	prefix := ndn.MustParseName("/p")
-	if err := host.RegisterPrefix(prefix, uFace); err != nil {
-		b.Fatal(err)
-	}
-	if err := router.RegisterPrefix(prefix, rFace); err != nil {
-		b.Fatal(err)
-	}
-	producer, err := NewProducer(pHost, prefix, nil)
-	if err != nil {
-		b.Fatal(err)
-	}
-	consumer, err := NewConsumer(host)
-	if err != nil {
-		b.Fatal(err)
-	}
+	consumer, producer := benchTopologyOn(b, sim, nil)
 	d, err := ndn.NewData(ndn.MustParseName("/p/hot"), []byte("x"))
 	if err != nil {
 		b.Fatal(err)
@@ -190,6 +165,42 @@ func BenchmarkEndToEndFetchHitTelemetry(b *testing.B) {
 	}
 	if sink.n == 0 {
 		b.Fatal("telemetry sink saw no events")
+	}
+}
+
+// BenchmarkEndToEndFetchHitSpans is BenchmarkEndToEndFetchHit with an
+// interest-lifecycle span tracer attached; the delta against the plain
+// hit benchmark is the full price of causal span recording (root +
+// hop + CS + CM + link spans per fetch). The tracer is drained between
+// batches outside the timer so long -benchtime runs measure recording,
+// not retained-trace memory growth.
+func BenchmarkEndToEndFetchHitSpans(b *testing.B) {
+	sim := netsim.New(1)
+	tracer := span.NewTracer(1)
+	sim.SetSpans(tracer)
+	consumer, producer := benchTopologyOn(b, sim, nil)
+	d, err := ndn.NewData(ndn.MustParseName("/p/hot"), []byte("x"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := producer.Publish(d); err != nil {
+		b.Fatal(err)
+	}
+	consumer.FetchName(ndn.MustParseName("/p/hot"), func(FetchResult) {})
+	sim.Run()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if tracer.Len() >= 1<<18 {
+			b.StopTimer()
+			tracer.Reset()
+			b.StartTimer()
+		}
+		consumer.FetchName(ndn.MustParseName("/p/hot"), func(FetchResult) {})
+		sim.Run()
+	}
+	if tracer.Len() == 0 {
+		b.Fatal("span tracer recorded nothing")
 	}
 }
 

@@ -6,7 +6,9 @@ import (
 
 	"ndnprivacy/internal/cache"
 	"ndnprivacy/internal/ndn"
+	"ndnprivacy/internal/netsim"
 	"ndnprivacy/internal/table"
+	"ndnprivacy/internal/telemetry/span"
 )
 
 // Consumer is an application endpoint that fetches content through a
@@ -22,6 +24,8 @@ type pendingFetch struct {
 	sentAt  time.Duration
 	done    bool
 	handler func(FetchResult)
+	// root is the fetch's open root span; nil when tracing is disabled.
+	root *span.Record
 }
 
 // FetchResult reports the outcome of one fetch.
@@ -60,7 +64,7 @@ func (c *Consumer) Face() table.FaceID { return c.faceID }
 // safe to call from any goroutine when the host runs on a real-time
 // executor.
 func (c *Consumer) Fetch(interest *ndn.Interest, handler func(FetchResult)) {
-	c.fwd.Sim().Schedule(0, func() { c.fetch(interest, handler) })
+	c.fwd.schedule(0, netsim.EventApp, func() { c.fetch(interest, handler) })
 }
 
 // fetch runs inside the executor.
@@ -73,17 +77,29 @@ func (c *Consumer) fetch(interest *ndn.Interest, handler func(FetchResult)) {
 	sentAt := c.fwd.Sim().Now()
 	p := &pendingFetch{sentAt: sentAt, handler: handler}
 	key := interest.Name.Key()
+
+	// Open the trace root: this interest's admission at the consumer.
+	// The stamped copy propagates the context through the host
+	// forwarder and everything it causes.
+	if tr := c.fwd.spans; tr != nil {
+		root, ctx := tr.StartRoot(interest.Name.Hash(), c.fwd.name, key, int64(sentAt))
+		cp := *interest
+		cp.TraceID, cp.SpanID = ctx.Trace, ctx.Span
+		interest = &cp
+		p.root = root
+	}
 	c.pending[key] = append(c.pending[key], p)
 
 	lifetime := interest.Lifetime
 	if lifetime <= 0 {
 		lifetime = ndn.DefaultInterestLifetime
 	}
-	c.fwd.Sim().Schedule(lifetime, func() {
+	c.fwd.schedule(lifetime, netsim.EventTimer, func() {
 		if p.done {
 			return
 		}
 		p.done = true
+		c.fwd.spans.End(p.root, int64(c.fwd.Sim().Now()), "timeout")
 		handler(FetchResult{TimedOut: true, RTT: c.fwd.Sim().Now() - sentAt})
 	})
 	c.fwd.SendInterest(c.faceID, interest)
@@ -135,6 +151,7 @@ func (c *Consumer) deliver(pkt any) {
 				continue
 			}
 			p.done = true
+			c.fwd.spans.End(p.root, int64(now), "ok")
 			p.handler(FetchResult{Data: data, RTT: now - p.sentAt})
 		}
 		delete(c.pending, key)
@@ -221,7 +238,10 @@ func (p *Producer) deliver(pkt any) {
 	}
 	p.served++
 	data := entry.Data.Clone()
-	p.fwd.Sim().Schedule(p.ResponseDelay, func() {
+	// Answer under the requesting interest's span context so the
+	// response leg joins the same trace.
+	data.TraceID, data.SpanID = interest.TraceID, interest.SpanID
+	p.fwd.schedule(p.ResponseDelay, netsim.EventApp, func() {
 		p.fwd.SendData(p.faceID, data)
 	})
 }

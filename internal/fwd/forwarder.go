@@ -19,6 +19,7 @@ import (
 	"ndnprivacy/internal/netsim"
 	"ndnprivacy/internal/table"
 	"ndnprivacy/internal/telemetry"
+	"ndnprivacy/internal/telemetry/span"
 )
 
 // Executor abstracts the forwarder's notion of time and deferred
@@ -40,6 +41,15 @@ type Executor interface {
 }
 
 var _ Executor = (*netsim.Simulator)(nil)
+
+// taggedScheduler is the optional executor capability for event-kind
+// tagged scheduling, feeding the simulator's self-profiler.
+// netsim.Simulator implements it; rt.Executor deliberately does not
+// (no event loop to profile). Resolved once at construction so the
+// per-packet cost is one nil check, not a type assertion.
+type taggedScheduler interface {
+	ScheduleTagged(delay time.Duration, kind netsim.EventKind, fn func())
+}
 
 // Config assembles a forwarder.
 type Config struct {
@@ -101,6 +111,12 @@ type Forwarder struct {
 	// tel is nil when telemetry is disabled, so every instrumentation
 	// site costs exactly one branch and zero allocations on the hot path.
 	tel *nodeTelemetry
+	// spans is nil when span tracing is disabled; like tel, every
+	// recording site is one branch then.
+	spans *span.Tracer
+	// tagged is the executor's optional kind-tagged scheduler, nil when
+	// the executor doesn't support it.
+	tagged taggedScheduler
 }
 
 // nodeTelemetry carries a forwarder's registered counters and trace
@@ -186,6 +202,7 @@ func New(cfg Config) (*Forwarder, error) {
 	pit.SetCapacity(cfg.PITCapacity)
 
 	reg, sink := cfg.Metrics, cfg.Trace
+	var spans *span.Tracer
 	if provider, isProvider := cfg.Sim.(telemetry.Provider); isProvider {
 		if reg == nil {
 			reg = provider.Metrics()
@@ -193,6 +210,7 @@ func New(cfg Config) (*Forwarder, error) {
 		if sink == nil {
 			sink = provider.TraceSink()
 		}
+		spans = provider.Spans()
 	}
 	var tel *nodeTelemetry
 	if reg != nil || sink != nil {
@@ -205,17 +223,28 @@ func New(cfg Config) (*Forwarder, error) {
 			obs.SetTraceSink(sink, cfg.Name)
 		}
 	}
+	if spans != nil {
+		if cfg.Store != nil {
+			cfg.Store.InstrumentSpans(spans, cfg.Name)
+		}
+		if si, isSpanInst := cm.(core.SpanInstrumentable); isSpanInst {
+			si.SetSpanTracer(spans, cfg.Name)
+		}
+	}
+	tagged, _ := cfg.Sim.(taggedScheduler)
 
 	return &Forwarder{
-		name:  cfg.Name,
-		sim:   cfg.Sim,
-		cs:    cfg.Store,
-		pit:   pit,
-		fib:   table.NewFIB(),
-		cm:    cm,
-		delay: cfg.ProcessingDelay,
-		faces: make(map[table.FaceID]*face),
-		tel:   tel,
+		name:   cfg.Name,
+		sim:    cfg.Sim,
+		cs:     cfg.Store,
+		pit:    pit,
+		fib:    table.NewFIB(),
+		cm:     cm,
+		delay:  cfg.ProcessingDelay,
+		faces:  make(map[table.FaceID]*face),
+		tel:    tel,
+		spans:  spans,
+		tagged: tagged,
 	}, nil
 }
 
@@ -249,8 +278,18 @@ func (f *Forwarder) AttachPort(port *netsim.Port) table.FaceID {
 // take nonzero virtual time (the sub-millisecond RTTs of Figure 3(d)).
 func (f *Forwarder) AttachApp(deliver func(pkt any)) table.FaceID {
 	return f.allocFace(func(pkt any, _ int) {
-		f.sim.Schedule(f.delay, func() { deliver(pkt) })
+		f.schedule(f.delay, netsim.EventApp, func() { deliver(pkt) })
 	})
+}
+
+// schedule defers fn by delay, tagging the event for the
+// self-profiler when the executor supports it.
+func (f *Forwarder) schedule(delay time.Duration, kind netsim.EventKind, fn func()) {
+	if f.tagged != nil {
+		f.tagged.ScheduleTagged(delay, kind, fn)
+		return
+	}
+	f.sim.Schedule(delay, fn)
 }
 
 // AttachCustom registers a face with a caller-supplied transmit function
@@ -292,18 +331,18 @@ func (f *Forwarder) RegisterPrefix(prefix ndn.Name, faces ...table.FaceID) error
 // SendInterest injects an interest from a local application face into the
 // pipeline, paying the node's processing delay.
 func (f *Forwarder) SendInterest(from table.FaceID, interest *ndn.Interest) {
-	f.sim.Schedule(f.delay, func() { f.handleInterest(from, interest) })
+	f.schedule(f.delay, netsim.EventForward, func() { f.handleInterest(from, interest) })
 }
 
 // SendData injects a Data packet from a local application face (i.e., the
 // application is a producer answering an interest).
 func (f *Forwarder) SendData(from table.FaceID, data *ndn.Data) {
-	f.sim.Schedule(f.delay, func() { f.handleData(from, data) })
+	f.schedule(f.delay, netsim.EventForward, func() { f.handleData(from, data) })
 }
 
 // receive dispatches one packet arriving from the network.
 func (f *Forwarder) receive(from table.FaceID, pkt any) {
-	f.sim.Schedule(f.delay, func() {
+	f.schedule(f.delay, netsim.EventForward, func() {
 		switch p := pkt.(type) {
 		case *ndn.Interest:
 			f.handleInterest(from, p)
@@ -334,7 +373,18 @@ func (f *Forwarder) ProbeWire(wire []byte, now time.Duration) (cached, pending b
 			cached = true
 		}
 	}
-	return cached, f.pit.HasPendingView(&v, now)
+	pending = f.pit.HasPendingView(&v, now)
+	if f.spans != nil {
+		// Traceless point span: wire probes have no propagated context,
+		// and the name stays un-materialized — the view's hash rides in
+		// Value instead.
+		action := "view-miss"
+		if cached {
+			action = "view-hit"
+		}
+		f.spans.Span(span.Context{}, span.KindCS, f.name, "", action, int64(now), int64(now), v.Hash())
+	}
+	return cached, pending
 }
 
 func (f *Forwarder) handleInterest(from table.FaceID, interest *ndn.Interest) {
@@ -344,9 +394,26 @@ func (f *Forwarder) handleInterest(from table.FaceID, interest *ndn.Interest) {
 	}
 	now := f.sim.Now()
 
+	// Open this node's hop span and re-parent the interest under it, so
+	// every stage recorded below — and everything the forwarded copy
+	// causes upstream — hangs off this hop. The span covers the node's
+	// processing window: arrival (now − processing delay) to terminal.
+	var hop *span.Record
+	var hopCtx span.Context
+	if f.spans != nil && interest.TraceID != 0 {
+		hop, hopCtx = f.spans.Begin(span.Context{Trace: interest.TraceID, Span: interest.SpanID},
+			span.KindHop, f.name, interest.Name.Key(), int64(now-f.delay))
+		cp := *interest
+		cp.SpanID = hopCtx.Span
+		interest = &cp
+	}
+
 	// Content Store lookup, mediated by the cache manager.
 	if f.cs != nil {
 		if entry, found := f.cs.Match(interest, now); found {
+			if hop != nil {
+				f.spans.Span(hopCtx, span.KindCS, f.name, interest.Name.Key(), "hit", int64(now), int64(now), 0)
+			}
 			// Section VII: a hit refreshes the entry even when the
 			// response is disguised.
 			f.cs.Touch(entry.Data.Name)
@@ -362,13 +429,22 @@ func (f *Forwarder) handleInterest(from table.FaceID, interest *ndn.Interest) {
 					Action: decision.Action.String(), DelayNS: int64(decision.Delay),
 				})
 			}
+			if hop != nil {
+				// The decision span covers the artificial delay the
+				// countermeasure added: zero-width for serve/miss.
+				f.spans.Span(hopCtx, span.KindCM, f.name, interest.Name.Key(),
+					decision.Action.String(), int64(now), int64(now)+int64(decision.Delay), uint64(decision.Delay))
+			}
 			switch decision.Action {
 			case core.ActionServe:
 				f.stats.CacheHits++
 				if f.tel != nil {
 					f.tel.cacheHits.Inc()
 				}
-				f.sendData(from, entry.Data.Clone())
+				data := entry.Data.Clone()
+				data.TraceID, data.SpanID = hopCtx.Trace, hopCtx.Span
+				f.spans.End(hop, int64(now), "serve")
+				f.sendData(from, data)
 				return
 			case core.ActionDelayedServe:
 				f.stats.DisguisedHits++
@@ -376,7 +452,9 @@ func (f *Forwarder) handleInterest(from table.FaceID, interest *ndn.Interest) {
 					f.tel.disguisedHits.Inc()
 				}
 				data := entry.Data.Clone()
-				f.sim.Schedule(decision.Delay, func() { f.sendData(from, data) })
+				data.TraceID, data.SpanID = hopCtx.Trace, hopCtx.Span
+				f.spans.End(hop, int64(now)+int64(decision.Delay), "delayed-serve")
+				f.schedule(decision.Delay, netsim.EventCountermeasure, func() { f.sendData(from, data) })
 				return
 			case core.ActionMiss:
 				f.stats.GeneratedMisses++
@@ -388,6 +466,9 @@ func (f *Forwarder) handleInterest(from table.FaceID, interest *ndn.Interest) {
 		} else {
 			f.stats.RealMisses++
 			f.missTelemetry(interest, from, now)
+			if hop != nil {
+				f.spans.Span(hopCtx, span.KindCS, f.name, interest.Name.Key(), "miss", int64(now), int64(now), 0)
+			}
 		}
 	} else {
 		f.stats.RealMisses++
@@ -402,6 +483,7 @@ func (f *Forwarder) handleInterest(from table.FaceID, interest *ndn.Interest) {
 	if interest.Scope == 1 {
 		f.stats.ScopeDropped++
 		f.dropTelemetry(interest, from, now, "scope")
+		f.spans.End(hop, int64(now), "drop-scope")
 		return
 	}
 
@@ -416,14 +498,20 @@ func (f *Forwarder) handleInterest(from table.FaceID, interest *ndn.Interest) {
 				Name: interest.Name.Key(), Face: uint64(from),
 			})
 		}
+		if hop != nil {
+			f.spans.Span(hopCtx, span.KindPIT, f.name, interest.Name.Key(), "aggregate", int64(now), int64(now), 0)
+			f.spans.End(hop, int64(now), "aggregate")
+		}
 		return
 	case table.DuplicateNonce:
 		f.stats.DuplicatesDropped++
 		f.dropTelemetry(interest, from, now, "dup_nonce")
+		f.spans.End(hop, int64(now), "drop-dup-nonce")
 		return
 	case table.RejectedFull:
 		f.stats.PITRejected++
 		f.dropTelemetry(interest, from, now, "pit_full")
+		f.spans.End(hop, int64(now), "drop-pit-full")
 		return
 	case table.InsertedNew:
 		// Forward upstream.
@@ -440,6 +528,7 @@ func (f *Forwarder) handleInterest(from table.FaceID, interest *ndn.Interest) {
 	if err != nil {
 		f.stats.NoRouteDropped++
 		f.dropTelemetry(interest, from, now, "no_route")
+		f.spans.End(hop, int64(now), "drop-no-route")
 		return
 	}
 	for _, hop := range nextHops {
@@ -460,6 +549,7 @@ func (f *Forwarder) handleInterest(from table.FaceID, interest *ndn.Interest) {
 		}
 		outFace.send(upstream, len(ndn.EncodeInterest(upstream)))
 	}
+	f.spans.End(hop, int64(now), "forward")
 }
 
 // missTelemetry accounts a content-store miss; one branch when
@@ -522,11 +612,23 @@ func (f *Forwarder) handleData(from table.FaceID, data *ndn.Data) {
 		return
 	}
 
+	// The upstream span covers this node's wait for the content: PIT
+	// admission of the earliest pending interest to Data arrival. Its
+	// parent is that interest's hop span, recorded via the PIT entry.
+	if f.spans != nil && res.Trace != 0 {
+		f.spans.Span(span.Context{Trace: res.Trace, Span: res.Span}, span.KindUpstream,
+			f.name, data.Name.Key(), "data", int64(res.FirstCreated), int64(now), 0)
+	}
+
 	// Cache unconditionally (the paper's routers cache all content) and
 	// let the manager initialize privacy state.
 	if f.cs != nil {
 		fetchDelay := now - res.FirstCreated
 		entry := f.cs.Insert(data, now, fetchDelay)
+		// Re-stamp the cached copy with the local hop's span context, so
+		// cache-manager state changes on later cached-draw paths (coin
+		// spans) parent under the hop that fetched the content.
+		entry.Data.TraceID, entry.Data.SpanID = res.Trace, res.Span
 		if res.PrivacyRequested && !entry.NonPrivateTrigger {
 			// Consumer-driven marking (Section V).
 			entry.Private = true
@@ -535,7 +637,11 @@ func (f *Forwarder) handleData(from table.FaceID, data *ndn.Data) {
 	}
 
 	for _, hop := range res.Faces {
-		f.sendData(hop, data.Clone())
+		down := data.Clone()
+		// Downstream copies carry the satisfied PIT entry's context, so
+		// the return path's link spans join the same trace.
+		down.TraceID, down.SpanID = res.Trace, res.Span
+		f.sendData(hop, down)
 	}
 }
 

@@ -337,6 +337,7 @@ var deterministicPkgs = []string{
 	"internal/table",
 	"internal/session",
 	"internal/telemetry",
+	"internal/telemetry/span",
 	"internal/sweep",
 }
 

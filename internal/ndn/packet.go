@@ -73,7 +73,17 @@ type Interest struct {
 	Lifetime time.Duration
 	// Privacy is the consumer-driven privacy bit from Section V.
 	Privacy Privacy
+	// TraceID and SpanID are simulation-local span-propagation context
+	// (see internal/telemetry/span): the trace this interest belongs to
+	// and the span acting as parent for stages it causes. Zero means
+	// untraced. Never wire-encoded — a real network would carry these
+	// out of band, and the privacy adversary must not see them.
+	TraceID uint64
+	SpanID  uint64
 }
+
+// SpanContext returns the packet's span-propagation context.
+func (i *Interest) SpanContext() (trace, span uint64) { return i.TraceID, i.SpanID }
 
 // NewInterest builds an interest for name with the default lifetime and a
 // caller-supplied nonce.
@@ -128,7 +138,16 @@ type Data struct {
 	// no prefix), and routers use it to group Random-Cache state.
 	// Empty means unset.
 	ContentID string
+	// TraceID and SpanID are simulation-local span-propagation context,
+	// mirroring Interest's: the trace of the fetch this Data answers and
+	// the span responsible for the current leg. Zero means untraced;
+	// never wire-encoded.
+	TraceID uint64
+	SpanID  uint64
 }
+
+// SpanContext returns the packet's span-propagation context.
+func (d *Data) SpanContext() (trace, span uint64) { return d.TraceID, d.SpanID }
 
 // NewData builds an unsigned Data packet; use Signer.Sign to sign it.
 // The payload is copied.

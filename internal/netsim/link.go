@@ -7,11 +7,19 @@ import (
 	"time"
 
 	"ndnprivacy/internal/telemetry"
+	"ndnprivacy/internal/telemetry/span"
 )
 
 // Handler consumes a delivered packet. Packets are opaque to the
 // simulator; the forwarding layer defines their types.
 type Handler func(pkt any)
+
+// spanCarrier is the capability a packet implements to ride in span
+// traces. Declared locally so netsim stays ignorant of the forwarding
+// layer's packet types (ndn.Interest and ndn.Data both implement it).
+type spanCarrier interface {
+	SpanContext() (trace, span uint64)
+}
 
 // LinkConfig describes a bidirectional point-to-point link.
 type LinkConfig struct {
@@ -214,8 +222,17 @@ func (p *Port) Send(pkt any, size int) {
 			Size:    size,
 		})
 	}
+	if tr := l.sim.Spans(); tr != nil {
+		if c, ok := pkt.(spanCarrier); ok {
+			if tid, sid := c.SpanContext(); tid != 0 {
+				now := int64(l.sim.Now())
+				tr.Span(span.Context{Trace: tid, Span: sid}, span.KindLink,
+					l.label, "", "tx", now, now+int64(delay), uint64(size))
+			}
+		}
+	}
 	peer := p.Peer()
-	l.sim.Schedule(delay, func() {
+	l.sim.ScheduleTagged(delay, EventLink, func() {
 		l.delivered++
 		if peer.handler != nil {
 			peer.handler(pkt)

@@ -1,0 +1,91 @@
+package netsim
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// profileWorkload schedules a deterministic event cascade across two
+// phases and returns a digest of what the simulation computed: the
+// accumulated RNG draws and the final virtual time.
+func profileWorkload(sim *Simulator) (sum uint64, end time.Duration) {
+	sim.SetPhase("alpha")
+	var schedule func(depth int)
+	schedule = func(depth int) {
+		if depth == 0 {
+			return
+		}
+		kind := EventTimer
+		if depth%2 == 0 {
+			kind = EventApp
+		}
+		sim.ScheduleTagged(time.Duration(depth)*time.Millisecond, kind, func() {
+			sum += uint64(sim.Rand().Intn(1000))
+			if depth == 4 {
+				sim.SetPhase("beta")
+			}
+			schedule(depth - 1)
+		})
+	}
+	schedule(8)
+	sim.Run()
+	return sum, sim.Now()
+}
+
+// TestProfilerDoesNotPerturbSimulation is the profiler's core contract:
+// it observes wall time and allocations but never feeds them back, so
+// the simulation computes bit-identical results with and without it.
+func TestProfilerDoesNotPerturbSimulation(t *testing.T) {
+	baseSum, baseEnd := profileWorkload(New(42))
+
+	sim := New(42)
+	prof := NewProfiler(1)
+	sim.SetProfiler(prof)
+	profSum, profEnd := profileWorkload(sim)
+
+	if profSum != baseSum || profEnd != baseEnd {
+		t.Errorf("profiler perturbed the simulation: sum %d vs %d, end %v vs %v",
+			profSum, baseSum, profEnd, baseEnd)
+	}
+	report := prof.Report()
+	if len(report) == 0 {
+		t.Fatal("profiler attached to the event loop saw no events")
+	}
+	var total uint64
+	phases := map[string]bool{}
+	for _, e := range report {
+		total += e.Events
+		phases[e.Phase] = true
+	}
+	if total != 8 {
+		t.Errorf("profiler counted %d events, want 8", total)
+	}
+	if !phases["alpha"] || !phases["beta"] {
+		t.Errorf("profiler buckets missing a phase: %v", phases)
+	}
+	if !strings.Contains(prof.Render(), "alpha") {
+		t.Error("Render output does not mention the alpha phase")
+	}
+}
+
+// TestProfilerSamplingCountsAllEvents checks that a sparse sampling
+// rate still attributes every event to its bucket — only the wall and
+// allocation columns are subsampled.
+func TestProfilerSamplingCountsAllEvents(t *testing.T) {
+	sim := New(7)
+	prof := NewProfiler(3)
+	sim.SetProfiler(prof)
+	profileWorkload(sim)
+	var events, samples uint64
+	for _, e := range prof.Report() {
+		events += e.Events
+		samples += e.Samples
+	}
+	if events != 8 {
+		t.Errorf("counted %d events, want 8", events)
+	}
+	if samples == 0 || samples >= events {
+		t.Errorf("sampled %d of %d events, want a nonzero strict subset at rate 3", samples, events)
+	}
+}

@@ -14,7 +14,45 @@ import (
 	"time"
 
 	"ndnprivacy/internal/telemetry"
+	"ndnprivacy/internal/telemetry/span"
 )
+
+// EventKind classifies scheduled events for self-profiling: the
+// profiler attributes wall-clock time and allocations to (phase, kind)
+// buckets. Untagged events (plain Schedule) are EventOther.
+type EventKind uint8
+
+// Event kinds, in reporting order.
+const (
+	EventOther EventKind = iota
+	EventLink
+	EventForward
+	EventCountermeasure
+	EventTimer
+	EventApp
+
+	eventKindCount
+)
+
+// String implements fmt.Stringer.
+func (k EventKind) String() string {
+	switch k {
+	case EventOther:
+		return "other"
+	case EventLink:
+		return "link"
+	case EventForward:
+		return "forward"
+	case EventCountermeasure:
+		return "countermeasure"
+	case EventTimer:
+		return "timer"
+	case EventApp:
+		return "app"
+	default:
+		return "unknown"
+	}
+}
 
 // Simulator owns the virtual clock and the pending event queue. It is
 // strictly single-threaded: all node logic runs inside event callbacks.
@@ -27,6 +65,9 @@ type Simulator struct {
 
 	metrics *telemetry.Registry
 	sink    telemetry.Sink
+	spans   *span.Tracer
+	prof    *Profiler
+	phase   string
 }
 
 // New creates a simulator whose randomness derives from seed, so that
@@ -59,6 +100,28 @@ func (s *Simulator) Metrics() *telemetry.Registry { return s.metrics }
 // TraceSink implements telemetry.Provider; nil when disabled.
 func (s *Simulator) TraceSink() telemetry.Sink { return s.sink }
 
+// SetSpans attaches a span tracer to the run. Like SetTelemetry, call
+// before building the topology: forwarders and stores resolve the
+// tracer at construction. Nil disables span tracing (the default).
+func (s *Simulator) SetSpans(tr *span.Tracer) { s.spans = tr }
+
+// Spans implements telemetry.Provider; nil when disabled.
+func (s *Simulator) Spans() *span.Tracer { return s.spans }
+
+// SetProfiler attaches a wall-clock self-profiler sampling the event
+// loop. The profiler observes real time and allocations but never
+// feeds them back into virtual time, so simulation results stay
+// byte-identical whether it is attached or not. Nil detaches.
+func (s *Simulator) SetProfiler(p *Profiler) { s.prof = p }
+
+// SetPhase labels subsequent events for the self-profiler ("build",
+// "probe-miss", …). A no-op without an attached profiler beyond one
+// string assignment.
+func (s *Simulator) SetPhase(phase string) { s.phase = phase }
+
+// Phase returns the current self-profiling phase label.
+func (s *Simulator) Phase() string { return s.phase }
+
 var _ telemetry.Provider = (*Simulator)(nil)
 
 // Steps returns the number of executed events.
@@ -70,11 +133,18 @@ func (s *Simulator) Pending() int { return len(s.events) }
 // Schedule queues fn to run after delay. Negative delays are clamped to
 // zero (run "now", after currently executing events at this timestamp).
 func (s *Simulator) Schedule(delay time.Duration, fn func()) {
+	s.ScheduleTagged(delay, EventOther, fn)
+}
+
+// ScheduleTagged is Schedule with an event-kind tag for the
+// self-profiler. The tag is observability-only: scheduling order and
+// execution are identical for every kind.
+func (s *Simulator) ScheduleTagged(delay time.Duration, kind EventKind, fn func()) {
 	if delay < 0 {
 		delay = 0
 	}
 	s.seq++
-	heap.Push(&s.events, &event{at: s.now + delay, seq: s.seq, fn: fn})
+	heap.Push(&s.events, &event{at: s.now + delay, seq: s.seq, kind: kind, fn: fn})
 }
 
 // Run executes events until the queue drains.
@@ -136,13 +206,18 @@ func (s *Simulator) step() {
 	evPtr := heap.Pop(&s.events).(*event)
 	s.now = evPtr.at
 	s.steps++
+	if s.prof != nil {
+		s.prof.observe(s.phase, evPtr.kind, evPtr.fn)
+		return
+	}
 	evPtr.fn()
 }
 
 type event struct {
-	at  time.Duration
-	seq uint64 // FIFO tiebreak for equal timestamps
-	fn  func()
+	at   time.Duration
+	seq  uint64 // FIFO tiebreak for equal timestamps
+	kind EventKind
+	fn   func()
 }
 
 type eventHeap []*event

@@ -1,14 +1,17 @@
 package sweep
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
 	"runtime/debug"
+	"runtime/pprof"
 	"strings"
 	"sync"
 
 	"ndnprivacy/internal/telemetry"
+	"ndnprivacy/internal/telemetry/span"
 )
 
 // Cell is one independent trial of a sweep: a point on the experiment
@@ -46,6 +49,11 @@ type Options struct {
 	// as all earlier cells completed, so serial and parallel runs emit
 	// byte-identical streams.
 	Trace telemetry.Sink
+	// Spans, when non-nil, receives every cell's span records, merged in
+	// cell order like Trace events. Each cell gets a private tracer
+	// seeded with its derived cell seed, so span IDs and output bytes
+	// are identical for any Parallel value.
+	Spans *span.Tracer
 }
 
 // CellError is one failed cell.
@@ -110,11 +118,15 @@ func Run[R any](cells []Cell[R], opts Options) (results []R, err error) {
 	}
 	results = make([]R, len(cells))
 	cellErrs := make([]error, len(cells))
-	m := newMerger(len(cells), opts.Metrics, opts.Trace)
+	m := newMerger(len(cells), opts.Metrics, opts.Trace, opts.Spans)
 
 	runCell := func(i int) {
 		seed := DeriveSeed(opts.RootSeed, cells[i].Labels...)
-		results[i], cellErrs[i] = runGuarded(cells[i], seed, m.provider(i))
+		// pprof labels attribute CPU-profile samples to grid cells, so
+		// `go tool pprof -tagfocus` can isolate one cell's cost.
+		pprof.Do(context.Background(), pprof.Labels("sweep_cell", strings.Join(cells[i].Labels, " ")), func(context.Context) {
+			results[i], cellErrs[i] = runGuarded(cells[i], seed, m.provider(i, seed))
+		})
 		m.complete(i)
 	}
 
@@ -170,12 +182,14 @@ func runGuarded[R any](cell Cell[R], seed int64, prov telemetry.Provider) (out R
 
 // cellProvider is the telemetry.Provider handed to one cell.
 type cellProvider struct {
-	reg  *telemetry.Registry
-	sink telemetry.Sink
+	reg   *telemetry.Registry
+	sink  telemetry.Sink
+	spans *span.Tracer
 }
 
 func (p cellProvider) Metrics() *telemetry.Registry { return p.reg }
 func (p cellProvider) TraceSink() telemetry.Sink    { return p.sink }
+func (p cellProvider) Spans() *span.Tracer          { return p.spans }
 
 // merger owns the per-cell telemetry buffers and flushes them into the
 // sweep-level registry/sink in cell order. Flushing is incremental — a
@@ -185,21 +199,25 @@ func (p cellProvider) TraceSink() telemetry.Sink    { return p.sink }
 type merger struct {
 	metrics *telemetry.Registry
 	trace   telemetry.Sink
+	spans   *span.Tracer
 
-	regs []*telemetry.Registry
-	bufs []*telemetry.Recorder
+	regs  []*telemetry.Registry
+	bufs  []*telemetry.Recorder
+	cellS []*span.Tracer
 
 	mu   sync.Mutex
 	done []bool
 	next int
 }
 
-func newMerger(n int, metrics *telemetry.Registry, trace telemetry.Sink) *merger {
+func newMerger(n int, metrics *telemetry.Registry, trace telemetry.Sink, spans *span.Tracer) *merger {
 	m := &merger{
 		metrics: metrics,
 		trace:   trace,
+		spans:   spans,
 		regs:    make([]*telemetry.Registry, n),
 		bufs:    make([]*telemetry.Recorder, n),
+		cellS:   make([]*span.Tracer, n),
 		done:    make([]bool, n),
 	}
 	for i := 0; i < n; i++ {
@@ -209,6 +227,9 @@ func newMerger(n int, metrics *telemetry.Registry, trace telemetry.Sink) *merger
 		if trace != nil {
 			m.bufs[i] = telemetry.NewRecorder()
 		}
+		if spans != nil {
+			m.cellS[i] = span.NewTracer(0) // re-seeded with the cell seed in provider(i, seed)
+		}
 	}
 	return m
 }
@@ -217,10 +238,14 @@ func newMerger(n int, metrics *telemetry.Registry, trace telemetry.Sink) *merger
 // were allocated up front, so this is read-only and safe from any
 // worker: slot i is only ever written by complete(i), which runs after
 // the cell — and therefore after this call — finished.
-func (m *merger) provider(i int) telemetry.Provider {
+func (m *merger) provider(i int, seed int64) telemetry.Provider {
 	p := cellProvider{reg: m.regs[i]} //ndnlint:allow guardedby — slot i is immutable until complete(i) runs, sequenced after this read
 	if m.bufs[i] != nil {             //ndnlint:allow guardedby — same per-slot ownership invariant
 		p.sink = m.bufs[i] //ndnlint:allow guardedby — same per-slot ownership invariant
+	}
+	if m.cellS[i] != nil { //ndnlint:allow guardedby — same per-slot ownership invariant
+		m.cellS[i].SetSeed(seed) //ndnlint:allow guardedby — same per-slot ownership invariant
+		p.spans = m.cellS[i]     //ndnlint:allow guardedby — same per-slot ownership invariant
 	}
 	return p
 }
@@ -241,6 +266,10 @@ func (m *merger) complete(i int) {
 				m.trace.Emit(ev)
 			}
 			m.bufs[m.next] = nil
+		}
+		if m.cellS[m.next] != nil {
+			m.spans.Merge(m.cellS[m.next].Records())
+			m.cellS[m.next] = nil
 		}
 		m.next++
 	}

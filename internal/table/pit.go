@@ -55,6 +55,10 @@ type pitEntry struct {
 	// privacy records whether the entry-creating interest carried the
 	// consumer privacy bit (Section V consumer-driven marking).
 	privacy bool
+	// trace and span carry the entry-creating interest's span context so
+	// the forwarder can parent the upstream-wait span when Data returns.
+	trace uint64
+	span  uint64
 }
 
 // PIT is the Pending Interest Table. Time is supplied by the caller as a
@@ -171,6 +175,8 @@ func (p *PIT) Insert(interest *ndn.Interest, face FaceID, now time.Duration) Ins
 			expires: now + lifetime,
 			created: now,
 			privacy: interest.Privacy == ndn.PrivacyRequested,
+			trace:   interest.TraceID,
+			span:    interest.SpanID,
 		}
 		p.entries[key] = fresh //ndnlint:allow alloccheck — new-entry admission
 		h := interest.Name.Hash()
@@ -198,6 +204,10 @@ type SatisfyResult struct {
 	// PrivacyRequested is true when the earliest-created consumed entry
 	// was created by a privacy-bit interest.
 	PrivacyRequested bool
+	// Trace and Span are the earliest-created consumed entry's span
+	// context; zero when that interest was untraced.
+	Trace uint64
+	Span  uint64
 }
 
 // Satisfy consumes every pending entry that the given content satisfies
@@ -252,6 +262,8 @@ func (p *PIT) SatisfyWithInfo(data *ndn.Data, now time.Duration) (SatisfyResult,
 				if !matched || hit.created < res.FirstCreated {
 					res.FirstCreated = hit.created
 					res.PrivacyRequested = hit.privacy
+					res.Trace = hit.trace
+					res.Span = hit.span
 				}
 				matched = true
 				for f := range hit.faces {

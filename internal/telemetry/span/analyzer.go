@@ -1,0 +1,196 @@
+// Analyzer: reduces a flat record set to per-trace latency
+// decompositions — the ground truth the attack package checks the
+// prober's timing inference against.
+package span
+
+import "sort"
+
+// Decomposition is one trace's latency breakdown. All durations are
+// virtual-time nanoseconds.
+type Decomposition struct {
+	// Trace identifies the fetch; Name and Node echo the root span's
+	// content name and consumer-side forwarder.
+	Trace uint64
+	Name  string
+	Node  string
+	// Action is the root span's terminal action ("ok" or "timeout").
+	Action string
+	// TotalNS is the consumer-observed latency: root end − start.
+	TotalNS int64
+	// CountermeasureNS is the summed artificial delay countermeasure
+	// decisions added along the path.
+	CountermeasureNS int64
+	// UpstreamNS is the edge forwarder's wait for upstream content: 0
+	// when the edge cache served. Total − Countermeasure − Upstream is
+	// the consumer↔edge network share.
+	UpstreamNS int64
+	// NetworkNS is the residual consumer↔edge share.
+	NetworkNS int64
+	// CacheServed reports whether any cache on the path served the
+	// content (a countermeasure decision with a serve action); ServedBy
+	// names that node.
+	CacheServed bool
+	ServedBy    string
+	// Aggregated reports whether some PIT collapsed this interest onto
+	// an already-pending one.
+	Aggregated bool
+	// TimedOut reports whether the consumer gave up before delivery.
+	TimedOut bool
+}
+
+// Analyze groups records by trace and reduces each to its
+// decomposition. Results are ordered by root-span record order (the
+// order fetches were issued), so output is deterministic. Records
+// without a trace (residency spans, view probes) are ignored.
+func Analyze(records []Record) []Decomposition {
+	// Index spans by ID for parent-chain walks, and group by trace.
+	// Maps are lookup-only; iteration below follows slice order.
+	byID := make(map[uint64]*Record, len(records))
+	byTrace := make(map[uint64][]*Record)
+	var rootOrder []uint64
+	for i := range records {
+		r := &records[i]
+		if r.Trace == 0 {
+			continue
+		}
+		byID[r.ID] = r
+		byTrace[r.Trace] = append(byTrace[r.Trace], r)
+		if r.Kind == KindFetch {
+			rootOrder = append(rootOrder, r.Trace)
+		}
+	}
+	out := make([]Decomposition, 0, len(rootOrder))
+	for _, tid := range rootOrder {
+		spans := byTrace[tid]
+		d := analyzeTrace(tid, spans, byID)
+		if d != nil {
+			out = append(out, *d)
+		}
+	}
+	return out
+}
+
+// analyzeTrace reduces one trace's spans. Returns nil when the trace
+// has no root span.
+func analyzeTrace(tid uint64, spans []*Record, byID map[uint64]*Record) *Decomposition {
+	var root *Record
+	for _, r := range spans {
+		if r.Kind == KindFetch {
+			root = r
+			break
+		}
+	}
+	if root == nil {
+		return nil
+	}
+	d := &Decomposition{
+		Trace:    tid,
+		Name:     root.Name,
+		Node:     root.Node,
+		Action:   root.Action,
+		TimedOut: root.Action == "timeout",
+	}
+	d.TotalNS = root.End - root.Start
+	// The edge forwarder is the hop nearest the consumer: the CS
+	// lookup with the shortest parent chain back to the root.
+	edgeNode := ""
+	edgeDepth := -1
+	for _, r := range spans {
+		switch r.Kind {
+		case KindCM:
+			d.CountermeasureNS += r.End - r.Start
+			if r.Action == "serve" || r.Action == "delayed-serve" {
+				if !d.CacheServed {
+					d.CacheServed = true
+					d.ServedBy = r.Node
+				}
+			}
+		case KindPIT:
+			if r.Action == "aggregate" {
+				d.Aggregated = true
+			}
+		case KindCS:
+			depth := chainDepth(r, byID)
+			if edgeDepth < 0 || depth < edgeDepth {
+				edgeDepth = depth
+				edgeNode = r.Node
+			}
+		}
+	}
+	if !d.CacheServed && edgeNode != "" {
+		for _, r := range spans {
+			if r.Kind == KindUpstream && r.Node == edgeNode {
+				d.UpstreamNS += r.End - r.Start
+			}
+		}
+	}
+	d.NetworkNS = d.TotalNS - d.CountermeasureNS - d.UpstreamNS
+	return d
+}
+
+// chainDepth counts parent links from r back to the trace root.
+func chainDepth(r *Record, byID map[uint64]*Record) int {
+	depth := 0
+	for r.Parent != 0 {
+		parent, ok := byID[r.Parent]
+		if !ok {
+			break
+		}
+		r = parent
+		depth++
+		if depth > 1024 {
+			break // defensive: malformed cycle in decoded input
+		}
+	}
+	return depth
+}
+
+// ClassSummary aggregates decompositions that share a class label.
+type ClassSummary struct {
+	Class            string
+	Count            int
+	MeanTotalNS      float64
+	MeanNetworkNS    float64
+	MeanUpstreamNS   float64
+	MeanCountermeaNS float64
+}
+
+// Summarize buckets decompositions into hit/miss/timeout classes and
+// averages each latency component — the per-class reference
+// distribution the ROADMAP's latency-tier work classifies against.
+func Summarize(decs []Decomposition) []ClassSummary {
+	classes := map[string]*ClassSummary{}
+	var order []string
+	for _, d := range decs {
+		class := "miss"
+		switch {
+		case d.TimedOut:
+			class = "timeout"
+		case d.CacheServed:
+			class = "hit"
+		}
+		s, ok := classes[class]
+		if !ok {
+			s = &ClassSummary{Class: class}
+			classes[class] = s
+			order = append(order, class)
+		}
+		s.Count++
+		s.MeanTotalNS += float64(d.TotalNS)
+		s.MeanNetworkNS += float64(d.NetworkNS)
+		s.MeanUpstreamNS += float64(d.UpstreamNS)
+		s.MeanCountermeaNS += float64(d.CountermeasureNS)
+	}
+	sort.Strings(order)
+	out := make([]ClassSummary, 0, len(order))
+	for _, class := range order {
+		s := classes[class]
+		n := float64(s.Count)
+		s.MeanTotalNS /= n
+		s.MeanNetworkNS /= n
+		s.MeanUpstreamNS /= n
+		s.MeanCountermeaNS /= n
+		out = append(out, *s)
+	}
+	return out
+}

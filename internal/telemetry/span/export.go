@@ -1,0 +1,252 @@
+// Exporters: byte-stable NDJSON (the TraceWriter convention — one
+// JSON object per line, fields in struct order) and Chrome
+// trace_event JSON loadable in Perfetto or chrome://tracing. Both
+// round-trip losslessly: Decode*(Write*(records)) == records.
+package span
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WriteNDJSON emits one JSON object per record, in slice order. Output
+// is byte-stable: field order follows the Record struct, and no
+// timestamps or environment leak in.
+func WriteNDJSON(w io.Writer, records []Record) error {
+	bw := bufio.NewWriter(w)
+	for i := range records {
+		line, err := json.Marshal(&records[i])
+		if err != nil {
+			return fmt.Errorf("span: marshal record %d: %w", i, err)
+		}
+		if _, err := bw.Write(line); err != nil {
+			return err
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// DecodeNDJSON parses WriteNDJSON output. Blank lines are skipped so
+// concatenated exports decode cleanly.
+func DecodeNDJSON(r io.Reader) ([]Record, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var out []Record
+	ln := 0
+	for sc.Scan() {
+		ln++
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var rec Record
+		if err := json.Unmarshal(line, &rec); err != nil {
+			return nil, fmt.Errorf("span: line %d: %w", ln, err)
+		}
+		out = append(out, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// chromeEvent is one entry of the Chrome trace_event JSON array. Ph
+// "X" is a complete event (ts + dur); "M" is metadata (thread names).
+// Exact nanosecond values and the 64-bit IDs ride in Args as strings,
+// because ts/dur are microseconds and JSON numbers lose 64-bit
+// precision — Args is what DecodeChrome reads back, so the round trip
+// is lossless.
+type chromeEvent struct {
+	Name string            `json:"name"`
+	Ph   string            `json:"ph"`
+	Ts   float64           `json:"ts"`
+	Dur  *float64          `json:"dur,omitempty"`
+	Pid  int               `json:"pid"`
+	Tid  int               `json:"tid"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// chromeTrace is the top-level trace_event object form.
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChrome emits records as a Chrome trace_event JSON document.
+// Each node becomes one named thread (tid assigned in sorted-node
+// order); each record one "X" complete event whose ts/dur are the
+// virtual-time interval in microseconds. Load the file in Perfetto or
+// chrome://tracing to see per-trace causal timelines.
+func WriteChrome(w io.Writer, records []Record) error {
+	nodes := make(map[string]int)
+	var names []string
+	for i := range records {
+		if _, seen := nodes[records[i].Node]; !seen {
+			nodes[records[i].Node] = 0
+			names = append(names, records[i].Node)
+		}
+	}
+	sort.Strings(names)
+	doc := chromeTrace{DisplayTimeUnit: "ms", TraceEvents: []chromeEvent{}}
+	for i, name := range names {
+		nodes[name] = i + 1
+		label := name
+		if label == "" {
+			label = "(none)"
+		}
+		doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
+			Name: "thread_name",
+			Ph:   "M",
+			Pid:  1,
+			Tid:  i + 1,
+			Args: map[string]string{"name": label},
+		})
+	}
+	for i := range records {
+		r := &records[i]
+		dur := float64(r.End-r.Start) / 1e3
+		if dur < 0 {
+			dur = 0 // open span exported before End; raw values stay in args
+		}
+		args := map[string]string{
+			"id":       fmt.Sprintf("%016x", r.ID),
+			"kind":     r.Kind,
+			"start_ns": strconv.FormatInt(r.Start, 10),
+			"end_ns":   strconv.FormatInt(r.End, 10),
+		}
+		if r.Trace != 0 {
+			args["trace"] = fmt.Sprintf("%016x", r.Trace)
+		}
+		if r.Parent != 0 {
+			args["parent"] = fmt.Sprintf("%016x", r.Parent)
+		}
+		if r.Node != "" {
+			args["node"] = r.Node
+		}
+		if r.Name != "" {
+			args["content"] = r.Name
+		}
+		if r.Action != "" {
+			args["action"] = r.Action
+		}
+		if r.Value != 0 {
+			args["value"] = strconv.FormatUint(r.Value, 10)
+		}
+		name := r.Kind
+		if r.Action != "" {
+			name = r.Kind + ":" + r.Action
+		}
+		doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
+			Name: name,
+			Ph:   "X",
+			Ts:   float64(r.Start) / 1e3,
+			Dur:  &dur,
+			Pid:  1,
+			Tid:  nodes[r.Node],
+			Args: args,
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(&doc)
+}
+
+// DecodeChrome parses WriteChrome output back into records, reading
+// the exact values from each "X" event's args and skipping metadata
+// events. The result preserves WriteChrome's input order.
+func DecodeChrome(r io.Reader) ([]Record, error) {
+	var doc chromeTrace
+	if err := json.NewDecoder(r).Decode(&doc); err != nil {
+		return nil, fmt.Errorf("span: chrome trace: %w", err)
+	}
+	var out []Record
+	for i, ev := range doc.TraceEvents {
+		if ev.Ph != "X" {
+			continue
+		}
+		rec, err := chromeArgs(ev.Args)
+		if err != nil {
+			return nil, fmt.Errorf("span: chrome event %d: %w", i, err)
+		}
+		out = append(out, rec)
+	}
+	return out, nil
+}
+
+// chromeArgs reconstructs one Record from an "X" event's args map.
+func chromeArgs(args map[string]string) (Record, error) {
+	var rec Record
+	var err error
+	if rec.ID, err = hexField(args, "id"); err != nil {
+		return rec, err
+	}
+	if rec.Trace, err = hexField(args, "trace"); err != nil {
+		return rec, err
+	}
+	if rec.Parent, err = hexField(args, "parent"); err != nil {
+		return rec, err
+	}
+	rec.Kind = args["kind"]
+	rec.Node = args["node"]
+	rec.Name = args["content"]
+	rec.Action = args["action"]
+	if v, ok := args["start_ns"]; ok {
+		if rec.Start, err = strconv.ParseInt(v, 10, 64); err != nil {
+			return rec, fmt.Errorf("start_ns: %w", err)
+		}
+	}
+	if v, ok := args["end_ns"]; ok {
+		if rec.End, err = strconv.ParseInt(v, 10, 64); err != nil {
+			return rec, fmt.Errorf("end_ns: %w", err)
+		}
+	}
+	if v, ok := args["value"]; ok {
+		if rec.Value, err = strconv.ParseUint(v, 10, 64); err != nil {
+			return rec, fmt.Errorf("value: %w", err)
+		}
+	}
+	return rec, nil
+}
+
+// hexField parses one optional %016x-encoded args field.
+func hexField(args map[string]string, key string) (uint64, error) {
+	v, ok := args[key]
+	if !ok {
+		return 0, nil
+	}
+	n, err := strconv.ParseUint(v, 16, 64)
+	if err != nil {
+		return 0, fmt.Errorf("%s: %w", key, err)
+	}
+	return n, nil
+}
+
+// WriteFile writes records to path, choosing the format by extension:
+// ".json" selects Chrome trace_event, anything else NDJSON.
+func WriteFile(path string, records []Record) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	var werr error
+	if strings.EqualFold(filepath.Ext(path), ".json") {
+		werr = WriteChrome(f, records)
+	} else {
+		werr = WriteNDJSON(f, records)
+	}
+	cerr := f.Close()
+	if werr != nil {
+		return werr
+	}
+	return cerr
+}

@@ -1,0 +1,77 @@
+package span
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// fuzzRecords builds a two-record slice from raw fuzz inputs. Strings
+// are coerced to valid UTF-8 first: encoding/json replaces invalid
+// bytes with U+FFFD on marshal, which would fail the round-trip
+// comparison for inputs no tracer can produce.
+func fuzzRecords(trace, id, parent, value uint64, kind, node, name, action string, start, end int64) []Record {
+	r := Record{
+		Trace:  trace,
+		ID:     id,
+		Parent: parent,
+		Kind:   strings.ToValidUTF8(kind, "�"),
+		Node:   strings.ToValidUTF8(node, "�"),
+		Name:   strings.ToValidUTF8(name, "�"),
+		Action: strings.ToValidUTF8(action, "�"),
+		Start:  start,
+		End:    end,
+		Value:  value,
+	}
+	second := r
+	second.ID = id + 1
+	second.Node = "" // exercise the empty-node thread mapping
+	return []Record{r, second}
+}
+
+// FuzzSpanNDJSONRoundTrip asserts DecodeNDJSON(WriteNDJSON(x)) == x for
+// arbitrary record contents.
+func FuzzSpanNDJSONRoundTrip(f *testing.F) {
+	f.Add(uint64(1), uint64(2), uint64(1), uint64(42), "hop", "R", "/p/obj/1", "forward", int64(100), int64(900))
+	f.Add(uint64(0), uint64(7), uint64(0), uint64(0), "cs_entry", "", "", "", int64(-5), int64(-1))
+	f.Add(^uint64(0), ^uint64(0), uint64(1), ^uint64(0), "cm", "ccnd", "/p", "delayed-serve", int64(1<<62), int64(-1<<62))
+	f.Fuzz(func(t *testing.T, trace, id, parent, value uint64, kind, node, name, action string, start, end int64) {
+		records := fuzzRecords(trace, id, parent, value, kind, node, name, action, start, end)
+		var buf bytes.Buffer
+		if err := WriteNDJSON(&buf, records); err != nil {
+			t.Fatalf("write: %v", err)
+		}
+		decoded, err := DecodeNDJSON(&buf)
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if !reflect.DeepEqual(records, decoded) {
+			t.Fatalf("round trip mismatch:\n in: %+v\nout: %+v", records, decoded)
+		}
+	})
+}
+
+// FuzzSpanChromeRoundTrip asserts DecodeChrome(WriteChrome(x)) == x:
+// the exact nanosecond intervals and 64-bit IDs survive the trace_event
+// encoding even though its native ts/dur fields are lossy microsecond
+// floats.
+func FuzzSpanChromeRoundTrip(f *testing.F) {
+	f.Add(uint64(1), uint64(2), uint64(1), uint64(42), "hop", "R", "/p/obj/1", "forward", int64(100), int64(900))
+	f.Add(uint64(0), uint64(7), uint64(0), uint64(0), "cs_entry", "", "", "", int64(-5), int64(-1))
+	f.Add(^uint64(0), ^uint64(0), uint64(1), ^uint64(0), "cm", "ccnd", "/p", "delayed-serve", int64(1<<62), int64(-1<<62))
+	f.Fuzz(func(t *testing.T, trace, id, parent, value uint64, kind, node, name, action string, start, end int64) {
+		records := fuzzRecords(trace, id, parent, value, kind, node, name, action, start, end)
+		var buf bytes.Buffer
+		if err := WriteChrome(&buf, records); err != nil {
+			t.Fatalf("write: %v", err)
+		}
+		decoded, err := DecodeChrome(&buf)
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if !reflect.DeepEqual(records, decoded) {
+			t.Fatalf("round trip mismatch:\n in: %+v\nout: %+v", records, decoded)
+		}
+	})
+}

@@ -15,7 +15,11 @@
 // without shared state.
 package telemetry
 
-import "strings"
+import (
+	"strings"
+
+	"ndnprivacy/internal/telemetry/span"
+)
 
 // Provider is implemented by executors that carry telemetry for the
 // nodes running on them. netsim.Simulator implements it; forwarders and
@@ -26,6 +30,8 @@ type Provider interface {
 	Metrics() *Registry
 	// TraceSink returns the run's event sink, or nil when disabled.
 	TraceSink() Sink
+	// Spans returns the run's span tracer, or nil when disabled.
+	Spans() *span.Tracer
 }
 
 // ID renders a metric identifier from a family name and label key/value

@@ -9,6 +9,7 @@ import (
 	"ndnprivacy/internal/core"
 	"ndnprivacy/internal/ndn"
 	"ndnprivacy/internal/telemetry"
+	"ndnprivacy/internal/telemetry/span"
 )
 
 // ReplayConfig drives one trace replay against a consumer-facing router
@@ -30,6 +31,10 @@ type ReplayConfig struct {
 	// be nil.
 	Metrics *telemetry.Registry
 	Trace   telemetry.Sink
+	// Spans, when non-nil, records cache-residency spans (insert →
+	// eviction) for every stored entry; open residencies are closed at
+	// the last request's timestamp when the replay ends.
+	Spans *span.Tracer
 	// Node labels this replay's metrics and events; it defaults to the
 	// manager's name so algorithm sweeps sharing one registry stay
 	// distinguishable.
@@ -108,6 +113,16 @@ func replayStream(next func() (Request, bool, error), cfg ReplayConfig) (ReplayS
 			ti.SetTraceSink(cfg.Trace, node)
 		}
 	}
+	if cfg.Spans != nil {
+		node := cfg.Node
+		if node == "" {
+			node = cfg.Manager.Name()
+		}
+		store.InstrumentSpans(cfg.Spans, node)
+		if si, instrumentable := cfg.Manager.(core.SpanInstrumentable); instrumentable {
+			si.SetSpanTracer(cfg.Spans, node)
+		}
+	}
 	if grouped, isGrouped := cfg.Manager.(*core.GroupedRandomCache); isGrouped {
 		grouped.Reset()
 		store.SetEvictionHook(grouped.OnContentEvicted)
@@ -117,6 +132,7 @@ func replayStream(next func() (Request, bool, error), cfg ReplayConfig) (ReplayS
 	}
 
 	var stats ReplayStats
+	var lastAt time.Duration
 	// One interest buffer serves the whole replay: managers only read the
 	// interest during OnCacheHit, and allocating a fresh packet per
 	// request dominated the replay's allocation profile.
@@ -131,6 +147,7 @@ func replayStream(next func() (Request, bool, error), cfg ReplayConfig) (ReplayS
 			break
 		}
 		stats.Requests++
+		lastAt = req.At
 		if req.Private {
 			stats.PrivateRequests++
 		}
@@ -160,6 +177,9 @@ func replayStream(next func() (Request, bool, error), cfg ReplayConfig) (ReplayS
 		}
 	}
 	stats.Evictions = store.Evictions()
+	// Close still-open residency spans at the replay's end so exported
+	// traces have no dangling intervals.
+	store.FinishSpans(lastAt)
 	return stats, nil
 }
 

@@ -15,7 +15,7 @@
 #
 # Output: one JSON array of {suite, name, iterations, ns_per_op,
 # bytes_per_op, allocs_per_op} objects in the repo root. The output name
-# is per-PR (BENCH_PR7.json for this one) so BENCH_*.json snapshots
+# is per-PR (BENCH_PR8.json for this one) so BENCH_*.json snapshots
 # accumulate into a perf trajectory instead of overwriting each other;
 # CI pins the name explicitly via BENCH_OUT. ns/B/allocs fields are null
 # when a benchmark did not report them (e.g. without -benchmem
@@ -23,11 +23,14 @@
 #
 # The experiments suite carries BenchmarkFigure5Sweep/{serial,parallel8}:
 # the same grid replayed at -parallel 1 and 8, the sweep-engine
-# scaling pair this file exists to track.
+# scaling pair this file exists to track. The fwd suite carries the
+# span-overhead pair BenchmarkEndToEndFetchHit{,Spans}: the same cached
+# fetch with span tracing off and on, pinning the observability tax on
+# the paper's timing signal.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="${1:-${BENCH_OUT:-BENCH_PR7.json}}"
+out="${1:-${BENCH_OUT:-BENCH_PR8.json}}"
 benchtime="${BENCHTIME:-1x}"
 suites=(ndn cache fwd trace core experiments lint)
 
