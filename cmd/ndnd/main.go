@@ -7,11 +7,20 @@
 //
 //	ndnd -listen :6363 [-capacity 4096] [-manager none|delay|random]
 //	     [-route /prefix=host:port ...] [-k 5] [-eps 0.005]
+//	     [-tier-dir DIR] [-tier-capacity N]
 //
 // Each -route dials the given upstream and installs a FIB entry for the
 // prefix. Consumers connect to the listen address; their interests are
 // answered from the cache (subject to the selected privacy policy) or
 // forwarded along routes.
+//
+// With -tier-dir the Content Store becomes two-tiered: -capacity bounds
+// the RAM front and objects evicted from it demote to an append-log
+// file store under DIR (crash-tolerant: a torn tail is truncated on
+// reopen). -tier-capacity bounds the disk tier's object count
+// (0 = unlimited). Serving from the disk tier costs a real file read,
+// so a tiered daemon exhibits the three-way RAM-hit/disk-hit/miss
+// timing channel the simulator experiments measure.
 package main
 
 import (
@@ -20,10 +29,12 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"syscall"
 
 	"ndnprivacy/internal/cache"
+	"ndnprivacy/internal/cache/tiered"
 	"ndnprivacy/internal/core"
 	"ndnprivacy/internal/fwd"
 	"ndnprivacy/internal/ndn"
@@ -88,12 +99,51 @@ func buildManager(kind string, k uint64, eps float64, exec *rt.Executor) (core.C
 	}
 }
 
+// buildStore assembles the daemon's Content Store: a flat LRU store, or
+// — when tierDir is set — a tiered store whose RAM front holds capacity
+// objects over a file-backed second tier logging to tierDir/cs.log.
+// The returned closer releases the file tier (nil-safe no-op for the
+// flat store).
+func buildStore(capacity int, tierDir string, tierCapacity int) (cache.ContentStore, func() error, error) {
+	if tierDir == "" {
+		store, err := cache.NewStore(capacity, cache.NewLRU())
+		if err != nil {
+			return nil, nil, err
+		}
+		return store, func() error { return nil }, nil
+	}
+	if capacity <= 0 {
+		return nil, nil, fmt.Errorf("-tier-dir needs a positive -capacity for the RAM front, got %d", capacity)
+	}
+	if err := os.MkdirAll(tierDir, 0o755); err != nil {
+		return nil, nil, err
+	}
+	file, err := tiered.OpenFileTier(tiered.FileTierConfig{
+		Path:     filepath.Join(tierDir, "cs.log"),
+		Capacity: tierCapacity,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	store, err := tiered.New(tiered.Config{
+		RAMCapacity: capacity,
+		Second:      file,
+	})
+	if err != nil {
+		file.Close() //nolint:errcheck // construction failed; best-effort release
+		return nil, nil, err
+	}
+	return store, store.Close, nil
+}
+
 func run() error {
 	listen := flag.String("listen", ":6363", "TCP listen address")
-	capacity := flag.Int("capacity", 4096, "content store capacity (0 = unlimited)")
+	capacity := flag.Int("capacity", 4096, "content store capacity (0 = unlimited; RAM-front size with -tier-dir)")
 	managerKind := flag.String("manager", "delay", "cache privacy policy: none, delay, random")
 	k := flag.Uint64("k", 5, "popularity threshold k for -manager random")
 	eps := flag.Float64("eps", 0.005, "privacy parameter ε for -manager random")
+	tierDir := flag.String("tier-dir", "", "directory for the file-backed second tier (empty = flat RAM-only store)")
+	tierCapacity := flag.Int("tier-capacity", 0, "disk-tier object bound with -tier-dir (0 = unlimited)")
 	var routes routeFlags
 	flag.Var(&routes, "route", "upstream route /prefix=host:port (repeatable)")
 	flag.Parse()
@@ -105,10 +155,15 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	store, err := cache.NewStore(*capacity, cache.NewLRU())
+	store, closeStore, err := buildStore(*capacity, *tierDir, *tierCapacity)
 	if err != nil {
 		return err
 	}
+	defer func() {
+		if err := closeStore(); err != nil {
+			fmt.Fprintf(os.Stderr, "ndnd: store close: %v\n", err)
+		}
+	}()
 	forwarder, err := fwd.New(fwd.Config{
 		Name:    "ndnd",
 		Sim:     exec,

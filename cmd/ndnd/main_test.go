@@ -1,8 +1,14 @@
 package main
 
 import (
+	"net"
 	"testing"
+	"time"
 
+	"ndnprivacy/internal/cache/tiered"
+	"ndnprivacy/internal/fwd"
+	"ndnprivacy/internal/ndn"
+	"ndnprivacy/internal/netface"
 	"ndnprivacy/internal/rt"
 )
 
@@ -59,5 +65,187 @@ func TestBuildManager(t *testing.T) {
 	}
 	if _, err := buildManager("random", 0, 0.005, exec); err == nil {
 		t.Error("k=0 accepted for random manager")
+	}
+}
+
+func TestBuildStoreValidation(t *testing.T) {
+	if _, _, err := buildStore(0, t.TempDir(), 0); err == nil {
+		t.Error("tiered store with capacity 0 accepted")
+	}
+	store, closer, err := buildStore(8, "", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if store == nil {
+		t.Fatal("flat store missing")
+	}
+	if err := closer(); err != nil {
+		t.Errorf("flat-store closer: %v", err)
+	}
+}
+
+// TestTieredDaemonServesFromFileTier is the daemon e2e: a consumer and a
+// producer talk to a file-tier-backed ndnd store over loopback TCP. The
+// consumer populates the cache past the RAM front's capacity (evicting
+// the first object to disk), then re-fetches it; the daemon must answer
+// from the file tier without consulting the producer.
+func TestTieredDaemonServesFromFileTier(t *testing.T) {
+	exec := rt.New(9)
+	t.Cleanup(exec.Close)
+	store, closeStore, err := buildStore(2, t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if err := closeStore(); err != nil {
+			t.Errorf("store close: %v", err)
+		}
+	})
+	tieredStore, ok := store.(*tiered.Store)
+	if !ok {
+		t.Fatalf("buildStore with a tier dir returned %T, want *tiered.Store", store)
+	}
+	daemon, err := fwd.New(fwd.Config{Name: "ndnd", Sim: exec, Store: store})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	newPeer := func(name string) (*fwd.Forwarder, *rt.Executor) {
+		peerExec := rt.New(int64(len(name)))
+		t.Cleanup(peerExec.Close)
+		peer, err := fwd.New(fwd.Config{Name: name, Sim: peerExec})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return peer, peerExec
+	}
+	producerFwd, _ := newPeer("producer")
+	consumerFwd, _ := newPeer("consumer")
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	accepted := make(chan *netface.Face, 2)
+	listener, err := netface.Listen(daemon, ln, func(face *netface.Face) { accepted <- face })
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer listener.Close()
+
+	prefix := ndn.MustParseName("/p")
+	producerSide, err := netface.Dial(producerFwd, "tcp", listener.Addr().String(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer producerSide.Close()
+	producerFace := <-accepted
+	if err := netface.RunOn(daemon, func() error {
+		return daemon.RegisterPrefix(prefix, producerFace.ID())
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	var producer *fwd.Producer
+	if err := netface.RunOn(producerFwd, func() error {
+		var err error
+		producer, err = fwd.NewProducer(producerFwd, prefix, nil)
+		if err != nil {
+			return err
+		}
+		for _, suffix := range []string{"a", "b", "c"} {
+			d, err := ndn.NewData(ndn.MustParseName("/p/"+suffix), []byte("payload "+suffix))
+			if err != nil {
+				return err
+			}
+			if err := producer.Publish(d); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	consumerSide, err := netface.Dial(consumerFwd, "tcp", listener.Addr().String(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer consumerSide.Close()
+	<-accepted
+	var consumer *fwd.Consumer
+	if err := netface.RunOn(consumerFwd, func() error {
+		if err := consumerFwd.RegisterPrefix(prefix, consumerSide.ID()); err != nil {
+			return err
+		}
+		var err error
+		consumer, err = fwd.NewConsumer(consumerFwd)
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	fetch := func(name string) fwd.FetchResult {
+		t.Helper()
+		interest := ndn.NewInterest(ndn.MustParseName(name), 0)
+		interest.Lifetime = 2 * time.Second
+		resCh := make(chan fwd.FetchResult, 1)
+		consumer.Fetch(interest, func(r fwd.FetchResult) { resCh <- r })
+		select {
+		case res := <-resCh:
+			if res.TimedOut {
+				t.Fatalf("fetch %s timed out", name)
+			}
+			return res
+		case <-time.After(4 * time.Second):
+			t.Fatalf("fetch %s never resolved", name)
+			return fwd.FetchResult{}
+		}
+	}
+
+	// Populate: /p/a lands in the RAM front, then /p/b and /p/c overflow
+	// it (capacity 2), demoting /p/a to the file tier.
+	fetch("/p/a")
+	fetch("/p/b")
+	fetch("/p/c")
+	storeState := func() (ramLen, diskLen int, diskHits, promotions, served uint64) {
+		if err := netface.RunOn(daemon, func() error {
+			ramLen, diskLen = tieredStore.RAMLen(), tieredStore.SecondLen()
+			diskHits, promotions = tieredStore.DiskHits(), tieredStore.Promotions()
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if err := netface.RunOn(producerFwd, func() error {
+			served = producer.Served()
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	ramLen, diskLen, diskHits, _, served := storeState()
+	if ramLen != 2 || diskLen != 1 {
+		t.Fatalf("after populate: RAM %d / disk %d objects, want 2 / 1", ramLen, diskLen)
+	}
+	if diskHits != 0 {
+		t.Fatalf("after populate: %d disk hits before the re-fetch", diskHits)
+	}
+	if served != 3 {
+		t.Fatalf("after populate: producer served %d, want 3", served)
+	}
+
+	// The re-fetch must be answered from the file tier: same payload,
+	// one disk hit and a promotion, and no fourth producer serve.
+	res := fetch("/p/a")
+	if string(res.Data.Payload) != "payload a" {
+		t.Errorf("re-fetch payload = %q", res.Data.Payload)
+	}
+	_, _, diskHits, promotions, served := storeState()
+	if diskHits != 1 || promotions != 1 {
+		t.Errorf("re-fetch: %d disk hits / %d promotions, want 1 / 1", diskHits, promotions)
+	}
+	if served != 3 {
+		t.Errorf("producer served %d interests, want 3 (file tier absorbed the re-fetch)", served)
 	}
 }

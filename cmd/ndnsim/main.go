@@ -7,7 +7,7 @@
 //
 // Usage:
 //
-//	ndnsim -fig 3a|3b|3c|3d|seg|scope|corr|loss|counter|conv|place|all
+//	ndnsim -fig 3a|3b|3c|3d|seg|scope|corr|loss|counter|conv|place|tier|all
 //	       [-objects N] [-runs N] [-seed S] [-parallel N] [-json]
 //	       [-metrics FILE] [-trace FILE] [-spans FILE]
 //	       [-profile FILE] [-selfprofile N]
@@ -66,7 +66,7 @@ func main() {
 }
 
 func run() error {
-	fig := flag.String("fig", "all", "experiment: 3a, 3b, 3c, 3d, seg, scope, corr, loss, counter, conv, place, all")
+	fig := flag.String("fig", "all", "experiment: 3a, 3b, 3c, 3d, seg, scope, corr, loss, counter, conv, place, tier, all")
 	objects := flag.Int("objects", 200, "content objects per run (paper: 1000)")
 	runs := flag.Int("runs", 5, "repetitions with a fresh cache (paper: 50)")
 	seed := flag.Int64("seed", 1, "experiment seed")
@@ -95,7 +95,7 @@ func run() error {
 	}
 
 	switch *fig {
-	case "all", "3a", "3b", "3c", "3d", "seg", "scope", "corr", "loss", "counter", "conv", "place":
+	case "all", "3a", "3b", "3c", "3d", "seg", "scope", "corr", "loss", "counter", "conv", "place", "tier":
 	default:
 		return fmt.Errorf("unknown -fig %q", *fig)
 	}
@@ -207,6 +207,13 @@ func run() error {
 			return err
 		}
 		report.Add("delay-placement", res)
+	}
+	if all || *fig == "tier" {
+		res, err := experiments.RunTieredTiming(cfg)
+		if err != nil {
+			return err
+		}
+		report.Add("tiered-timing", res)
 	}
 	if all || *fig == "conv" {
 		res, err := attack.RunConversationDetection(attack.ConversationConfig{Seed: *seed, Parallel: *parallel})

@@ -1,0 +1,73 @@
+package attack
+
+import (
+	"testing"
+
+	"ndnprivacy/internal/telemetry/span"
+)
+
+func TestRunTieredThreeModalSeparation(t *testing.T) {
+	spans := span.NewTracer(0)
+	res, err := RunTiered(TieredScenarioConfig{
+		ScenarioConfig: ScenarioConfig{Seed: 42, Objects: 60, Runs: 3, Spans: spans},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.RAMHit) != 60 || len(res.DiskHit) != 60 || len(res.Miss) != 60 {
+		t.Fatalf("sample counts ram/disk/miss = %d/%d/%d, want 60 each",
+			len(res.RAMHit), len(res.DiskHit), len(res.Miss))
+	}
+	// The LAN topology plus the 2ms disk model should separate the
+	// three latency classes essentially perfectly.
+	if res.Accuracy < 0.95 {
+		t.Errorf("three-way accuracy = %v, want ≥ 0.95", res.Accuracy)
+	}
+	if !(res.T1 < res.T2) {
+		t.Errorf("thresholds out of order: T1=%v T2=%v", res.T1, res.T2)
+	}
+
+	// The two-cut classifier must also agree with causal span ground
+	// truth: engineered placement (sample labels) and observed causality
+	// (disk-read spans) tell the same story.
+	gt := TierGroundTruth(spans.Records(), "A", res.T1, res.T2)
+	if gt.Probes != 180 {
+		t.Fatalf("ground truth scored %d probes, want 180", gt.Probes)
+	}
+	ramTrue := gt.Confusion[TruthRAMHit][0] + gt.Confusion[TruthRAMHit][1] + gt.Confusion[TruthRAMHit][2]
+	diskTrue := gt.Confusion[TruthDiskHit][0] + gt.Confusion[TruthDiskHit][1] + gt.Confusion[TruthDiskHit][2]
+	missTrue := gt.Confusion[TruthMiss][0] + gt.Confusion[TruthMiss][1] + gt.Confusion[TruthMiss][2]
+	if ramTrue != 60 || diskTrue != 60 || missTrue != 60 {
+		t.Errorf("causal truth classes ram/disk/miss = %d/%d/%d, want 60 each (engineered placement violated)",
+			ramTrue, diskTrue, missTrue)
+	}
+	if gt.Accuracy < 0.95 {
+		t.Errorf("ground-truth agreement = %v, want ≥ 0.95 (mismatches: %d)", gt.Accuracy, len(gt.Mismatches))
+	}
+}
+
+func TestRunTieredDeterministicAcrossParallelism(t *testing.T) {
+	run := func(parallel int) *TieredResult {
+		res, err := RunTiered(TieredScenarioConfig{
+			ScenarioConfig: ScenarioConfig{Seed: 7, Objects: 30, Runs: 4, Parallel: parallel},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	serial, wide := run(1), run(4)
+	if serial.Accuracy != wide.Accuracy || serial.T1 != wide.T1 || serial.T2 != wide.T2 {
+		t.Errorf("classifier diverged across parallelism: %+v vs %+v", serial, wide)
+	}
+	for i := range serial.RAMHit {
+		if serial.RAMHit[i] != wide.RAMHit[i] {
+			t.Fatalf("RAM sample %d diverged: %v vs %v", i, serial.RAMHit[i], wide.RAMHit[i])
+		}
+	}
+	for i := range serial.DiskHit {
+		if serial.DiskHit[i] != wide.DiskHit[i] {
+			t.Fatalf("disk sample %d diverged: %v vs %v", i, serial.DiskHit[i], wide.DiskHit[i])
+		}
+	}
+}

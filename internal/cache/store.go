@@ -65,9 +65,10 @@ type Store struct {
 	// (ExactView) can find an entry without materializing a name key.
 	// Buckets are tiny — collisions require a 64-bit hash collision —
 	// and membership is verified by full component comparison.
-	byHash  map[uint64][]*Entry
-	index   *nameIndex
-	onEvict func(*Entry)
+	byHash   map[uint64][]*Entry
+	index    *nameIndex
+	onEvict  func(*Entry)
+	onRemove func(*Entry, RemoveReason, time.Duration)
 
 	// Activity counters live on telemetry.Counter so an instrumented
 	// store shares them with the run's registry; uninstrumented stores
@@ -199,6 +200,30 @@ func (s *Store) PolicyName() string { return s.policy.Name() }
 // garbage-collect.
 func (s *Store) SetEvictionHook(hook func(*Entry)) { s.onEvict = hook }
 
+// RemoveReason classifies why an entry left the store. The values double
+// as the Action strings on EvCSEvict trace events.
+type RemoveReason string
+
+const (
+	// ReasonCapacity: the eviction policy chose a victim to make room.
+	ReasonCapacity RemoveReason = "capacity"
+	// ReasonStale: a lookup found the entry past its freshness bound.
+	ReasonStale RemoveReason = "stale"
+	// ReasonRemove: explicit Remove call.
+	ReasonRemove RemoveReason = "remove"
+	// ReasonClear: explicit Clear call.
+	ReasonClear RemoveReason = "clear"
+)
+
+// SetRemovalObserver registers a callback receiving every entry removal
+// together with its reason and virtual time — richer than the eviction
+// hook. The tiered store uses it to translate RAM-front capacity
+// evictions into second-tier demotions while letting staleness purges
+// and explicit removals die for real.
+func (s *Store) SetRemovalObserver(obs func(e *Entry, reason RemoveReason, now time.Duration)) {
+	s.onRemove = obs
+}
+
 // Insert caches data, evicting per policy if the store is full. The
 // content is cloned so callers cannot mutate cached state. It returns the
 // entry for metadata updates.
@@ -219,7 +244,7 @@ func (s *Store) Insert(data *ndn.Data, now, fetchDelay time.Duration) *Entry {
 		if !found {
 			break
 		}
-		s.removeKey(victim, now, "capacity")
+		s.removeKey(victim, now, ReasonCapacity)
 		s.evictions.Inc()
 	}
 	entry := &Entry{
@@ -273,7 +298,7 @@ func (s *Store) lookupExactView(v *ndn.NameView, now time.Duration) (*Entry, boo
 			continue
 		}
 		if entry.IsStale(now) {
-			s.removeKey(entry.Data.Name.Key(), now, "stale") //ndnlint:allow alloccheck — stale purge is off the steady-state hit path
+			s.removeKey(entry.Data.Name.Key(), now, ReasonStale) //ndnlint:allow alloccheck — stale purge is off the steady-state hit path
 			return nil, false
 		}
 		return entry, true
@@ -289,7 +314,7 @@ func (s *Store) lookupExact(name ndn.Name, now time.Duration) (*Entry, bool) {
 		return nil, false
 	}
 	if entry.IsStale(now) {
-		s.removeKey(name.Key(), now, "stale") //ndnlint:allow alloccheck — stale purge is off the steady-state hit path
+		s.removeKey(name.Key(), now, ReasonStale) //ndnlint:allow alloccheck — stale purge is off the steady-state hit path
 		return nil, false
 	}
 	return entry, true
@@ -321,7 +346,7 @@ func (s *Store) Match(interest *ndn.Interest, now time.Duration) (*Entry, bool) 
 			continue
 		}
 		if entry.IsStale(now) {
-			s.removeKey(full.Key(), now, "stale")
+			s.removeKey(full.Key(), now, ReasonStale)
 			continue
 		}
 		if entry.Data.Matches(interest) {
@@ -342,23 +367,24 @@ func (s *Store) Touch(name ndn.Name) {
 	s.policy.OnAccess(name.Key())
 }
 
-// Remove deletes the entry for exactly name, reporting whether it existed.
-// Removal is a management operation outside simulated time, so its trace
-// event carries a zero timestamp.
-func (s *Store) Remove(name ndn.Name) bool {
+// Remove deletes the entry for exactly name, reporting whether it
+// existed. now is the virtual time of the management operation; it
+// stamps the eviction trace event and closes the entry's residency span
+// at a real timestamp instead of zero.
+func (s *Store) Remove(name ndn.Name, now time.Duration) bool {
 	if _, found := s.entries[name.Key()]; !found {
 		return false
 	}
-	s.removeKey(name.Key(), 0, "remove")
+	s.removeKey(name.Key(), now, ReasonRemove)
 	return true
 }
 
-// Clear empties the store, preserving configuration. It walks the name
-// index (sorted) rather than the entry map so the eviction-event order
-// is deterministic.
-func (s *Store) Clear() {
+// Clear empties the store at virtual time now, preserving
+// configuration. It walks the name index (sorted) rather than the entry
+// map so the eviction-event order is deterministic.
+func (s *Store) Clear(now time.Duration) {
 	for _, name := range s.index.all() {
-		s.removeKey(name.Key(), 0, "clear")
+		s.removeKey(name.Key(), now, ReasonClear)
 	}
 }
 
@@ -367,7 +393,7 @@ func (s *Store) Names() []ndn.Name {
 	return s.index.all()
 }
 
-func (s *Store) removeKey(key string, now time.Duration, reason string) {
+func (s *Store) removeKey(key string, now time.Duration, reason RemoveReason) {
 	entry, found := s.entries[key]
 	if !found {
 		return
@@ -377,12 +403,15 @@ func (s *Store) removeKey(key string, now time.Duration, reason string) {
 	s.index.remove(entry.Data.Name)
 	s.policy.OnRemove(key)
 	if entry.residency != nil {
-		s.spans.End(entry.residency, int64(now), reason)
+		s.spans.End(entry.residency, int64(now), string(reason))
 		entry.residency = nil
 	}
-	s.emit(telemetry.EvCSEvict, key, now, reason)
+	s.emit(telemetry.EvCSEvict, key, now, string(reason))
 	if s.onEvict != nil {
 		s.onEvict(entry)
+	}
+	if s.onRemove != nil {
+		s.onRemove(entry, reason, now)
 	}
 }
 

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"ndnprivacy/internal/ndn"
+	"ndnprivacy/internal/telemetry/span"
 )
 
 func mkData(t *testing.T, name string) *ndn.Data {
@@ -204,13 +205,13 @@ func TestStoreRemoveAndClear(t *testing.T) {
 	s := MustNewStore(0, nil)
 	s.Insert(mkData(t, "/a"), 0, 0)
 	s.Insert(mkData(t, "/b"), 0, 0)
-	if !s.Remove(ndn.MustParseName("/a")) {
+	if !s.Remove(ndn.MustParseName("/a"), time.Second) {
 		t.Error("Remove of present entry returned false")
 	}
-	if s.Remove(ndn.MustParseName("/a")) {
+	if s.Remove(ndn.MustParseName("/a"), time.Second) {
 		t.Error("double Remove returned true")
 	}
-	s.Clear()
+	s.Clear(2 * time.Second)
 	if s.Len() != 0 {
 		t.Errorf("Len after Clear = %d", s.Len())
 	}
@@ -432,4 +433,108 @@ func TestNameIndexUnder(t *testing.T) {
 		t.Errorf("after remove: %v", under)
 	}
 	ix.remove(ndn.MustParseName("/ghost")) // must not panic
+}
+
+func TestStoreIsStaleBoundary(t *testing.T) {
+	freshness := 10 * time.Millisecond
+	e := &Entry{Data: &ndn.Data{Freshness: freshness}, InsertedAt: time.Millisecond}
+	if e.IsStale(time.Millisecond + freshness - time.Nanosecond) {
+		t.Error("entry stale one tick before the freshness bound")
+	}
+	// The bound itself is stale: freshness grants [InsertedAt,
+	// InsertedAt+Freshness) of validity, closed-open.
+	if !e.IsStale(time.Millisecond + freshness) {
+		t.Error("entry fresh exactly at the freshness bound")
+	}
+	if !e.IsStale(time.Millisecond + freshness + time.Nanosecond) {
+		t.Error("entry fresh past the freshness bound")
+	}
+}
+
+func TestStoreRemoveFiresEvictionHookAndClosesSpan(t *testing.T) {
+	s := MustNewStore(0, nil)
+	spans := span.NewTracer(1)
+	s.InstrumentSpans(spans, "n1")
+	var evicted []string
+	s.SetEvictionHook(func(e *Entry) { evicted = append(evicted, e.Data.Name.String()) })
+	s.Insert(mkData(t, "/a"), time.Millisecond, 0)
+	s.Insert(mkData(t, "/b"), 2*time.Millisecond, 0)
+
+	if !s.Remove(ndn.MustParseName("/a"), 5*time.Millisecond) {
+		t.Fatal("Remove of present entry returned false")
+	}
+	if len(evicted) != 1 || evicted[0] != "/a" {
+		t.Fatalf("eviction hook saw %v, want [/a]", evicted)
+	}
+	var closed []span.Record
+	for _, r := range spans.Records() {
+		if r.Action != "" {
+			closed = append(closed, r)
+		}
+	}
+	if len(closed) != 1 {
+		t.Fatalf("closed spans = %d, want 1 (only /a's residency ended)", len(closed))
+	}
+	r := closed[0]
+	if r.Kind != span.KindResidency || r.Name != "/a" || r.Action != string(ReasonRemove) {
+		t.Errorf("residency span = %+v, want kind=%s name=/a action=%s", r, span.KindResidency, ReasonRemove)
+	}
+	if r.Start != int64(time.Millisecond) || r.End != int64(5*time.Millisecond) {
+		t.Errorf("residency span [%d, %d], want [insert, remove] virtual times", r.Start, r.End)
+	}
+}
+
+func TestStoreClearFiresEvictionHookAndClosesSpans(t *testing.T) {
+	s := MustNewStore(0, nil)
+	spans := span.NewTracer(1)
+	s.InstrumentSpans(spans, "n1")
+	var evicted []string
+	s.SetEvictionHook(func(e *Entry) { evicted = append(evicted, e.Data.Name.String()) })
+	for _, n := range []string{"/c", "/a", "/b"} {
+		s.Insert(mkData(t, n), time.Millisecond, 0)
+	}
+	s.Clear(7 * time.Millisecond)
+	// The hook fires once per entry and the walk follows the sorted name
+	// index, so the hook order is deterministic regardless of insertion
+	// order.
+	want := []string{"/a", "/b", "/c"}
+	if len(evicted) != len(want) {
+		t.Fatalf("eviction hook saw %v, want %v", evicted, want)
+	}
+	for i, name := range want {
+		if evicted[i] != name {
+			t.Errorf("hook order[%d] = %s, want %s", i, evicted[i], name)
+		}
+	}
+	// Records sit in span-creation (insertion) order; all three must be
+	// closed with the clear reason at the Clear time.
+	recs := spans.Records()
+	if len(recs) != 3 {
+		t.Fatalf("spans = %d, want 3", len(recs))
+	}
+	wantByID := []string{"/c", "/a", "/b"}
+	for i, r := range recs {
+		if r.Name != wantByID[i] || r.Action != string(ReasonClear) || r.End != int64(7*time.Millisecond) {
+			t.Errorf("span[%d] = %+v, want name=%s action=%s end=7ms", i, r, wantByID[i], ReasonClear)
+		}
+	}
+}
+
+func TestStoreFinishSpansLeavesResidentAction(t *testing.T) {
+	s := MustNewStore(0, nil)
+	spans := span.NewTracer(1)
+	s.InstrumentSpans(spans, "n1")
+	s.Insert(mkData(t, "/keep"), time.Millisecond, 0)
+	s.FinishSpans(9 * time.Millisecond)
+	recs := spans.Records()
+	if len(recs) != 1 || recs[0].Action != "resident" {
+		t.Fatalf("spans after FinishSpans = %+v, want one 'resident' span", recs)
+	}
+	// A later Remove must not double-close the span.
+	if !s.Remove(ndn.MustParseName("/keep"), 10*time.Millisecond) {
+		t.Fatal("Remove after FinishSpans returned false")
+	}
+	if got := len(spans.Records()); got != 1 {
+		t.Errorf("spans after Remove = %d, want still 1 (no double close)", got)
+	}
 }

@@ -1,0 +1,502 @@
+package tiered
+
+import (
+	"testing"
+	"time"
+
+	"ndnprivacy/internal/cache"
+	"ndnprivacy/internal/ndn"
+	"ndnprivacy/internal/telemetry"
+	"ndnprivacy/internal/telemetry/span"
+)
+
+func mkData(t *testing.T, name string) *ndn.Data {
+	t.Helper()
+	d, err := ndn.NewData(ndn.MustParseName(name), []byte("payload-"+name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// ramStore builds a small tiered store over a deterministic disk model:
+// one RAM shard of capacity ramCap, unlimited disk.
+func ramStore(t *testing.T, ramCap int) *Store {
+	t.Helper()
+	s, err := New(Config{
+		RAMCapacity: ramCap,
+		Shards:      1,
+		Second:      NewDiskModel(DiskModelConfig{}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestNewValidation(t *testing.T) {
+	second := NewDiskModel(DiskModelConfig{})
+	if _, err := New(Config{RAMCapacity: 0, Second: second}); err == nil {
+		t.Error("zero RAM capacity accepted")
+	}
+	if _, err := New(Config{RAMCapacity: 8}); err == nil {
+		t.Error("missing second tier accepted")
+	}
+	if _, err := New(Config{RAMCapacity: 8, Shards: 3, Second: second}); err == nil {
+		t.Error("non-power-of-two shard count accepted")
+	}
+	s, err := New(Config{RAMCapacity: 2, Shards: 8, Second: second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// More shards than capacity clamps the shard count instead of
+	// inflating the RAM front (every shard holds at least one object).
+	if s.RAMCapacity() != 2 {
+		t.Errorf("RAMCapacity = %d, want 2 (shard count clamped to capacity)", s.RAMCapacity())
+	}
+}
+
+func TestDemotionAndPromotion(t *testing.T) {
+	s := ramStore(t, 2)
+	a, b, c := mkData(t, "/t/a"), mkData(t, "/t/b"), mkData(t, "/t/c")
+	s.Insert(a, 1*time.Millisecond, 0)
+	s.Insert(b, 2*time.Millisecond, 0)
+	s.Insert(c, 3*time.Millisecond, 0) // LRU evicts /t/a → demoted to disk
+
+	if got := s.RAMLen(); got != 2 {
+		t.Fatalf("RAMLen = %d, want 2", got)
+	}
+	if got := s.SecondLen(); got != 1 {
+		t.Fatalf("SecondLen = %d, want 1", got)
+	}
+	if got := s.Len(); got != 3 {
+		t.Fatalf("Len = %d, want 3 (no object lost to demotion)", got)
+	}
+	if got := s.Demotions(); got != 1 {
+		t.Errorf("Demotions = %d, want 1", got)
+	}
+
+	// Exact on the demoted object: disk hit with a modeled cost, then
+	// promotion back into RAM (evicting the LRU victim /t/b).
+	e, found := s.Exact(a.Name, 4*time.Millisecond)
+	if !found {
+		t.Fatal("demoted entry not found")
+	}
+	if e.InsertedAt != 1*time.Millisecond {
+		t.Errorf("promotion reset InsertedAt to %v, want original 1ms", e.InsertedAt)
+	}
+	info := s.LastLookup()
+	if info.Tier != cache.TierSecond {
+		t.Fatalf("LastLookup.Tier = %v, want disk", info.Tier)
+	}
+	if info.Cost <= 0 {
+		t.Errorf("disk hit cost = %v, want > 0", info.Cost)
+	}
+	if got := s.Promotions(); got != 1 {
+		t.Errorf("Promotions = %d, want 1", got)
+	}
+	if got := s.Demotions(); got != 2 {
+		t.Errorf("Demotions = %d, want 2 (promotion displaced the LRU victim)", got)
+	}
+
+	// The promoted object now serves from RAM at zero cost.
+	if _, found := s.Exact(a.Name, 5*time.Millisecond); !found {
+		t.Fatal("promoted entry not found")
+	}
+	if info := s.LastLookup(); info.Tier != cache.TierRAM || info.Cost != 0 {
+		t.Errorf("LastLookup after promotion = %+v, want RAM at zero cost", info)
+	}
+
+	// A miss reports no tier.
+	if _, found := s.Exact(ndn.MustParseName("/t/absent"), 5*time.Millisecond); found {
+		t.Fatal("absent entry found")
+	}
+	if info := s.LastLookup(); info.Tier != cache.TierNone {
+		t.Errorf("LastLookup after miss = %+v, want none", info)
+	}
+
+	if hits, misses := s.Hits(), s.Misses(); hits != 2 || misses != 1 {
+		t.Errorf("hits/misses = %d/%d, want 2/1", hits, misses)
+	}
+	if ram, disk := s.RAMHits(), s.DiskHits(); ram != 1 || disk != 1 {
+		t.Errorf("ram/disk hits = %d/%d, want 1/1", ram, disk)
+	}
+}
+
+func TestExactViewIsPureProbe(t *testing.T) {
+	s := ramStore(t, 1)
+	a, b := mkData(t, "/t/a"), mkData(t, "/t/b")
+	s.Insert(a, 0, 0)
+	s.Insert(b, time.Millisecond, 0) // /t/a demoted
+
+	wire := ndn.EncodeName(nil, a.Name)
+	v, err := ndn.ParseNameView(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for probe := 0; probe < 2; probe++ {
+		if _, found := s.ExactView(&v, 2*time.Millisecond); !found {
+			t.Fatalf("probe %d: disk-resident entry not visible to view lookup", probe)
+		}
+		// Still a disk hit on the second probe: the view probe must not
+		// have promoted.
+		if info := s.LastLookup(); info.Tier != cache.TierSecond {
+			t.Fatalf("probe %d: tier = %v, want disk (probe must not promote)", probe, info.Tier)
+		}
+	}
+	if got := s.Promotions(); got != 0 {
+		t.Errorf("Promotions after view probes = %d, want 0", got)
+	}
+
+	// RAM-resident entry probes as a RAM hit.
+	bw := ndn.EncodeName(nil, b.Name)
+	bv, err := ndn.ParseNameView(bw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, found := s.ExactView(&bv, 2*time.Millisecond); !found {
+		t.Fatal("RAM-resident entry not visible to view lookup")
+	}
+	if info := s.LastLookup(); info.Tier != cache.TierRAM {
+		t.Errorf("tier = %v, want RAM", info.Tier)
+	}
+}
+
+func TestMatchPrefixServesRAMOnly(t *testing.T) {
+	s := ramStore(t, 1)
+	a, b := mkData(t, "/p/obj/1"), mkData(t, "/p/obj/2")
+	s.Insert(a, 0, 0)
+	s.Insert(b, time.Millisecond, 0) // /p/obj/1 demoted
+
+	// A prefix interest can only be answered by the RAM front.
+	prefix := ndn.NewInterest(ndn.MustParseName("/p/obj"), 1)
+	e, found := s.Match(prefix, 2*time.Millisecond)
+	if !found {
+		t.Fatal("prefix interest unmatched despite RAM-resident candidate")
+	}
+	if got := e.Data.Name.Key(); got != b.Name.Key() {
+		t.Errorf("prefix match = %s, want RAM-resident %s", got, b.Name.Key())
+	}
+
+	// An exact interest reaches the disk tier and promotes.
+	exact := ndn.NewInterest(a.Name, 2)
+	if _, found := s.Match(exact, 3*time.Millisecond); !found {
+		t.Fatal("exact interest missed disk-resident entry")
+	}
+	if info := s.LastLookup(); info.Tier != cache.TierSecond {
+		t.Errorf("tier = %v, want disk", info.Tier)
+	}
+	if got := s.Promotions(); got != 1 {
+		t.Errorf("Promotions = %d, want 1", got)
+	}
+}
+
+func TestStaleContentDiesInBothTiers(t *testing.T) {
+	s := ramStore(t, 1)
+	var evicted []string
+	s.SetEvictionHook(func(e *cache.Entry) { evicted = append(evicted, e.Data.Name.Key()) })
+
+	a := mkData(t, "/t/a")
+	a.Freshness = 10 * time.Millisecond
+	s.Insert(a, 0, 0)
+	s.Insert(mkData(t, "/t/b"), time.Millisecond, 0) // /t/a demoted while fresh
+
+	if got := s.SecondLen(); got != 1 {
+		t.Fatalf("SecondLen = %d, want 1", got)
+	}
+	// Past the freshness bound the disk lookup purges instead of serving.
+	if _, found := s.Exact(a.Name, 20*time.Millisecond); found {
+		t.Fatal("stale disk-resident entry served")
+	}
+	if got := s.Len(); got != 1 {
+		t.Errorf("Len = %d, want 1 after stale purge", got)
+	}
+	if got := s.SecondLen(); got != 0 {
+		t.Errorf("SecondLen = %d, want 0 after stale purge", got)
+	}
+	if len(evicted) != 1 || evicted[0] != "/t/a" {
+		t.Errorf("eviction hook saw %v, want [/t/a]", evicted)
+	}
+}
+
+func TestRemoveAndClearSpanBothTiers(t *testing.T) {
+	s := ramStore(t, 1)
+	var evicted []string
+	s.SetEvictionHook(func(e *cache.Entry) { evicted = append(evicted, e.Data.Name.Key()) })
+
+	s.Insert(mkData(t, "/t/a"), 0, 0)
+	s.Insert(mkData(t, "/t/b"), time.Millisecond, 0) // /t/a on disk, /t/b in RAM
+
+	if !s.Remove(ndn.MustParseName("/t/a"), 2*time.Millisecond) {
+		t.Fatal("Remove of disk-resident entry reported absent")
+	}
+	if s.Remove(ndn.MustParseName("/t/a"), 2*time.Millisecond) {
+		t.Fatal("second Remove reported present")
+	}
+	if got := s.Len(); got != 1 {
+		t.Fatalf("Len = %d, want 1 after Remove", got)
+	}
+
+	s.Insert(mkData(t, "/t/c"), 3*time.Millisecond, 0) // /t/b demoted
+	s.Clear(4 * time.Millisecond)
+	if got, ram, disk := s.Len(), s.RAMLen(), s.SecondLen(); got != 0 || ram != 0 || disk != 0 {
+		t.Fatalf("Len/RAMLen/SecondLen = %d/%d/%d after Clear, want 0/0/0", got, ram, disk)
+	}
+	want := []string{"/t/a", "/t/b", "/t/c"}
+	if len(evicted) != len(want) {
+		t.Fatalf("eviction hook saw %v, want %v", evicted, want)
+	}
+	for i, key := range want {
+		if evicted[i] != key {
+			t.Errorf("eviction %d = %s, want %s", i, evicted[i], key)
+		}
+	}
+}
+
+func TestSecondTierOverflowEvicts(t *testing.T) {
+	s := MustNew(Config{
+		RAMCapacity: 1,
+		Shards:      1,
+		Second:      NewDiskModel(DiskModelConfig{Capacity: 2}),
+	})
+	var evicted []string
+	s.SetEvictionHook(func(e *cache.Entry) { evicted = append(evicted, e.Data.Name.Key()) })
+
+	for i, name := range []string{"/t/a", "/t/b", "/t/c", "/t/d"} {
+		s.Insert(mkData(t, name), time.Duration(i)*time.Millisecond, 0)
+	}
+	// RAM holds /t/d; disk holds the two most recent demotions /t/b,
+	// /t/c; /t/a overflowed off the disk FIFO.
+	if got := s.Len(); got != 3 {
+		t.Errorf("Len = %d, want 3", got)
+	}
+	if got := s.Evictions(); got != 1 {
+		t.Errorf("Evictions = %d, want 1 (only true overflow counts)", got)
+	}
+	if len(evicted) != 1 || evicted[0] != "/t/a" {
+		t.Errorf("eviction hook saw %v, want [/t/a]", evicted)
+	}
+	if _, found := s.Exact(ndn.MustParseName("/t/b"), 10*time.Millisecond); !found {
+		t.Error("surviving disk entry /t/b not found")
+	}
+}
+
+func TestWriteThroughKeepsDiskCopy(t *testing.T) {
+	s := MustNew(Config{
+		RAMCapacity: 1,
+		Shards:      1,
+		Second:      NewDiskModel(DiskModelConfig{}),
+		Write:       WriteThrough,
+	})
+	a := mkData(t, "/t/a")
+	s.Insert(a, 0, 0)
+	if got := s.SecondLen(); got != 1 {
+		t.Fatalf("SecondLen = %d, want 1 (write-through writes on admission)", got)
+	}
+	s.Insert(mkData(t, "/t/b"), time.Millisecond, 0) // /t/a's RAM copy evicted
+	if got := s.Len(); got != 2 {
+		t.Fatalf("Len = %d, want 2", got)
+	}
+	// Promotion keeps the disk copy under write-through.
+	if _, found := s.Exact(a.Name, 2*time.Millisecond); !found {
+		t.Fatal("write-through entry lost")
+	}
+	if got := s.SecondLen(); got != 2 {
+		t.Errorf("SecondLen = %d after promotion, want 2 (copy retained)", got)
+	}
+}
+
+func TestAdmitToSecondFillsRAMByPromotion(t *testing.T) {
+	s := MustNew(Config{
+		RAMCapacity: 2,
+		Shards:      1,
+		Second:      NewDiskModel(DiskModelConfig{}),
+		Admit:       AdmitToSecond,
+	})
+	a := mkData(t, "/t/a")
+	s.Insert(a, 0, 0)
+	if ram, disk := s.RAMLen(), s.SecondLen(); ram != 0 || disk != 1 {
+		t.Fatalf("RAM/Second = %d/%d, want 0/1 (admit-to-second)", ram, disk)
+	}
+	if _, found := s.Exact(a.Name, time.Millisecond); !found {
+		t.Fatal("second-tier-admitted entry not found")
+	}
+	if info := s.LastLookup(); info.Tier != cache.TierSecond {
+		t.Fatalf("first lookup tier = %v, want disk", info.Tier)
+	}
+	if ram := s.RAMLen(); ram != 1 {
+		t.Errorf("RAMLen = %d after promotion, want 1", ram)
+	}
+	// Refreshing RAM-resident content under AdmitToSecond refreshes in
+	// place instead of creating a divergent disk copy.
+	s.Insert(mkData(t, "/t/a"), 2*time.Millisecond, 0)
+	if _, found := s.Exact(a.Name, 3*time.Millisecond); !found {
+		t.Fatal("refreshed entry not found")
+	}
+	if info := s.LastLookup(); info.Tier != cache.TierRAM {
+		t.Errorf("post-refresh tier = %v, want RAM", info.Tier)
+	}
+	if got := s.Len(); got != 1 {
+		t.Errorf("Len = %d, want 1", got)
+	}
+}
+
+func TestPromotionPreservesAlgorithmState(t *testing.T) {
+	s := ramStore(t, 1)
+	a := mkData(t, "/t/a")
+	entry := s.Insert(a, 0, 7*time.Millisecond)
+	entry.ForwardCount = 5
+	entry.Counter = 3
+	entry.Threshold = 9
+	entry.ThresholdSet = true
+	entry.Private = true
+	entry.GroupKey = "/t"
+
+	s.Insert(mkData(t, "/t/b"), time.Millisecond, 0) // demote /t/a
+	promoted, found := s.Exact(a.Name, 2*time.Millisecond)
+	if !found {
+		t.Fatal("demoted entry not found")
+	}
+	if promoted.ForwardCount != 5 || promoted.Counter != 3 || promoted.Threshold != 9 ||
+		!promoted.ThresholdSet || !promoted.Private || promoted.GroupKey != "/t" {
+		t.Errorf("promotion dropped algorithm state: %+v", promoted)
+	}
+	if promoted.FetchDelay != 7*time.Millisecond {
+		t.Errorf("FetchDelay = %v, want 7ms", promoted.FetchDelay)
+	}
+}
+
+func TestTelemetryEventsAndCounters(t *testing.T) {
+	s := ramStore(t, 1)
+	reg := telemetry.NewRegistry()
+	rec := telemetry.NewRecorder()
+	s.Instrument(reg, rec, "R")
+
+	s.Insert(mkData(t, "/t/a"), 0, 0)
+	s.Insert(mkData(t, "/t/b"), time.Millisecond, 0)       // demote /t/a
+	s.Exact(ndn.MustParseName("/t/a"), 2*time.Millisecond) // promote /t/a
+	s.Remove(ndn.MustParseName("/t/b"), 3*time.Millisecond)
+
+	var types []string
+	for _, ev := range rec.Events() {
+		types = append(types, ev.Type+":"+ev.Action)
+	}
+	want := []string{
+		"cs_insert:new",
+		"cs_demote:demote", "cs_insert:new", // insert of /t/b demotes /t/a first
+		"cs_promote:promote", "cs_demote:demote", // promoting /t/a displaces /t/b
+		"cs_evict:remove",
+	}
+	if len(types) != len(want) {
+		t.Fatalf("event stream %v, want %v", types, want)
+	}
+	for i := range want {
+		if types[i] != want[i] {
+			t.Errorf("event %d = %s, want %s", i, types[i], want[i])
+		}
+	}
+	if got := reg.Counter(telemetry.ID("ndn_cs_promotions_total", "node", "R")).Value(); got != 1 {
+		t.Errorf("promotions counter = %d, want 1", got)
+	}
+	if got := reg.Counter(telemetry.ID("ndn_cs_demotions_total", "node", "R")).Value(); got != 2 {
+		t.Errorf("demotions counter = %d, want 2", got)
+	}
+}
+
+func TestResidencySpansSurviveTierMovement(t *testing.T) {
+	s := ramStore(t, 1)
+	tr := span.NewTracer(1)
+	s.InstrumentSpans(tr, "R")
+
+	s.Insert(mkData(t, "/t/a"), 0, 0)
+	s.Insert(mkData(t, "/t/b"), time.Millisecond, 0)        // demote /t/a
+	s.Exact(ndn.MustParseName("/t/a"), 2*time.Millisecond)  // promote /t/a
+	s.Remove(ndn.MustParseName("/t/a"), 3*time.Millisecond) // ends /t/a residency
+	s.FinishSpans(4 * time.Millisecond)                     // ends /t/b residency
+
+	var residency, tier []span.Record
+	for _, r := range tr.Records() {
+		switch r.Kind {
+		case span.KindResidency:
+			residency = append(residency, r)
+		case span.KindTier:
+			tier = append(tier, r)
+		}
+	}
+	if len(residency) != 2 {
+		t.Fatalf("residency spans = %d, want 2 (one per object, tier moves don't split them)", len(residency))
+	}
+	for _, r := range residency {
+		switch r.Name {
+		case "/t/a":
+			if r.Action != "remove" || r.Start != 0 || r.End != int64(3*time.Millisecond) {
+				t.Errorf("/t/a residency = %+v, want [0,3ms] remove", r)
+			}
+		case "/t/b":
+			if r.Action != "resident" {
+				t.Errorf("/t/b residency action = %s, want resident", r.Action)
+			}
+		}
+	}
+	if len(tier) != 3 {
+		t.Fatalf("tier spans = %d, want 3 (demote a, promote a, demote b)", len(tier))
+	}
+	if tier[0].Action != "demote" || tier[1].Action != "promote" || tier[2].Action != "demote" {
+		t.Errorf("tier actions = %s,%s,%s want demote,promote,demote",
+			tier[0].Action, tier[1].Action, tier[2].Action)
+	}
+	if tier[1].Value == 0 {
+		t.Error("promote span carries no read cost")
+	}
+}
+
+func TestNamesSortedAcrossTiers(t *testing.T) {
+	s := ramStore(t, 1)
+	for i, name := range []string{"/t/c", "/t/a", "/t/b"} {
+		s.Insert(mkData(t, name), time.Duration(i)*time.Millisecond, 0)
+	}
+	names := s.Names()
+	if len(names) != 3 {
+		t.Fatalf("Names = %d entries, want 3", len(names))
+	}
+	for i, want := range []string{"/t/a", "/t/b", "/t/c"} {
+		if names[i].Key() != want {
+			t.Errorf("Names[%d] = %s, want %s", i, names[i].Key(), want)
+		}
+	}
+}
+
+func TestDiskModelDeterministicQueueing(t *testing.T) {
+	run := func() []time.Duration {
+		d := NewDiskModel(DiskModelConfig{ReadLatency: time.Millisecond, BytesPerSecond: 1 << 20})
+		e := &cache.Entry{Data: mustData("/q/a")}
+		d.Put(e, 0)
+		var costs []time.Duration
+		for i := 0; i < 3; i++ {
+			_, cost, ok := d.Peek("/q/a", 10*time.Millisecond)
+			if !ok {
+				panic("entry missing")
+			}
+			costs = append(costs, cost)
+		}
+		return costs
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("run divergence at read %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	// Back-to-back reads at the same instant queue behind each other.
+	if !(a[0] < a[1] && a[1] < a[2]) {
+		t.Errorf("queueing costs not increasing: %v", a)
+	}
+}
+
+func mustData(name string) *ndn.Data {
+	d, err := ndn.NewData(ndn.MustParseName(name), []byte("payload-"+name))
+	if err != nil {
+		panic(err)
+	}
+	return d
+}

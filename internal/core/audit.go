@@ -45,6 +45,46 @@ type AuditConfig struct {
 	// instead of folding it into "miss-like" — audit a manager under a
 	// stronger adversary that can recognize artificial delays.
 	DistinguishDelays bool
+	// Tier, when non-nil, layers a tiered content store's recency
+	// dynamics over the trial: cross-traffic churn demotes the audited
+	// entry from the RAM front to the second tier, and serves from the
+	// second tier carry an observable disk-read cost, widening the
+	// outcome alphabet from {H, D, M} to {H, h, D, d, M} (lowercase =
+	// served from disk). A delayed serve from disk stays distinguishable
+	// even without DistinguishDelays: the artificial delay replays γ_C,
+	// but the disk read adds cost on top, so the fold into "miss-like"
+	// no longer holds — the residual leak the tiered experiments
+	// measure.
+	Tier *AuditTierModel
+	// ReportEpsilons lists the ε values Render reports empirical δ at;
+	// empty means the default [0].
+	ReportEpsilons []float64
+	// ReportDeltas lists the δ budgets Render reports empirical ε at;
+	// empty means the default [0.05].
+	ReportDeltas []float64
+}
+
+// AuditTierModel abstracts a tiered store's placement dynamics into
+// the audit's closed world: instead of simulating a full cache, it
+// tracks how many cross-traffic insertions the audited entry has
+// survived unaccessed, demoting it past the RAM front's residency and
+// promoting it back on every access — the recency behavior of the
+// tiered store's LRU front.
+type AuditTierModel struct {
+	// RAMResidency is how many cross-traffic insertions the entry
+	// survives in the RAM front without being accessed before demotion
+	// (an LRU front of capacity c demotes after about c insertions).
+	// Must be at least 1.
+	RAMResidency uint64
+	// ChurnBeforeProbes is the cross-traffic insertion count between
+	// state preparation and the adversary's first probe. Churn only
+	// moves content that is cached, so it acts on S1 (entry cached by
+	// the prior requests) but not on S0 — which is exactly the
+	// placement asymmetry the three-way channel observes.
+	ChurnBeforeProbes uint64
+	// ChurnPerProbe is the cross-traffic insertion count between
+	// consecutive probes.
+	ChurnPerProbe uint64
 }
 
 func (c *AuditConfig) validate() error {
@@ -56,6 +96,9 @@ func (c *AuditConfig) validate() error {
 	}
 	if c.Trials <= 0 {
 		return errors.New("core: audit requires at least one trial")
+	}
+	if c.Tier != nil && c.Tier.RAMResidency == 0 {
+		return errors.New("core: audit tier model requires RAMResidency ≥ 1")
 	}
 	return nil
 }
@@ -85,16 +128,35 @@ func (o *AuditOutcome) EpsilonAt(delta float64) (float64, bool) {
 	return MinEpsilonForDelta(o.Baseline, o.Prior, delta)
 }
 
-// Render summarizes the audit.
+// Render summarizes the audit at the configured report points
+// (Config.ReportEpsilons / Config.ReportDeltas; defaults ε=0 and
+// δ=0.05).
 func (o *AuditOutcome) Render() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "privacy audit: x=%d probes=%d trials=%d\n",
+	fmt.Fprintf(&b, "privacy audit: x=%d probes=%d trials=%d",
 		o.Config.PriorRequests, o.Config.Probes, o.Config.Trials)
-	fmt.Fprintf(&b, "empirical δ at ε=0:    %.4f\n", o.DeltaAt(0))
-	if eps, feasible := o.EpsilonAt(0.05); feasible {
-		fmt.Fprintf(&b, "empirical ε at δ=0.05: %.4f\n", eps)
-	} else {
-		b.WriteString("empirical ε at δ=0.05: infeasible (distributions too far apart)\n")
+	if o.Config.Tier != nil {
+		fmt.Fprintf(&b, " tier(residency=%d churn=%d+%d/probe)",
+			o.Config.Tier.RAMResidency, o.Config.Tier.ChurnBeforeProbes, o.Config.Tier.ChurnPerProbe)
+	}
+	b.WriteByte('\n')
+	epsilons := o.Config.ReportEpsilons
+	if len(epsilons) == 0 {
+		epsilons = []float64{0}
+	}
+	for _, eps := range epsilons {
+		fmt.Fprintf(&b, "empirical δ at ε=%g:    %.4f\n", eps, o.DeltaAt(eps))
+	}
+	deltas := o.Config.ReportDeltas
+	if len(deltas) == 0 {
+		deltas = []float64{0.05}
+	}
+	for _, delta := range deltas {
+		if eps, feasible := o.EpsilonAt(delta); feasible {
+			fmt.Fprintf(&b, "empirical ε at δ=%g: %.4f\n", delta, eps)
+		} else {
+			fmt.Fprintf(&b, "empirical ε at δ=%g: infeasible (distributions too far apart)\n", delta)
+		}
 	}
 	return b.String()
 }
@@ -138,7 +200,18 @@ func auditTrial(cfg AuditConfig, rng *rand.Rand, prior uint64) (string, error) {
 	interest := auditInterest()
 	cached := false
 
+	// Tier placement model: sinceAccess counts cross-traffic insertions
+	// survived without an access; past RAMResidency the entry sits on
+	// the second tier, and any access promotes it back (resets the
+	// counter) — the recency behavior of an LRU RAM front.
+	var sinceAccess uint64
+	onDisk := func() bool {
+		return cfg.Tier != nil && cached && sinceAccess >= cfg.Tier.RAMResidency
+	}
+	churn := func(n uint64) { sinceAccess += n }
+
 	request := func() Action {
+		defer func() { sinceAccess = 0 }() // every access (re)promotes
 		if !cached {
 			// Structural miss: the content is fetched and cached.
 			cached = true
@@ -158,16 +231,33 @@ func auditTrial(cfg AuditConfig, rng *rand.Rand, prior uint64) (string, error) {
 	for i := uint64(0); i < prior; i++ {
 		request()
 	}
-	// Adversary probes.
+	if cfg.Tier != nil {
+		churn(cfg.Tier.ChurnBeforeProbes)
+	}
+	// Adversary probes. Lowercase symbols mark serves paying the
+	// second-tier read cost — observable regardless of delay folding,
+	// because the artificial delay replays γ_C and the disk read adds
+	// on top of it.
 	var b strings.Builder
 	for p := 0; p < cfg.Probes; p++ {
+		if p > 0 && cfg.Tier != nil {
+			churn(cfg.Tier.ChurnPerProbe)
+		}
+		disk := onDisk()
 		switch request() {
 		case ActionServe:
-			b.WriteByte('H')
-		case ActionDelayedServe:
-			if cfg.DistinguishDelays {
-				b.WriteByte('D')
+			if disk {
+				b.WriteByte('h')
 			} else {
+				b.WriteByte('H')
+			}
+		case ActionDelayedServe:
+			switch {
+			case disk:
+				b.WriteByte('d')
+			case cfg.DistinguishDelays:
+				b.WriteByte('D')
+			default:
 				b.WriteByte('M')
 			}
 		default:

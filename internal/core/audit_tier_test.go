@@ -1,0 +1,158 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// The tier-model audits quantify the PR's headline result: an
+// artificial-delay countermeasure that is perfectly private on a flat
+// cache leaks again on a tiered one, because a delayed serve from the
+// disk tier pays an observable read cost the delay cannot replay.
+
+func TestAuditTierValidation(t *testing.T) {
+	cfg := AuditConfig{
+		Build:  func(*rand.Rand) (CacheManager, error) { return NewNoPrivacy(), nil },
+		Probes: 1, Trials: 1,
+		Tier: &AuditTierModel{RAMResidency: 0},
+	}
+	if _, err := Audit(cfg); err == nil {
+		t.Error("tier model with zero residency accepted")
+	}
+}
+
+func TestAuditDelayManagerLeaksOnTieredStore(t *testing.T) {
+	build := func(*rand.Rand) (CacheManager, error) {
+		return NewDelayManager(NewContentSpecificDelay())
+	}
+	flat := AuditConfig{
+		Build:         build,
+		PriorRequests: 3,
+		Probes:        2,
+		Trials:        50,
+		Seed:          11,
+	}
+	out, err := Audit(flat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := out.DeltaAt(0); d != 0 {
+		t.Fatalf("flat-store delay audit δ = %g, want 0 (countermeasure holds)", d)
+	}
+
+	tiered := flat
+	tiered.Tier = &AuditTierModel{
+		RAMResidency:      4,
+		ChurnBeforeProbes: 8, // cross-traffic demotes S1's cached entry
+	}
+	out, err = Audit(tiered)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// S0's first probe is a structural miss ('M'); S1's is a delayed
+	// serve from disk ('d') — the disk read cost makes it observable, so
+	// the supports are disjoint and δ = 2.
+	if d := out.DeltaAt(0); math.Abs(d-2) > 1e-9 {
+		t.Errorf("tiered delay audit δ = %g, want 2 (delay folding broken by disk cost)", d)
+	}
+	if _, ok := out.Prior["dM"]; !ok {
+		t.Errorf("S1 distribution %v missing 'dM' (disk-delayed first probe)", out.Prior)
+	}
+	if _, ok := out.Baseline["MM"]; !ok {
+		t.Errorf("S0 distribution %v missing 'MM'", out.Baseline)
+	}
+}
+
+func TestAuditTierWithoutChurnMatchesFlat(t *testing.T) {
+	// With no cross-traffic the entry never leaves the RAM front, so
+	// the tier model must not change any outcome.
+	build := func(*rand.Rand) (CacheManager, error) {
+		return NewDelayManager(NewContentSpecificDelay())
+	}
+	out, err := Audit(AuditConfig{
+		Build:         build,
+		PriorRequests: 3,
+		Probes:        3,
+		Trials:        30,
+		Seed:          12,
+		Tier:          &AuditTierModel{RAMResidency: 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := out.DeltaAt(0); d != 0 {
+		t.Errorf("churn-free tiered audit δ = %g, want 0 (no placement divergence)", d)
+	}
+}
+
+func TestAuditTierNoPrivacyThreeSymbolAlphabet(t *testing.T) {
+	// NoPrivacy on a tiered store with per-probe churn: prior state
+	// serves from disk ('h') when churn outpaces residency, from RAM
+	// ('H') right after an access.
+	out, err := Audit(AuditConfig{
+		Build:         func(*rand.Rand) (CacheManager, error) { return NewNoPrivacy(), nil },
+		PriorRequests: 1,
+		Probes:        3,
+		Trials:        20,
+		Seed:          13,
+		Tier: &AuditTierModel{
+			RAMResidency:      2,
+			ChurnBeforeProbes: 5,
+			ChurnPerProbe:     1, // below residency: later probes stay RAM
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// S1: first probe from disk, the access promotes, rest from RAM.
+	if _, ok := out.Prior["hHH"]; !ok {
+		t.Errorf("S1 distribution %v missing 'hHH'", out.Prior)
+	}
+	// S0: structural miss caches it; probes 2-3 from RAM.
+	if _, ok := out.Baseline["MHH"]; !ok {
+		t.Errorf("S0 distribution %v missing 'MHH'", out.Baseline)
+	}
+}
+
+func TestRenderConfigurableReportPoints(t *testing.T) {
+	out, err := Audit(AuditConfig{
+		Build:          func(*rand.Rand) (CacheManager, error) { return NewNoPrivacy(), nil },
+		PriorRequests:  1,
+		Probes:         1,
+		Trials:         10,
+		Seed:           14,
+		ReportEpsilons: []float64{0, 0.5},
+		ReportDeltas:   []float64{0.1, 0.25},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := out.Render()
+	for _, want := range []string{"ε=0:", "ε=0.5:", "δ=0.1:", "δ=0.25:"} {
+		if !strings.Contains(r, want) {
+			t.Errorf("Render missing report point %q:\n%s", want, r)
+		}
+	}
+	if strings.Contains(r, "δ=0.05") {
+		t.Errorf("Render used default δ despite explicit report points:\n%s", r)
+	}
+}
+
+func TestRenderDefaultReportPointsUnchanged(t *testing.T) {
+	out, err := Audit(AuditConfig{
+		Build:         func(*rand.Rand) (CacheManager, error) { return NewNoPrivacy(), nil },
+		PriorRequests: 1,
+		Probes:        1,
+		Trials:        10,
+		Seed:          15,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := out.Render()
+	if !strings.Contains(r, "ε=0:") || !strings.Contains(r, "δ=0.05") {
+		t.Errorf("default Render lost its ε=0 / δ=0.05 report points:\n%s", r)
+	}
+}

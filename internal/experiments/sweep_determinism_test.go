@@ -140,6 +140,77 @@ func TestSweepDeterminismFigure3LAN(t *testing.T) {
 	}
 }
 
+// TestSweepDeterminismTiered covers the tiered-store scenario: the disk
+// model's virtual-time costs, tier-movement telemetry (promote/demote
+// events and spans), and the three-class samples must all be
+// byte-identical at any worker count.
+func TestSweepDeterminismTiered(t *testing.T) {
+	run := func(parallel int) ([]byte, []byte, []telemetry.Event, []byte) {
+		reg := telemetry.NewRegistry()
+		rec := telemetry.NewRecorder()
+		spans := span.NewTracer(9)
+		res, err := attack.RunTiered(attack.TieredScenarioConfig{
+			ScenarioConfig: attack.ScenarioConfig{
+				Seed:     9,
+				Objects:  24,
+				Runs:     4,
+				Parallel: parallel,
+				Metrics:  reg,
+				Trace:    rec,
+				Spans:    spans,
+			},
+		})
+		if err != nil {
+			t.Fatalf("parallel=%d: %v", parallel, err)
+		}
+		resJSON, err := json.Marshal(res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := reg.Snapshot().WritePrometheus(&buf); err != nil {
+			t.Fatal(err)
+		}
+		var spanBuf bytes.Buffer
+		if err := span.WriteNDJSON(&spanBuf, spans.Records()); err != nil {
+			t.Fatal(err)
+		}
+		return resJSON, buf.Bytes(), rec.Events(), spanBuf.Bytes()
+	}
+	serialJSON, serialProm, serialEvents, serialSpans := run(1)
+	parJSON, parProm, parEvents, parSpans := run(8)
+	if len(serialSpans) == 0 {
+		t.Fatal("expected span records from the tiered scenario")
+	}
+	if !bytes.Equal(serialJSON, parJSON) {
+		t.Errorf("tiered result differs between -parallel 1 and 8:\n%s\nvs\n%s", serialJSON, parJSON)
+	}
+	if !bytes.Equal(serialProm, parProm) {
+		t.Error("merged Prometheus exposition differs between -parallel 1 and 8")
+	}
+	if !bytes.Equal(serialSpans, parSpans) {
+		t.Error("span NDJSON differs between -parallel 1 and 8")
+	}
+	if len(serialEvents) != len(parEvents) {
+		t.Fatalf("trace lengths differ: %d vs %d", len(serialEvents), len(parEvents))
+	}
+	demotes, promotes := 0, 0
+	for i := range serialEvents {
+		if serialEvents[i] != parEvents[i] {
+			t.Fatalf("trace event %d differs: %+v vs %+v", i, serialEvents[i], parEvents[i])
+		}
+		switch serialEvents[i].Type {
+		case telemetry.EvCSDemote:
+			demotes++
+		case telemetry.EvCSPromote:
+			promotes++
+		}
+	}
+	if demotes == 0 || promotes == 0 {
+		t.Fatalf("trace carries %d demote / %d promote events, want both > 0", demotes, promotes)
+	}
+}
+
 // BenchmarkFigure5Sweep measures the same Figure 5(a) grid serially and
 // on an 8-worker pool. The grid's 28 cells are fully independent, so
 // the speedup tracks available cores (≈1× on a single-vCPU CI box,

@@ -1,0 +1,129 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"ndnprivacy/internal/attack"
+	"ndnprivacy/internal/core"
+	"ndnprivacy/internal/netsim"
+)
+
+// The tiered-store experiment (E9): replace the shared router's flat
+// Content Store with a RAM+disk tiered store and re-measure the timing
+// channel. The binary hit/miss observable becomes three-way — RAM hit,
+// disk hit, miss — and the question is whether the paper's
+// countermeasures, designed for the binary channel, still reduce the
+// adversary to guessing.
+
+// TieredTimingResult holds the baseline three-way channel and the
+// residual classifier accuracy under each countermeasure.
+type TieredTimingResult struct {
+	// Base is the undefended channel: three-modal latency separation.
+	Base *attack.TieredResult
+	// Rows lists each countermeasure's residual three-way accuracy on
+	// the identical per-run randomness (paired comparison).
+	Rows []TieredCountermeasureRow
+}
+
+// TieredCountermeasureRow is one defense's residual three-way accuracy
+// (1/3 = adversary reduced to guessing among three classes).
+type TieredCountermeasureRow struct {
+	Name     string
+	Accuracy float64
+	T1, T2   float64
+}
+
+// RunTieredTiming measures the three-way channel undefended and under
+// the paper's two countermeasure families. The delay countermeasure
+// replays the content-specific miss latency γ_C on every private serve —
+// which folds RAM hits into misses but cannot hide the disk tier's read
+// cost, because that cost lands on top of the replayed delay. The
+// random-cache countermeasure degrades placement engineering instead.
+func RunTieredTiming(cfg Figure3Config) (*TieredTimingResult, error) {
+	cfg.setDefaults()
+	base := func() attack.TieredScenarioConfig {
+		return attack.TieredScenarioConfig{ScenarioConfig: cfg.scenario()}
+	}
+	sc := base()
+	out := &TieredTimingResult{}
+	res, err := attack.RunTiered(sc)
+	if err != nil {
+		return nil, fmt.Errorf("tiered baseline: %w", err)
+	}
+	out.Base = res
+
+	type managerCase struct {
+		name  string
+		build func(sim *netsim.Simulator) core.CacheManager
+	}
+	cases := []managerCase{
+		{name: "always-delay/content-specific γ_C", build: func(*netsim.Simulator) core.CacheManager {
+			m, err := core.NewDelayManager(core.NewContentSpecificDelay())
+			if err != nil {
+				panic(err)
+			}
+			return m
+		}},
+		{name: "always-delay/constant γ=12ms", build: func(*netsim.Simulator) core.CacheManager {
+			s, err := core.NewConstantDelay(12 * time.Millisecond)
+			if err != nil {
+				panic(err)
+			}
+			m, err := core.NewDelayManager(s)
+			if err != nil {
+				panic(err)
+			}
+			return m
+		}},
+		{name: "uniform random-cache (k=1, δ=0.05)", build: func(sim *netsim.Simulator) core.CacheManager {
+			dist, err := core.NewUniformForPrivacy(1, 0.05)
+			if err != nil {
+				panic(err)
+			}
+			m, err := core.NewRandomCache(dist, sim.Rand())
+			if err != nil {
+				panic(err)
+			}
+			return m
+		}},
+	}
+	for _, c := range cases {
+		// Same root seed across cases: per-run seeds derive from the
+		// scenario label and run index, so every defense faces identical
+		// randomness.
+		sc := base()
+		sc.Manager = c.build
+		sc.MarkPrivate = true
+		res, err := attack.RunTiered(sc)
+		if err != nil {
+			return nil, fmt.Errorf("tiered countermeasure %q: %w", c.name, err)
+		}
+		out.Rows = append(out.Rows, TieredCountermeasureRow{
+			Name:     c.name,
+			Accuracy: res.Accuracy,
+			T1:       res.T1,
+			T2:       res.T2,
+		})
+	}
+	return out, nil
+}
+
+// Render formats the tiered-channel report.
+func (r *TieredTimingResult) Render() string {
+	var b strings.Builder
+	b.WriteString("=== Tiered Content Store — three-way timing channel ===\n")
+	fmt.Fprintf(&b, "samples: %d RAM hit / %d disk hit / %d miss\n",
+		len(r.Base.RAMHit), len(r.Base.DiskHit), len(r.Base.Miss))
+	fmt.Fprintf(&b, "undefended three-way accuracy: %.4f (cuts %.3f ms / %.3f ms)\n",
+		r.Base.Accuracy, r.Base.T1, r.Base.T2)
+	fmt.Fprintf(&b, "simulator: %d events over %.3f virtual s (%.0f events/virtual-second)\n",
+		r.Base.Steps, r.Base.VirtualSeconds, r.Base.EventsPerVirtualSec)
+	b.WriteString("residual three-way accuracy under countermeasures (1/3 = guessing):\n")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-38s %.4f (cuts %.3f / %.3f ms)\n", row.Name, row.Accuracy, row.T1, row.T2)
+	}
+	b.WriteString("(delay countermeasures fold RAM hits into misses but the disk tier's\n read cost lands on top of the replayed γ_C, so the disk class stays\n separable — the residual leak a flat-store analysis misses)\n")
+	return b.String()
+}

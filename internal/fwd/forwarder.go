@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"ndnprivacy/internal/cache"
+	tieredcs "ndnprivacy/internal/cache/tiered"
 	"ndnprivacy/internal/core"
 	"ndnprivacy/internal/ndn"
 	"ndnprivacy/internal/netsim"
@@ -59,8 +60,12 @@ type Config struct {
 	// experiments or an *rt.Executor for real-time operation.
 	Sim Executor
 	// Store is the node's Content Store; nil disables caching entirely
-	// (the paper's trivial countermeasure).
-	Store *cache.Store
+	// (the paper's trivial countermeasure). A *cache.Store is the flat
+	// single-tier store; a store implementing cache.TieredContentStore
+	// (internal/cache/tiered) additionally reports per-lookup tier
+	// placement, and the forwarder delays responses served from the
+	// second tier by the modeled disk service cost.
+	Store cache.ContentStore
 	// Manager is the cache-management algorithm; defaults to NoPrivacy.
 	Manager core.CacheManager
 	// ProcessingDelay models per-packet forwarding cost. Applied once
@@ -82,6 +87,7 @@ type Stats struct {
 	InterestsReceived uint64
 	DataReceived      uint64
 	CacheHits         uint64 // hits revealed immediately
+	DiskHits          uint64 // hits served from a second (disk) tier
 	DisguisedHits     uint64 // hits served after artificial delay
 	GeneratedMisses   uint64 // cached content deliberately treated as miss
 	RealMisses        uint64 // content genuinely absent
@@ -96,13 +102,23 @@ type Stats struct {
 
 // Forwarder is one NDN node (router or host).
 type Forwarder struct {
-	name  string
-	sim   Executor
-	cs    *cache.Store
-	pit   *table.PIT
-	fib   *table.FIB
-	cm    core.CacheManager
-	delay time.Duration
+	name string
+	sim  Executor
+	cs   cache.ContentStore
+	// tiered is cs's optional tier-placement capability, resolved once
+	// at construction; nil for flat stores, so the per-hit cost is one
+	// nil check.
+	tiered cache.TieredContentStore
+	// csFlat/csTiered devirtualize ProbeWire's exact lookup: calling
+	// ExactView through the ContentStore interface forces the stack
+	// NameView to escape, so the zero-alloc probe path needs the
+	// concrete store type. At most one is non-nil.
+	csFlat   *cache.Store
+	csTiered *tieredcs.Store
+	pit      *table.PIT
+	fib      *table.FIB
+	cm       core.CacheManager
+	delay    time.Duration
 
 	faces    map[table.FaceID]*face
 	nextFace table.FaceID
@@ -129,6 +145,7 @@ type nodeTelemetry struct {
 	interestsReceived *telemetry.Counter
 	dataReceived      *telemetry.Counter
 	cacheHits         *telemetry.Counter
+	diskHits          *telemetry.Counter
 	disguisedHits     *telemetry.Counter
 	generatedMisses   *telemetry.Counter
 	realMisses        *telemetry.Counter
@@ -154,6 +171,7 @@ func newNodeTelemetry(reg *telemetry.Registry, sink telemetry.Sink, node string)
 		interestsReceived: counter("fwd_interests_received_total"),
 		dataReceived:      counter("fwd_data_received_total"),
 		cacheHits:         counter("fwd_cache_hits_total"),
+		diskHits:          counter("fwd_disk_hits_total"),
 		disguisedHits:     counter("fwd_disguised_hits_total"),
 		generatedMisses:   counter("fwd_generated_misses_total"),
 		realMisses:        counter("fwd_real_misses_total"),
@@ -232,19 +250,25 @@ func New(cfg Config) (*Forwarder, error) {
 		}
 	}
 	tagged, _ := cfg.Sim.(taggedScheduler)
+	tierCap, _ := cfg.Store.(cache.TieredContentStore)
+	csFlat, _ := cfg.Store.(*cache.Store)
+	csTiered, _ := cfg.Store.(*tieredcs.Store)
 
 	return &Forwarder{
-		name:   cfg.Name,
-		sim:    cfg.Sim,
-		cs:     cfg.Store,
-		pit:    pit,
-		fib:    table.NewFIB(),
-		cm:     cm,
-		delay:  cfg.ProcessingDelay,
-		faces:  make(map[table.FaceID]*face),
-		tel:    tel,
-		spans:  spans,
-		tagged: tagged,
+		name:     cfg.Name,
+		sim:      cfg.Sim,
+		cs:       cfg.Store,
+		tiered:   tierCap,
+		csFlat:   csFlat,
+		csTiered: csTiered,
+		pit:      pit,
+		fib:      table.NewFIB(),
+		cm:       cm,
+		delay:    cfg.ProcessingDelay,
+		faces:    make(map[table.FaceID]*face),
+		tel:      tel,
+		spans:    spans,
+		tagged:   tagged,
 	}, nil
 }
 
@@ -255,7 +279,7 @@ func (f *Forwarder) Name() string { return f.name }
 func (f *Forwarder) Stats() Stats { return f.stats }
 
 // Store returns the node's Content Store (nil if caching is disabled).
-func (f *Forwarder) Store() *cache.Store { return f.cs }
+func (f *Forwarder) Store() cache.ContentStore { return f.cs }
 
 // Manager returns the node's cache-management algorithm.
 func (f *Forwarder) Manager() core.CacheManager { return f.cm }
@@ -364,20 +388,55 @@ func (f *Forwarder) receive(from table.FaceID, pkt any) {
 //
 //ndnlint:hotpath — wire→CS/PIT-lookup fast path; must not allocate
 func (f *Forwarder) ProbeWire(wire []byte, now time.Duration) (cached, pending bool) {
+	if f.cs != nil && f.csFlat == nil && f.csTiered == nil {
+		// Unknown ContentStore implementation: calling ExactView through
+		// the interface forces the view to escape, and a single escaping
+		// use would heap-allocate the view on every path through this
+		// function — so the generic probe lives in its own function and
+		// is allowed to allocate.
+		return f.probeWireGeneric(wire, now) //ndnlint:allow alloccheck — out-of-module ContentStore probe; documented allocating fallback off the fast path
+	}
 	v, err := ndn.InterestNameView(wire)
 	if err != nil {
 		return false, false
 	}
-	if f.cs != nil {
-		if _, found := f.cs.ExactView(&v, now); found {
-			cached = true
-		}
+	// ExactView implementations are lookup-only: the view is compared
+	// against cached names and never retained past the call. Calls are
+	// devirtualized so the view stays on the stack.
+	switch {
+	case f.csFlat != nil:
+		_, cached = f.csFlat.ExactView(&v, now) //ndnlint:allow viewsafe — ExactView reads the view, never retains it
+	case f.csTiered != nil:
+		_, cached = f.csTiered.ExactView(&v, now) //ndnlint:allow viewsafe — ExactView reads the view, never retains it
 	}
 	pending = f.pit.HasPendingView(&v, now)
 	if f.spans != nil {
 		// Traceless point span: wire probes have no propagated context,
 		// and the name stays un-materialized — the view's hash rides in
 		// Value instead.
+		action := "view-miss"
+		if cached {
+			action = "view-hit"
+		}
+		f.spans.Span(span.Context{}, span.KindCS, f.name, "", action, int64(now), int64(now), v.Hash())
+	}
+	return cached, pending
+}
+
+// probeWireGeneric is ProbeWire for ContentStore implementations outside
+// this module: same semantics, but the interface ExactView call makes
+// the name view escape, so this path allocates and is kept off the
+// hot path.
+func (f *Forwarder) probeWireGeneric(wire []byte, now time.Duration) (cached, pending bool) {
+	v, err := ndn.InterestNameView(wire)
+	if err != nil {
+		return false, false
+	}
+	if _, found := f.cs.ExactView(&v, now); found { //ndnlint:allow viewsafe — ExactView implementations read the view, never retain it
+		cached = true
+	}
+	pending = f.pit.HasPendingView(&v, now)
+	if f.spans != nil {
 		action := "view-miss"
 		if cached {
 			action = "view-hit"
@@ -411,6 +470,30 @@ func (f *Forwarder) handleInterest(from table.FaceID, interest *ndn.Interest) {
 	// Content Store lookup, mediated by the cache manager.
 	if f.cs != nil {
 		if entry, found := f.cs.Match(interest, now); found {
+			// A hit served from the second (disk) tier pays that tier's
+			// modeled service latency on top of everything else — the
+			// third latency class the tiered-store adversary measures.
+			// Real (wall-clock) backends report zero cost here; their
+			// I/O time is physically observable instead.
+			var diskCost time.Duration
+			if f.tiered != nil {
+				if info := f.tiered.LastLookup(); info.Tier == cache.TierSecond {
+					diskCost = info.Cost
+					f.stats.DiskHits++
+					if f.tel != nil {
+						f.tel.diskHits.Inc()
+						f.tel.emit(telemetry.Event{
+							At: int64(now), Type: telemetry.EvCSDiskRead,
+							Name: interest.Name.Key(), Face: uint64(from),
+							DelayNS: int64(diskCost),
+						})
+					}
+					if hop != nil {
+						f.spans.Span(hopCtx, span.KindDisk, f.name, interest.Name.Key(),
+							"disk-read", int64(now), int64(now)+int64(diskCost), uint64(diskCost))
+					}
+				}
+			}
 			if hop != nil {
 				f.spans.Span(hopCtx, span.KindCS, f.name, interest.Name.Key(), "hit", int64(now), int64(now), 0)
 			}
@@ -443,8 +526,12 @@ func (f *Forwarder) handleInterest(from table.FaceID, interest *ndn.Interest) {
 				}
 				data := entry.Data.Clone()
 				data.TraceID, data.SpanID = hopCtx.Trace, hopCtx.Span
-				f.spans.End(hop, int64(now), "serve")
-				f.sendData(from, data)
+				f.spans.End(hop, int64(now)+int64(diskCost), "serve")
+				if diskCost > 0 {
+					f.schedule(diskCost, netsim.EventDisk, func() { f.sendData(from, data) })
+				} else {
+					f.sendData(from, data)
+				}
 				return
 			case core.ActionDelayedServe:
 				f.stats.DisguisedHits++
@@ -453,8 +540,12 @@ func (f *Forwarder) handleInterest(from table.FaceID, interest *ndn.Interest) {
 				}
 				data := entry.Data.Clone()
 				data.TraceID, data.SpanID = hopCtx.Trace, hopCtx.Span
-				f.spans.End(hop, int64(now)+int64(decision.Delay), "delayed-serve")
-				f.schedule(decision.Delay, netsim.EventCountermeasure, func() { f.sendData(from, data) })
+				// The artificial delay replays the original miss latency;
+				// a disk-resident entry still pays the read first, so the
+				// total exceeds the replayed γ_C — the residual leak the
+				// tiered experiments measure.
+				f.spans.End(hop, int64(now)+int64(decision.Delay)+int64(diskCost), "delayed-serve")
+				f.schedule(decision.Delay+diskCost, netsim.EventCountermeasure, func() { f.sendData(from, data) })
 				return
 			case core.ActionMiss:
 				f.stats.GeneratedMisses++

@@ -30,6 +30,22 @@ func NewRouter(sim *netsim.Simulator, name string, capacity int, manager core.Ca
 	})
 }
 
+// NewStoreRouter builds a forwarder around a caller-supplied Content
+// Store — the entry point for routers with non-flat stores (e.g. a
+// tiered RAM+disk store from internal/cache/tiered). The forwarder
+// resolves the store's tier capability at construction, so a
+// cache.TieredContentStore automatically gets disk-cost accounting on
+// its hit path.
+func NewStoreRouter(sim *netsim.Simulator, name string, store cache.ContentStore, manager core.CacheManager) (*Forwarder, error) {
+	return New(Config{
+		Name:            name,
+		Sim:             sim,
+		Store:           store,
+		Manager:         manager,
+		ProcessingDelay: DefaultRouterProcessing,
+	})
+}
+
 // NewHost builds an end host: per the NDN node model it also keeps a
 // local Content Store (the local-host cache a malicious application
 // probes in Figure 3(d)).

@@ -333,6 +333,7 @@ var deterministicPkgs = []string{
 	"internal/experiments",
 	"internal/core",
 	"internal/cache",
+	"internal/cache/tiered",
 	"internal/trace",
 	"internal/table",
 	"internal/session",

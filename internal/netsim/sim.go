@@ -30,6 +30,7 @@ const (
 	EventCountermeasure
 	EventTimer
 	EventApp
+	EventDisk
 
 	eventKindCount
 )
@@ -49,6 +50,8 @@ func (k EventKind) String() string {
 		return "timer"
 	case EventApp:
 		return "app"
+	case EventDisk:
+		return "disk"
 	default:
 		return "unknown"
 	}

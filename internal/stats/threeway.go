@@ -1,0 +1,58 @@
+package stats
+
+import "sort"
+
+// ThreeWayThresholdAccuracy finds the two decision thresholds t1 < t2
+// that best separate three empirical sample sets into ordered classes
+// (low classified as "below t1", mid as "in [t1, t2)", high as "at or
+// above t2") and returns the achieved accuracy with the thresholds.
+// This is the tiered-cache adversary's decision rule: two RTT cut-offs
+// turn one observed latency into a RAM-hit / disk-hit / miss verdict.
+//
+// Candidates are midpoints between adjacent pooled samples (plus
+// sentinels past both ends, so degenerate cuts that collapse a class
+// are considered when a class is not actually separable). The search
+// is exhaustive over candidate pairs: with prefix counts per class it
+// costs O(K²) for K pooled candidates, which is fine at experiment
+// scale (hundreds of probes per class).
+func ThreeWayThresholdAccuracy(low, mid, high *Empirical) (acc, t1, t2 float64) {
+	pooled := make([]float64, 0, low.Len()+mid.Len()+high.Len())
+	pooled = append(pooled, low.xs...)
+	pooled = append(pooled, mid.xs...)
+	pooled = append(pooled, high.xs...)
+	sort.Float64s(pooled)
+
+	candidates := make([]float64, 0, len(pooled)+1)
+	candidates = append(candidates, pooled[0]-1)
+	for i := 0; i+1 < len(pooled); i++ {
+		if pooled[i] == pooled[i+1] {
+			continue
+		}
+		candidates = append(candidates, (pooled[i]+pooled[i+1])/2)
+	}
+	candidates = append(candidates, pooled[len(pooled)-1]+1)
+
+	// Per-candidate class counts at or below the cut, so each (t1, t2)
+	// pair evaluates in O(1).
+	lowAt := make([]float64, len(candidates))
+	midAt := make([]float64, len(candidates))
+	highAt := make([]float64, len(candidates))
+	for i, t := range candidates {
+		lowAt[i] = low.CDFAt(t) * float64(low.Len())
+		midAt[i] = mid.CDFAt(t) * float64(mid.Len())
+		highAt[i] = high.CDFAt(t) * float64(high.Len())
+	}
+
+	total := float64(low.Len() + mid.Len() + high.Len())
+	bestAcc := -1.0
+	bestI, bestJ := 0, len(candidates)-1
+	for i := range candidates {
+		for j := i; j < len(candidates); j++ {
+			correct := lowAt[i] + (midAt[j] - midAt[i]) + (float64(high.Len()) - highAt[j])
+			if a := correct / total; a > bestAcc {
+				bestAcc, bestI, bestJ = a, i, j
+			}
+		}
+	}
+	return bestAcc, candidates[bestI], candidates[bestJ]
+}

@@ -1,0 +1,116 @@
+package stats
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func emp(t testing.TB, xs []float64) *Empirical {
+	t.Helper()
+	e, err := NewEmpirical(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestThreeWaySeparableClasses(t *testing.T) {
+	low := emp(t, []float64{1, 2, 3})
+	mid := emp(t, []float64{10, 11, 12})
+	high := emp(t, []float64{100, 110, 120})
+	acc, t1, t2 := ThreeWayThresholdAccuracy(low, mid, high)
+	if acc != 1 {
+		t.Errorf("accuracy = %v, want 1 for separated classes", acc)
+	}
+	if !(t1 > 3 && t1 < 10) {
+		t.Errorf("t1 = %v, want in (3, 10)", t1)
+	}
+	if !(t2 > 12 && t2 < 100) {
+		t.Errorf("t2 = %v, want in (12, 100)", t2)
+	}
+	if t1 >= t2 {
+		t.Errorf("thresholds out of order: t1=%v t2=%v", t1, t2)
+	}
+}
+
+func TestThreeWayIndistinguishableClasses(t *testing.T) {
+	same := []float64{5, 5, 5, 5}
+	acc, _, _ := ThreeWayThresholdAccuracy(emp(t, same), emp(t, same), emp(t, same))
+	// Identical distributions: the best rule assigns everything to one
+	// class and gets exactly a third right.
+	if acc < 1.0/3-1e-9 || acc > 1.0/3+1e-9 {
+		t.Errorf("accuracy = %v, want 1/3 for identical classes", acc)
+	}
+}
+
+func TestThreeWayCollapsedMiddleClass(t *testing.T) {
+	// Middle class indistinguishable from the low class: the best rule
+	// sacrifices one of the two.
+	low := emp(t, []float64{1, 2, 3, 4})
+	mid := emp(t, []float64{1, 2, 3, 4})
+	high := emp(t, []float64{50, 60, 70, 80})
+	acc, _, t2 := ThreeWayThresholdAccuracy(low, mid, high)
+	want := 8.0 / 12.0 // one merged class fully sacrificed, high fully correct
+	if acc < want-1e-9 || acc > want+1e-9 {
+		t.Errorf("accuracy = %v, want %v", acc, want)
+	}
+	if !(t2 > 4 && t2 < 50) {
+		t.Errorf("t2 = %v, want in (4, 50)", t2)
+	}
+}
+
+func TestThreeWayMatchesTwoWayWhenMiddleEmptyOverlap(t *testing.T) {
+	// With mid sitting exactly on top of high, three-way accuracy on
+	// (low, mid∪high split) must agree with the two-way classifier's
+	// structure: low is fully separable.
+	rng := rand.New(rand.NewSource(7))
+	var lowXs, midXs, highXs []float64
+	for i := 0; i < 200; i++ {
+		lowXs = append(lowXs, rng.NormFloat64()+0)
+		midXs = append(midXs, rng.NormFloat64()+100)
+		highXs = append(highXs, rng.NormFloat64()+100)
+	}
+	acc, t1, _ := ThreeWayThresholdAccuracy(emp(t, lowXs), emp(t, midXs), emp(t, highXs))
+	// low (1/3 of mass) always right; mid/high coin-flip resolves to one
+	// side: 2/3 of the remaining 2/3 ≈ not determined — but at least the
+	// low class plus the larger of mid/high must be correct.
+	if acc < 2.0/3-0.01 {
+		t.Errorf("accuracy = %v, want ≥ ~2/3", acc)
+	}
+	if !(t1 > 10 && t1 < 90) {
+		t.Errorf("t1 = %v, want between the separated clusters", t1)
+	}
+}
+
+func TestThreeWayOverlappingTails(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var lowXs, midXs, highXs []float64
+	for i := 0; i < 300; i++ {
+		lowXs = append(lowXs, rng.NormFloat64()*2+10)
+		midXs = append(midXs, rng.NormFloat64()*2+16)
+		highXs = append(highXs, rng.NormFloat64()*2+22)
+	}
+	acc, t1, t2 := ThreeWayThresholdAccuracy(emp(t, lowXs), emp(t, midXs), emp(t, highXs))
+	if !(acc > 1.0/3 && acc < 1) {
+		t.Errorf("accuracy = %v, want strictly between chance and perfect", acc)
+	}
+	if t1 > t2 {
+		t.Errorf("thresholds out of order: %v > %v", t1, t2)
+	}
+}
+
+func BenchmarkThreeWayThresholdAccuracy(b *testing.B) {
+	rng := rand.New(rand.NewSource(11))
+	var lowXs, midXs, highXs []float64
+	for i := 0; i < 250; i++ {
+		lowXs = append(lowXs, rng.NormFloat64()*2+10)
+		midXs = append(midXs, rng.NormFloat64()*2+16)
+		highXs = append(highXs, rng.NormFloat64()*2+22)
+	}
+	low, mid, high := emp(b, lowXs), emp(b, midXs), emp(b, highXs)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ThreeWayThresholdAccuracy(low, mid, high)
+	}
+}

@@ -21,9 +21,15 @@ type Decomposition struct {
 	// decisions added along the path.
 	CountermeasureNS int64
 	// UpstreamNS is the edge forwarder's wait for upstream content: 0
-	// when the edge cache served. Total − Countermeasure − Upstream is
-	// the consumer↔edge network share.
+	// when the edge cache served. Total − Countermeasure − Disk −
+	// Upstream is the consumer↔edge network share.
 	UpstreamNS int64
+	// DiskNS is the summed second-tier (disk) read cost paid along the
+	// path; nonzero only when a tiered store served from its second
+	// tier. DiskServed reports that causally: together with CacheServed
+	// it yields the three-way RAM-hit / disk-hit / miss ground truth.
+	DiskNS     int64
+	DiskServed bool
 	// NetworkNS is the residual consumer↔edge share.
 	NetworkNS int64
 	// CacheServed reports whether any cache on the path served the
@@ -105,6 +111,9 @@ func analyzeTrace(tid uint64, spans []*Record, byID map[uint64]*Record) *Decompo
 					d.ServedBy = r.Node
 				}
 			}
+		case KindDisk:
+			d.DiskNS += r.End - r.Start
+			d.DiskServed = true
 		case KindPIT:
 			if r.Action == "aggregate" {
 				d.Aggregated = true
@@ -124,7 +133,7 @@ func analyzeTrace(tid uint64, spans []*Record, byID map[uint64]*Record) *Decompo
 			}
 		}
 	}
-	d.NetworkNS = d.TotalNS - d.CountermeasureNS - d.UpstreamNS
+	d.NetworkNS = d.TotalNS - d.CountermeasureNS - d.DiskNS - d.UpstreamNS
 	return d
 }
 
@@ -152,12 +161,15 @@ type ClassSummary struct {
 	MeanTotalNS      float64
 	MeanNetworkNS    float64
 	MeanUpstreamNS   float64
+	MeanDiskNS       float64
 	MeanCountermeaNS float64
 }
 
 // Summarize buckets decompositions into hit/miss/timeout classes and
 // averages each latency component — the per-class reference
 // distribution the ROADMAP's latency-tier work classifies against.
+// Hits served from a tiered store's second tier form their own
+// "hit-disk" class; single-tier traces keep the plain "hit" label.
 func Summarize(decs []Decomposition) []ClassSummary {
 	classes := map[string]*ClassSummary{}
 	var order []string
@@ -166,6 +178,8 @@ func Summarize(decs []Decomposition) []ClassSummary {
 		switch {
 		case d.TimedOut:
 			class = "timeout"
+		case d.CacheServed && d.DiskServed:
+			class = "hit-disk"
 		case d.CacheServed:
 			class = "hit"
 		}
@@ -179,6 +193,7 @@ func Summarize(decs []Decomposition) []ClassSummary {
 		s.MeanTotalNS += float64(d.TotalNS)
 		s.MeanNetworkNS += float64(d.NetworkNS)
 		s.MeanUpstreamNS += float64(d.UpstreamNS)
+		s.MeanDiskNS += float64(d.DiskNS)
 		s.MeanCountermeaNS += float64(d.CountermeasureNS)
 	}
 	sort.Strings(order)
@@ -189,6 +204,7 @@ func Summarize(decs []Decomposition) []ClassSummary {
 		s.MeanTotalNS /= n
 		s.MeanNetworkNS /= n
 		s.MeanUpstreamNS /= n
+		s.MeanDiskNS /= n
 		s.MeanCountermeaNS /= n
 		out = append(out, *s)
 	}

@@ -40,6 +40,15 @@ const (
 	// KindResidency tracks one content-store entry's cache lifetime,
 	// insert through eviction. Residency spans have no trace parent.
 	KindResidency = "cs_entry"
+	// KindDisk covers a second-tier (disk) read on a tiered content
+	// store's hit path; Value carries the modeled service cost in
+	// nanoseconds. Its presence under a hop marks the serve as a
+	// disk hit — the analyzer's three-way ground truth.
+	KindDisk = "disk"
+	// KindTier marks inter-tier movement of a cached entry (promotion
+	// to RAM or demotion to disk). Tier spans are points outside any
+	// trace, like residency spans.
+	KindTier = "cs_tier"
 )
 
 // Context addresses a position in a trace tree: the trace a span

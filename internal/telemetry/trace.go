@@ -34,6 +34,15 @@ const (
 	// EvCSEvict: an entry left a Content Store; Action is the reason
 	// (capacity, stale, remove, clear).
 	EvCSEvict = "cs_evict"
+	// EvCSPromote: a tiered store moved an entry from the second (disk)
+	// tier into the RAM front on a disk hit; DelayNS is the read cost.
+	EvCSPromote = "cs_promote"
+	// EvCSDemote: a tiered store moved a RAM-front eviction victim down
+	// to the second tier instead of discarding it.
+	EvCSDemote = "cs_demote"
+	// EvCSDiskRead: a forwarder served a hit from the second tier;
+	// DelayNS is the modeled disk service cost added to the response.
+	EvCSDiskRead = "cs_disk_read"
 	// EvPITExpire: a pending-interest entry lapsed unanswered.
 	EvPITExpire = "pit_expire"
 	// EvDataUnsolicited: data arrived with no matching PIT entry.

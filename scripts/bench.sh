@@ -15,7 +15,7 @@
 #
 # Output: one JSON array of {suite, name, iterations, ns_per_op,
 # bytes_per_op, allocs_per_op} objects in the repo root. The output name
-# is per-PR (BENCH_PR8.json for this one) so BENCH_*.json snapshots
+# is per-PR (BENCH_PR9.json for this one) so BENCH_*.json snapshots
 # accumulate into a perf trajectory instead of overwriting each other;
 # CI pins the name explicitly via BENCH_OUT. ns/B/allocs fields are null
 # when a benchmark did not report them (e.g. without -benchmem
@@ -26,13 +26,17 @@
 # scaling pair this file exists to track. The fwd suite carries the
 # span-overhead pair BenchmarkEndToEndFetchHit{,Spans}: the same cached
 # fetch with span tracing off and on, pinning the observability tax on
-# the paper's timing signal.
+# the paper's timing signal. The cache/tiered suite watches the tiered
+# Content Store: the 0-alloc RAM-front hit path, disk-hit promotion
+# churn, and insert-demote movement; the stats suite carries the
+# two-cut three-way classifier that turns those tiers into the
+# RAM/disk/miss side channel.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="${1:-${BENCH_OUT:-BENCH_PR8.json}}"
+out="${1:-${BENCH_OUT:-BENCH_PR9.json}}"
 benchtime="${BENCHTIME:-1x}"
-suites=(ndn cache fwd trace core experiments lint)
+suites=(ndn cache cache/tiered fwd trace core stats experiments lint)
 
 tmp=$(mktemp)
 trap 'rm -f "$tmp"' EXIT
