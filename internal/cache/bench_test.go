@@ -102,9 +102,15 @@ func BenchmarkStorePrefixMatch(b *testing.B) {
 
 func BenchmarkStoreInsertEvict(b *testing.B) {
 	s := MustNewStore(256, NewLRU())
+	// Pre-generate the object pool so the loop measures the store's
+	// insert+evict cost, not Data construction.
+	objects := make([]*ndn.Data, 8192)
+	for i := range objects {
+		objects[i] = benchData(i)
+	}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for n := 0; n < b.N; n++ {
-		s.Insert(benchData(n), time.Duration(n), 0)
+		s.Insert(objects[n%len(objects)], time.Duration(n), 0)
 	}
 }

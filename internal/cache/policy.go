@@ -5,240 +5,48 @@
 // forward counts (the router state S(C) of Section IV), first-fetch delay
 // γ_C (Section V-B), privacy marking state, and Random-Cache counters
 // (Section VI, Algorithm 1).
+//
+// The store is a facade over the PIT-CS composite table
+// (internal/pcct): entries live in the table's pooled arena, eviction
+// policies are the table's intrusive lists, and prefix matching walks
+// the table's sorted index. A forwarder may hand the same table to its
+// PIT so one hash probe per arriving interest serves both.
 package cache
 
-import (
-	"container/list"
-)
+import "ndnprivacy/internal/pcct"
 
-// Policy decides which cached entry to evict when the store is full.
-// Implementations are not safe for concurrent use; the store guards them.
+// Policy selects which eviction policy a bounded store uses. Policies
+// are implemented inside the composite table as intrusive lists
+// threaded through the entries themselves (internal/pcct); this
+// interface is a selector, not a container — the old string-keyed
+// OnInsert/OnAccess/Victim mechanism and its per-key map and list-node
+// allocations are gone. The kind method is unexported on purpose:
+// only the three policies the table implements exist.
 type Policy interface {
-	// OnInsert notes that key was just added.
-	OnInsert(key string)
-	// OnAccess notes a cache hit on key. Per Section VII, "in case of a
-	// cache hit, the corresponding cache entry becomes fresh even if the
-	// response is delayed" — so the store calls this even when the
-	// privacy layer disguises the hit as a miss.
-	OnAccess(key string)
-	// OnRemove notes that key was removed (evicted or explicitly).
-	OnRemove(key string)
-	// Victim returns the key to evict next, or false when empty.
-	Victim() (string, bool)
 	// Name identifies the policy in experiment output.
 	Name() string
+	kind() pcct.PolicyKind
 }
 
-// LRU evicts the least-recently-used entry. This is the policy used in
-// the paper's trace evaluation.
-type LRU struct {
-	order *list.List               // front = most recent
-	elems map[string]*list.Element // value: key string
-}
+type policyKind pcct.PolicyKind
 
-var _ Policy = (*LRU)(nil)
+func (k policyKind) Name() string          { return pcct.PolicyKind(k).String() }
+func (k policyKind) kind() pcct.PolicyKind { return pcct.PolicyKind(k) }
 
-// NewLRU returns an empty LRU policy.
-func NewLRU() *LRU {
-	return &LRU{order: list.New(), elems: make(map[string]*list.Element)}
-}
+// NewLRU returns the least-recently-used policy. This is the policy
+// used in the paper's trace evaluation: insert and access (including
+// hits the privacy layer disguises as misses — Section VII, "the
+// corresponding cache entry becomes fresh even if the response is
+// delayed") both refresh recency.
+func NewLRU() Policy { return policyKind(pcct.PolicyLRU) }
 
-// Name implements Policy.
-func (l *LRU) Name() string { return "lru" }
+// NewFIFO returns the first-in-first-out policy: eviction in insertion
+// order, ignoring accesses and refreshes.
+func NewFIFO() Policy { return policyKind(pcct.PolicyFIFO) }
 
-// OnInsert implements Policy.
-func (l *LRU) OnInsert(key string) {
-	if e, found := l.elems[key]; found {
-		l.order.MoveToFront(e)
-		return
-	}
-	l.elems[key] = l.order.PushFront(key)
-}
-
-// OnAccess implements Policy.
-func (l *LRU) OnAccess(key string) {
-	if e, found := l.elems[key]; found {
-		l.order.MoveToFront(e)
-	}
-}
-
-// OnRemove implements Policy.
-func (l *LRU) OnRemove(key string) {
-	if e, found := l.elems[key]; found {
-		l.order.Remove(e)
-		delete(l.elems, key)
-	}
-}
-
-// Victim implements Policy.
-func (l *LRU) Victim() (string, bool) {
-	back := l.order.Back()
-	if back == nil {
-		return "", false
-	}
-	key, ok := back.Value.(string)
-	if !ok {
-		return "", false
-	}
-	return key, true
-}
-
-// FIFO evicts in insertion order, ignoring accesses.
-type FIFO struct {
-	order *list.List
-	elems map[string]*list.Element
-}
-
-var _ Policy = (*FIFO)(nil)
-
-// NewFIFO returns an empty FIFO policy.
-func NewFIFO() *FIFO {
-	return &FIFO{order: list.New(), elems: make(map[string]*list.Element)}
-}
-
-// Name implements Policy.
-func (f *FIFO) Name() string { return "fifo" }
-
-// OnInsert implements Policy.
-func (f *FIFO) OnInsert(key string) {
-	if _, found := f.elems[key]; found {
-		return
-	}
-	f.elems[key] = f.order.PushFront(key)
-}
-
-// OnAccess implements Policy. FIFO ignores accesses.
-func (f *FIFO) OnAccess(string) {}
-
-// OnRemove implements Policy.
-func (f *FIFO) OnRemove(key string) {
-	if e, found := f.elems[key]; found {
-		f.order.Remove(e)
-		delete(f.elems, key)
-	}
-}
-
-// Victim implements Policy.
-func (f *FIFO) Victim() (string, bool) {
-	back := f.order.Back()
-	if back == nil {
-		return "", false
-	}
-	key, ok := back.Value.(string)
-	if !ok {
-		return "", false
-	}
-	return key, true
-}
-
-// LFU evicts the least-frequently-used entry, breaking ties by least
-// recency within the same frequency (the classic O(1) bucket scheme).
-type LFU struct {
-	freqs   *list.List // of *lfuBucket, ascending frequency
-	entries map[string]*lfuEntry
-}
-
-type lfuBucket struct {
-	freq  uint64
-	order *list.List // of string keys; front = most recent
-}
-
-type lfuEntry struct {
-	bucketElem *list.Element // element in freqs holding *lfuBucket
-	keyElem    *list.Element // element in bucket.order holding key
-}
-
-var _ Policy = (*LFU)(nil)
-
-// NewLFU returns an empty LFU policy.
-func NewLFU() *LFU {
-	return &LFU{freqs: list.New(), entries: make(map[string]*lfuEntry)}
-}
-
-// Name implements Policy.
-func (l *LFU) Name() string { return "lfu" }
-
-// OnInsert implements Policy.
-func (l *LFU) OnInsert(key string) {
-	if _, found := l.entries[key]; found {
-		l.OnAccess(key)
-		return
-	}
-	front := l.freqs.Front()
-	var bucketElem *list.Element
-	if front != nil {
-		if b, ok := front.Value.(*lfuBucket); ok && b.freq == 1 {
-			bucketElem = front
-		}
-	}
-	if bucketElem == nil {
-		bucketElem = l.freqs.PushFront(&lfuBucket{freq: 1, order: list.New()})
-	}
-	bucket, _ := bucketElem.Value.(*lfuBucket)
-	l.entries[key] = &lfuEntry{
-		bucketElem: bucketElem,
-		keyElem:    bucket.order.PushFront(key),
-	}
-}
-
-// OnAccess implements Policy.
-func (l *LFU) OnAccess(key string) {
-	entry, found := l.entries[key]
-	if !found {
-		return
-	}
-	bucket, _ := entry.bucketElem.Value.(*lfuBucket)
-	nextFreq := bucket.freq + 1
-
-	var nextElem *list.Element
-	if n := entry.bucketElem.Next(); n != nil {
-		if nb, ok := n.Value.(*lfuBucket); ok && nb.freq == nextFreq {
-			nextElem = n
-		}
-	}
-	if nextElem == nil {
-		//ndnlint:allow alloccheck — LFU is an ablation policy, not on the measured LRU path
-		nextElem = l.freqs.InsertAfter(&lfuBucket{freq: nextFreq, order: list.New()}, entry.bucketElem)
-	}
-	bucket.order.Remove(entry.keyElem)
-	if bucket.order.Len() == 0 {
-		l.freqs.Remove(entry.bucketElem)
-	}
-	nextBucket, _ := nextElem.Value.(*lfuBucket)
-	entry.bucketElem = nextElem
-	entry.keyElem = nextBucket.order.PushFront(key) //ndnlint:allow alloccheck — LFU is an ablation policy, not on the measured LRU path
-}
-
-// OnRemove implements Policy.
-func (l *LFU) OnRemove(key string) {
-	entry, found := l.entries[key]
-	if !found {
-		return
-	}
-	bucket, _ := entry.bucketElem.Value.(*lfuBucket)
-	bucket.order.Remove(entry.keyElem)
-	if bucket.order.Len() == 0 {
-		l.freqs.Remove(entry.bucketElem)
-	}
-	delete(l.entries, key)
-}
-
-// Victim implements Policy.
-func (l *LFU) Victim() (string, bool) {
-	front := l.freqs.Front()
-	if front == nil {
-		return "", false
-	}
-	bucket, ok := front.Value.(*lfuBucket)
-	if !ok || bucket.order.Len() == 0 {
-		return "", false
-	}
-	key, ok := bucket.order.Back().Value.(string)
-	if !ok {
-		return "", false
-	}
-	return key, true
-}
+// NewLFU returns the least-frequently-used policy, breaking ties by
+// least recency within a frequency.
+func NewLFU() Policy { return policyKind(pcct.PolicyLFU) }
 
 // NewPolicy constructs a policy by name ("lru", "fifo", "lfu"); it
 // returns false for unknown names.

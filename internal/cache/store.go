@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"ndnprivacy/internal/ndn"
+	"ndnprivacy/internal/pcct"
 	"ndnprivacy/internal/telemetry"
 	"ndnprivacy/internal/telemetry/span"
 )
@@ -54,19 +55,25 @@ func (e *Entry) IsStale(now time.Duration) bool {
 	return e.Data.Freshness > 0 && now-e.InsertedAt >= e.Data.Freshness
 }
 
-// Store is an NDN Content Store. A capacity of 0 means unlimited (the
-// paper's "Inf" baseline). Store is not safe for concurrent use; each
-// simulated node runs single-threaded on the event loop.
+// entryPoolCap bounds the store's recycled-Entry free list.
+const entryPoolCap = 1024
+
+// Store is an NDN Content Store over the PIT-CS composite table. A
+// capacity of 0 means unlimited (the paper's "Inf" baseline). Store is
+// not safe for concurrent use; each simulated node runs single-threaded
+// on the event loop.
 type Store struct {
 	capacity int
 	policy   Policy
-	entries  map[string]*Entry
-	// byHash buckets entries by Name.Hash so the view lookup path
-	// (ExactView) can find an entry without materializing a name key.
-	// Buckets are tiny — collisions require a 64-bit hash collision —
-	// and membership is verified by full component comparison.
-	byHash   map[uint64][]*Entry
-	index    *nameIndex
+	// t holds the entries: the CS facet of a composite table. A
+	// forwarder may share the same table with its PIT (see Table), in
+	// which case one probe resolves both.
+	t *pcct.Table
+	// pool recycles Entry metadata structs across insert/evict churn.
+	// Recycling is skipped whenever a removal hook is registered — a
+	// hook may legitimately retain the entry (the tiered store demotes
+	// evicted entries into its second tier).
+	pool     []*Entry
 	onEvict  func(*Entry)
 	onRemove func(*Entry, RemoveReason, time.Duration)
 
@@ -97,9 +104,7 @@ func NewStore(capacity int, policy Policy) (*Store, error) {
 	return &Store{
 		capacity:   capacity,
 		policy:     policy,
-		entries:    make(map[string]*Entry),
-		byHash:     make(map[uint64][]*Entry),
-		index:      newNameIndex(),
+		t:          pcct.New(policy.kind()),
 		insertions: telemetry.NewCounter(),
 		evictions:  telemetry.NewCounter(),
 		hits:       telemetry.NewCounter(),
@@ -117,8 +122,13 @@ func MustNewStore(capacity int, policy Policy) *Store {
 	return s
 }
 
+// Table exposes the underlying composite table so a forwarder can run
+// its PIT on the same table and fuse CS-check, PIT-aggregate and
+// PIT-insert into one hash probe per arriving interest.
+func (s *Store) Table() *pcct.Table { return s.t }
+
 // Len returns the number of cached objects.
-func (s *Store) Len() int { return len(s.entries) }
+func (s *Store) Len() int { return s.t.LenCS() }
 
 // Capacity returns the configured capacity (0 = unlimited).
 func (s *Store) Capacity() int { return s.capacity }
@@ -166,14 +176,14 @@ func (s *Store) InstrumentSpans(tr *span.Tracer, node string) {
 // FinishSpans closes every still-open residency span at virtual time
 // now with action "resident" — call once at end of run so entries that
 // were never evicted still export a bounded span. The walk follows the
-// sorted name index, so output order is deterministic.
+// sorted prefix index, so output order is deterministic.
 func (s *Store) FinishSpans(now time.Duration) {
 	if s.spans == nil {
 		return
 	}
-	for _, name := range s.index.all() {
-		entry, found := s.entries[name.Key()]
-		if !found || entry.residency == nil {
+	for i := 0; i < s.t.CSIndexLen(); i++ {
+		entry := s.t.CSIndex(i).CS().(*Entry)
+		if entry.residency == nil {
 			continue
 		}
 		s.spans.End(entry.residency, int64(now), "resident")
@@ -229,43 +239,55 @@ func (s *Store) SetRemovalObserver(obs func(e *Entry, reason RemoveReason, now t
 // entry for metadata updates.
 func (s *Store) Insert(data *ndn.Data, now, fetchDelay time.Duration) *Entry {
 	key := data.Name.Key()
-	if existing, found := s.entries[key]; found {
+	e := s.t.Get(data.Name)
+	if e != nil && e.CS() != nil {
 		// Refresh payload and timing, keep counters: the router already
 		// knows this content.
+		existing := e.CS().(*Entry)
 		existing.Data = data.Clone()
 		existing.InsertedAt = now
 		existing.FetchDelay = fetchDelay
-		s.policy.OnInsert(key)
+		s.t.CSRefresh(e)
 		s.emit(telemetry.EvCSInsert, key, now, "refresh")
 		return existing
 	}
-	for s.capacity > 0 && len(s.entries) >= s.capacity {
-		victim, found := s.policy.Victim()
-		if !found {
+	for s.capacity > 0 && s.t.LenCS() >= s.capacity {
+		victim := s.t.CSVictim()
+		if victim == nil {
 			break
 		}
-		s.removeKey(victim, now, ReasonCapacity)
+		s.removeEntry(victim, now, ReasonCapacity)
 		s.evictions.Inc()
 	}
-	entry := &Entry{
-		Data:       data.Clone(),
-		InsertedAt: now,
-		FetchDelay: fetchDelay,
-		Private:    data.IsPrivate(),
-	}
+	entry := s.newEntry()
+	entry.Data = data.Clone()
+	entry.InsertedAt = now
+	entry.FetchDelay = fetchDelay
+	entry.Private = data.IsPrivate()
 	if s.spans != nil {
 		// Residency spans live outside any trace (zero context): one
 		// entry serves many fetches across its cache lifetime.
 		entry.residency, _ = s.spans.Begin(span.Context{}, span.KindResidency, s.node, key, int64(now))
 	}
-	s.entries[key] = entry
-	h := data.Name.Hash()
-	s.byHash[h] = append(s.byHash[h], entry)
-	s.index.insert(data.Name)
-	s.policy.OnInsert(key)
+	if e == nil {
+		// The eviction loop may have mutated the table; Put re-probes.
+		e = s.t.Put(data.Name)
+	}
+	s.t.AttachCS(e, entry)
 	s.insertions.Inc()
 	s.emit(telemetry.EvCSInsert, key, now, "new")
 	return entry
+}
+
+// newEntry takes a recycled Entry from the pool or allocates one.
+func (s *Store) newEntry() *Entry {
+	if n := len(s.pool); n > 0 {
+		entry := s.pool[n-1]
+		s.pool[n-1] = nil
+		s.pool = s.pool[:n-1]
+		return entry
+	}
+	return &Entry{}
 }
 
 // Exact returns the entry whose name equals name exactly, if fresh.
@@ -279,8 +301,9 @@ func (s *Store) Exact(name ndn.Name, now time.Duration) (*Entry, bool) {
 
 // ExactView is Exact for a zero-copy name view: the hit/miss decision the
 // timing adversary measures, taken directly over the wire buffer without
-// materializing an owned name. The view's precomputed hash selects a
-// bucket and full component comparison verifies membership.
+// materializing an owned name. The view's precomputed rolling hash
+// selects the probe start and full component comparison verifies
+// membership.
 //
 //ndnlint:hotpath — the lookup latency the cache-timing adversary measures; must not allocate
 func (s *Store) ExactView(v *ndn.NameView, now time.Duration) (*Entry, bool) {
@@ -293,28 +316,30 @@ func (s *Store) ExactView(v *ndn.NameView, now time.Duration) (*Entry, bool) {
 //
 //ndnlint:hotpath — called per probe from ExactView; must not allocate
 func (s *Store) lookupExactView(v *ndn.NameView, now time.Duration) (*Entry, bool) {
-	for _, entry := range s.byHash[v.Hash()] {
-		if !v.EqualName(entry.Data.Name) {
-			continue
-		}
-		if entry.IsStale(now) {
-			s.removeKey(entry.Data.Name.Key(), now, ReasonStale) //ndnlint:allow alloccheck — stale purge is off the steady-state hit path
-			return nil, false
-		}
-		return entry, true
+	e := s.t.GetView(v)
+	if e == nil || e.CS() == nil {
+		return nil, false
 	}
-	return nil, false
+	entry := e.CS().(*Entry)
+	if entry.IsStale(now) {
+		s.removeEntry(e, now, ReasonStale) //ndnlint:allow alloccheck — stale purge is off the steady-state hit path
+		return nil, false
+	}
+	return entry, true
 }
 
 // lookupExact is Exact without hit/miss accounting, shared with Match so
 // one logical lookup is counted exactly once.
+//
+//ndnlint:hotpath — called per probe from Exact and Match; must not allocate
 func (s *Store) lookupExact(name ndn.Name, now time.Duration) (*Entry, bool) {
-	entry, found := s.entries[name.Key()]
-	if !found {
+	e := s.t.Get(name)
+	if e == nil || e.CS() == nil {
 		return nil, false
 	}
+	entry := e.CS().(*Entry)
 	if entry.IsStale(now) {
-		s.removeKey(name.Key(), now, ReasonStale) //ndnlint:allow alloccheck — stale purge is off the steady-state hit path
+		s.removeEntry(e, now, ReasonStale) //ndnlint:allow alloccheck — stale purge is off the steady-state hit path
 		return nil, false
 	}
 	return entry, true
@@ -329,30 +354,95 @@ func (s *Store) countLookup(hit bool) {
 	}
 }
 
+// ProbeName captures one hash probe for name. The forwarder's fused
+// fast path takes the probe once per arriving interest and feeds it to
+// MatchProbed and then the PIT's InsertProbed, so the CS check, the
+// PIT aggregate check and the PIT insert cost a single probe.
+//
+//ndnlint:hotpath — the one probe per arriving interest; must not allocate
+func (s *Store) ProbeName(name ndn.Name) pcct.Probe { return s.t.Probe(name) }
+
+// ProbeViewFused resolves both facets of the composite table with one
+// hash probe over a zero-copy name view: cached follows ExactView
+// semantics exactly (stale purge, hit/miss accounting), and pending
+// reports whether a live PIT facet awaits the name at virtual time now.
+// It exists for forwarders running their PIT on this store's table
+// (Table), where separate CS and PIT probes would hash the same name
+// twice. Pending state is read before any stale purge, which may
+// release the table entry.
+//
+//ndnlint:hotpath — wire-probe fast path; must not allocate
+func (s *Store) ProbeViewFused(v *ndn.NameView, now time.Duration) (entry *Entry, cached, pending bool) {
+	e := s.t.GetView(v)
+	if e == nil {
+		s.countLookup(false)
+		return nil, false, false
+	}
+	pending = e.PITActive() && now < e.PIT().Expires
+	if e.CS() != nil {
+		ce := e.CS().(*Entry)
+		if ce.IsStale(now) {
+			s.removeEntry(e, now, ReasonStale) //ndnlint:allow alloccheck — stale purge is off the steady-state hit path
+		} else {
+			entry, cached = ce, true
+		}
+	}
+	s.countLookup(cached)
+	return entry, cached, pending
+}
+
 // Match finds a cached object satisfying the interest under NDN's
 // longest-prefix rule (Section II footnote 2), skipping stale entries and
 // honoring the unpredictable-suffix restriction. Among multiple matches
 // the lexicographically smallest full name wins, which makes simulation
 // runs deterministic.
 func (s *Store) Match(interest *ndn.Interest, now time.Duration) (*Entry, bool) {
-	// Fast path: exact name.
-	if entry, found := s.lookupExact(interest.Name, now); found {
-		s.countLookup(true)
-		return entry, true
+	p := s.t.Probe(interest.Name)
+	return s.matchProbed(interest, &p, now)
+}
+
+// MatchProbed is Match reusing an earlier probe of interest.Name.
+//
+//ndnlint:hotpath — fused-path CS check; must not allocate on the exact-hit path
+func (s *Store) MatchProbed(interest *ndn.Interest, p *pcct.Probe, now time.Duration) (*Entry, bool) {
+	return s.matchProbed(interest, p, now)
+}
+
+//ndnlint:hotpath — shared by Match and MatchProbed; must not allocate on the exact-hit path
+func (s *Store) matchProbed(interest *ndn.Interest, p *pcct.Probe, now time.Duration) (*Entry, bool) {
+	if !p.Valid(s.t) {
+		*p = s.t.Probe(interest.Name)
 	}
-	for _, full := range s.index.under(interest.Name) {
-		entry, found := s.entries[full.Key()]
-		if !found {
-			continue
+	// Fast path: exact name.
+	if e := p.Entry; e != nil && e.CS() != nil {
+		entry := e.CS().(*Entry)
+		if !entry.IsStale(now) {
+			s.countLookup(true)
+			return entry, true
 		}
+		s.removeEntry(e, now, ReasonStale) //ndnlint:allow alloccheck — stale purge is off the steady-state hit path
+	}
+	// Prefix range: all names under interest.Name form a contiguous,
+	// sorted run of the index, so the first fresh match is the
+	// lexicographically smallest.
+	i := s.t.CSLowerBound(interest.Name)
+	for i < s.t.CSIndexLen() {
+		e := s.t.CSIndex(i)
+		if !interest.Name.IsPrefixOf(e.Name()) {
+			break
+		}
+		entry := e.CS().(*Entry)
 		if entry.IsStale(now) {
-			s.removeKey(full.Key(), now, ReasonStale)
+			// Removal closes the index gap; the next candidate slides
+			// into position i.
+			s.removeEntry(e, now, ReasonStale) //ndnlint:allow alloccheck — stale purge is off the steady-state hit path
 			continue
 		}
 		if entry.Data.Matches(interest) {
 			s.countLookup(true)
 			return entry, true
 		}
+		i++
 	}
 	s.countLookup(false)
 	return nil, false
@@ -362,9 +452,11 @@ func (s *Store) Match(interest *ndn.Interest, now time.Duration) (*Entry, bool) 
 // Call it on every hit, including hits the privacy layer disguises as
 // misses (Section VII: delayed responses still refresh the entry).
 //
-//ndnlint:hotpath — runs on every cache hit
+//ndnlint:hotpath — runs on every cache hit; must not allocate
 func (s *Store) Touch(name ndn.Name) {
-	s.policy.OnAccess(name.Key())
+	if e := s.t.Get(name); e != nil && e.CS() != nil {
+		s.t.CSAccess(e)
+	}
 }
 
 // Remove deletes the entry for exactly name, reporting whether it
@@ -372,68 +464,61 @@ func (s *Store) Touch(name ndn.Name) {
 // stamps the eviction trace event and closes the entry's residency span
 // at a real timestamp instead of zero.
 func (s *Store) Remove(name ndn.Name, now time.Duration) bool {
-	if _, found := s.entries[name.Key()]; !found {
+	e := s.t.Get(name)
+	if e == nil || e.CS() == nil {
 		return false
 	}
-	s.removeKey(name.Key(), now, ReasonRemove)
+	s.removeEntry(e, now, ReasonRemove)
 	return true
 }
 
 // Clear empties the store at virtual time now, preserving
-// configuration. It walks the name index (sorted) rather than the entry
-// map so the eviction-event order is deterministic.
+// configuration. It drains the sorted prefix index front-to-back so the
+// eviction-event order is deterministic (sorted by name).
 func (s *Store) Clear(now time.Duration) {
-	for _, name := range s.index.all() {
-		s.removeKey(name.Key(), now, ReasonClear)
+	for s.t.CSIndexLen() > 0 {
+		s.removeEntry(s.t.CSIndex(0), now, ReasonClear)
 	}
 }
 
-// Names returns the full names of all cached objects, in index order.
+// Names returns the full names of all cached objects, sorted.
 func (s *Store) Names() []ndn.Name {
-	return s.index.all()
+	out := make([]ndn.Name, s.t.CSIndexLen())
+	for i := range out {
+		out[i] = s.t.CSIndex(i).Name()
+	}
+	return out
 }
 
-func (s *Store) removeKey(key string, now time.Duration, reason RemoveReason) {
-	entry, found := s.entries[key]
-	if !found {
-		return
-	}
-	delete(s.entries, key)
-	s.unindexHash(entry)
-	s.index.remove(entry.Data.Name)
-	s.policy.OnRemove(key)
+// removeEntry detaches e's CS facet, releases the table entry unless a
+// PIT facet keeps it alive, and runs the removal side effects in the
+// same order the map-based store used: span close, trace event,
+// eviction hook, removal observer.
+func (s *Store) removeEntry(e *pcct.Entry, now time.Duration, reason RemoveReason) {
+	entry := e.CS().(*Entry)
+	key := entry.Data.Name.Key()
+	s.t.DetachCS(e)
+	s.t.ReleaseIfEmpty(e)
 	if entry.residency != nil {
 		s.spans.End(entry.residency, int64(now), string(reason))
 		entry.residency = nil
 	}
 	s.emit(telemetry.EvCSEvict, key, now, string(reason))
-	if s.onEvict != nil {
-		s.onEvict(entry)
-	}
-	if s.onRemove != nil {
-		s.onRemove(entry, reason, now)
-	}
-}
-
-// unindexHash removes entry from its hash bucket. Bucket order is
-// irrelevant (lookups verify full equality), so removal swaps with the
-// last element.
-func (s *Store) unindexHash(entry *Entry) {
-	h := entry.Data.Name.Hash()
-	bucket := s.byHash[h]
-	for i, e := range bucket {
-		if e != entry {
-			continue
+	if s.onEvict != nil || s.onRemove != nil {
+		// A hook may retain the entry (the tiered store demotes evicted
+		// entries into its second tier); hooked entries are never
+		// recycled.
+		if s.onEvict != nil {
+			s.onEvict(entry)
 		}
-		bucket[i] = bucket[len(bucket)-1]
-		bucket[len(bucket)-1] = nil
-		bucket = bucket[:len(bucket)-1]
-		break
+		if s.onRemove != nil {
+			s.onRemove(entry, reason, now)
+		}
+		return
 	}
-	if len(bucket) == 0 {
-		delete(s.byHash, h)
-	} else {
-		s.byHash[h] = bucket
+	if len(s.pool) < entryPoolCap {
+		*entry = Entry{}
+		s.pool = append(s.pool, entry)
 	}
 }
 

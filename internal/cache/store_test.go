@@ -244,107 +244,6 @@ func TestStoreIsStaleZeroFreshness(t *testing.T) {
 	}
 }
 
-func TestLRUPolicyOrder(t *testing.T) {
-	l := NewLRU()
-	l.OnInsert("a")
-	l.OnInsert("b")
-	l.OnInsert("c")
-	l.OnAccess("a")
-	if v, _ := l.Victim(); v != "b" {
-		t.Errorf("Victim = %s, want b", v)
-	}
-	l.OnRemove("b")
-	if v, _ := l.Victim(); v != "c" {
-		t.Errorf("Victim = %s, want c", v)
-	}
-}
-
-func TestLRUEmptyVictim(t *testing.T) {
-	l := NewLRU()
-	if _, found := l.Victim(); found {
-		t.Error("empty LRU produced a victim")
-	}
-	l.OnRemove("ghost") // must not panic
-	l.OnAccess("ghost")
-}
-
-func TestLRUReinsertMovesToFront(t *testing.T) {
-	l := NewLRU()
-	l.OnInsert("a")
-	l.OnInsert("b")
-	l.OnInsert("a")
-	if v, _ := l.Victim(); v != "b" {
-		t.Errorf("Victim = %s, want b", v)
-	}
-}
-
-func TestFIFOIgnoresAccess(t *testing.T) {
-	f := NewFIFO()
-	f.OnInsert("a")
-	f.OnInsert("b")
-	f.OnAccess("a")
-	if v, _ := f.Victim(); v != "a" {
-		t.Errorf("Victim = %s, want a (FIFO ignores access)", v)
-	}
-}
-
-func TestFIFOReinsertKeepsPosition(t *testing.T) {
-	f := NewFIFO()
-	f.OnInsert("a")
-	f.OnInsert("b")
-	f.OnInsert("a")
-	if v, _ := f.Victim(); v != "a" {
-		t.Errorf("Victim = %s, want a", v)
-	}
-	f.OnRemove("a")
-	if v, _ := f.Victim(); v != "b" {
-		t.Errorf("Victim = %s, want b", v)
-	}
-}
-
-func TestLFUEvictsLeastFrequent(t *testing.T) {
-	l := NewLFU()
-	l.OnInsert("hot")
-	l.OnInsert("cold")
-	l.OnAccess("hot")
-	l.OnAccess("hot")
-	if v, _ := l.Victim(); v != "cold" {
-		t.Errorf("Victim = %s, want cold", v)
-	}
-}
-
-func TestLFUTieBreaksByRecency(t *testing.T) {
-	l := NewLFU()
-	l.OnInsert("first")
-	l.OnInsert("second")
-	// Both at frequency 1; least recent within the bucket should go.
-	if v, _ := l.Victim(); v != "first" {
-		t.Errorf("Victim = %s, want first", v)
-	}
-}
-
-func TestLFURemoveCleansBuckets(t *testing.T) {
-	l := NewLFU()
-	l.OnInsert("a")
-	l.OnAccess("a")
-	l.OnRemove("a")
-	if _, found := l.Victim(); found {
-		t.Error("LFU produced victim after removing only entry")
-	}
-	l.OnAccess("ghost") // must not panic
-	l.OnRemove("ghost")
-}
-
-func TestLFUInsertExistingCountsAsAccess(t *testing.T) {
-	l := NewLFU()
-	l.OnInsert("a")
-	l.OnInsert("b")
-	l.OnInsert("a") // bumps a to freq 2
-	if v, _ := l.Victim(); v != "b" {
-		t.Errorf("Victim = %s, want b", v)
-	}
-}
-
 func TestNewPolicyByName(t *testing.T) {
 	for _, name := range []string{"lru", "fifo", "lfu"} {
 		p, ok := NewPolicy(name)

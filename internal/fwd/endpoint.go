@@ -239,8 +239,10 @@ func (p *Producer) deliver(pkt any) {
 	p.served++
 	data := entry.Data.Clone()
 	// Answer under the requesting interest's span context so the
-	// response leg joins the same trace.
+	// response leg joins the same trace, and echo the host's PIT token
+	// so its satisfaction resolves by direct table handle.
 	data.TraceID, data.SpanID = interest.TraceID, interest.SpanID
+	data.PITToken = interest.PITToken
 	p.fwd.schedule(p.ResponseDelay, netsim.EventApp, func() {
 		p.fwd.SendData(p.faceID, data)
 	})

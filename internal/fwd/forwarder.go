@@ -18,6 +18,7 @@ import (
 	"ndnprivacy/internal/core"
 	"ndnprivacy/internal/ndn"
 	"ndnprivacy/internal/netsim"
+	"ndnprivacy/internal/pcct"
 	"ndnprivacy/internal/table"
 	"ndnprivacy/internal/telemetry"
 	"ndnprivacy/internal/telemetry/span"
@@ -112,7 +113,9 @@ type Forwarder struct {
 	// csFlat/csTiered devirtualize ProbeWire's exact lookup: calling
 	// ExactView through the ContentStore interface forces the stack
 	// NameView to escape, so the zero-alloc probe path needs the
-	// concrete store type. At most one is non-nil.
+	// concrete store type. At most one is non-nil. A non-nil csFlat
+	// additionally shares its composite table with pit (see New), which
+	// is what fuses the interest pipeline into one hash probe.
 	csFlat   *cache.Store
 	csTiered *tieredcs.Store
 	pit      *table.PIT
@@ -216,7 +219,17 @@ func New(cfg Config) (*Forwarder, error) {
 	if grc, isGrouped := cm.(*core.GroupedRandomCache); isGrouped && cfg.Store != nil {
 		cfg.Store.SetEvictionHook(grc.OnContentEvicted)
 	}
-	pit := table.NewPIT()
+	// A flat store shares its composite table with the PIT, so one hash
+	// probe per arriving interest resolves the CS check, the PIT
+	// aggregate check and the PIT insert; any other store keeps the PIT
+	// on a private table.
+	csFlat, _ := cfg.Store.(*cache.Store)
+	var pit *table.PIT
+	if csFlat != nil {
+		pit = table.NewPITOn(csFlat.Table())
+	} else {
+		pit = table.NewPIT()
+	}
 	pit.SetCapacity(cfg.PITCapacity)
 
 	reg, sink := cfg.Metrics, cfg.Trace
@@ -251,7 +264,6 @@ func New(cfg Config) (*Forwarder, error) {
 	}
 	tagged, _ := cfg.Sim.(taggedScheduler)
 	tierCap, _ := cfg.Store.(cache.TieredContentStore)
-	csFlat, _ := cfg.Store.(*cache.Store)
 	csTiered, _ := cfg.Store.(*tieredcs.Store)
 
 	return &Forwarder{
@@ -400,16 +412,21 @@ func (f *Forwarder) ProbeWire(wire []byte, now time.Duration) (cached, pending b
 	if err != nil {
 		return false, false
 	}
-	// ExactView implementations are lookup-only: the view is compared
-	// against cached names and never retained past the call. Calls are
-	// devirtualized so the view stays on the stack.
+	// View lookups are read-only: the view is compared against cached
+	// names and never retained past the call. Calls are devirtualized so
+	// the view stays on the stack.
 	switch {
 	case f.csFlat != nil:
-		_, cached = f.csFlat.ExactView(&v, now) //ndnlint:allow viewsafe — ExactView reads the view, never retains it
+		// The flat store's table is also the PIT's (see New): one fused
+		// probe resolves both the CS and the pending facet.
+		_, cached, pending = f.csFlat.ProbeViewFused(&v, now) //ndnlint:allow viewsafe — ProbeViewFused reads the view, never retains it
 	case f.csTiered != nil:
 		_, cached = f.csTiered.ExactView(&v, now) //ndnlint:allow viewsafe — ExactView reads the view, never retains it
+		pending = f.pit.HasPendingView(&v, now)
+	default:
+		// No Content Store: the PIT-only probe.
+		pending = f.pit.HasPendingView(&v, now)
 	}
-	pending = f.pit.HasPendingView(&v, now)
 	if f.spans != nil {
 		// Traceless point span: wire probes have no propagated context,
 		// and the name stays un-materialized — the view's hash rides in
@@ -467,9 +484,23 @@ func (f *Forwarder) handleInterest(from table.FaceID, interest *ndn.Interest) {
 		interest = &cp
 	}
 
-	// Content Store lookup, mediated by the cache manager.
+	// Content Store lookup, mediated by the cache manager. With a flat
+	// store the PIT runs on the same composite table (see New), so the
+	// probe taken here is reused by the PIT steps below — one hash
+	// probe per arriving interest resolves CS-check, PIT-aggregate and
+	// PIT-insert.
+	var probe pcct.Probe
+	fused := f.csFlat != nil
 	if f.cs != nil {
-		if entry, found := f.cs.Match(interest, now); found {
+		var entry *cache.Entry
+		var found bool
+		if fused {
+			probe = f.csFlat.ProbeName(interest.Name)
+			entry, found = f.csFlat.MatchProbed(interest, &probe, now)
+		} else {
+			entry, found = f.cs.Match(interest, now)
+		}
+		if found {
 			// A hit served from the second (disk) tier pays that tier's
 			// modeled service latency on top of everything else — the
 			// third latency class the tiered-store adversary measures.
@@ -526,6 +557,7 @@ func (f *Forwarder) handleInterest(from table.FaceID, interest *ndn.Interest) {
 				}
 				data := entry.Data.Clone()
 				data.TraceID, data.SpanID = hopCtx.Trace, hopCtx.Span
+				data.PITToken = interest.PITToken // echo the requester's PIT token (see ndn.Data.PITToken)
 				f.spans.End(hop, int64(now)+int64(diskCost), "serve")
 				if diskCost > 0 {
 					f.schedule(diskCost, netsim.EventDisk, func() { f.sendData(from, data) })
@@ -540,6 +572,7 @@ func (f *Forwarder) handleInterest(from table.FaceID, interest *ndn.Interest) {
 				}
 				data := entry.Data.Clone()
 				data.TraceID, data.SpanID = hopCtx.Trace, hopCtx.Span
+				data.PITToken = interest.PITToken // echo the requester's PIT token (see ndn.Data.PITToken)
 				// The artificial delay replays the original miss latency;
 				// a disk-resident entry still pays the read first, so the
 				// total exceeds the replayed γ_C — the residual leak the
@@ -578,8 +611,14 @@ func (f *Forwarder) handleInterest(from table.FaceID, interest *ndn.Interest) {
 		return
 	}
 
-	// PIT.
-	switch f.pit.Insert(interest, from, now) {
+	// PIT. The fused path reuses the probe the CS check took above
+	// (InsertProbed re-probes only if a stale purge mutated the table);
+	// otherwise the PIT probes its own private table once here.
+	if !fused {
+		probe = f.pit.Probe(interest.Name)
+	}
+	outcome, tok := f.pit.InsertProbed(interest, from, now, &probe)
+	switch outcome {
 	case table.Aggregated:
 		f.stats.Aggregated++
 		if f.tel != nil {
@@ -609,9 +648,16 @@ func (f *Forwarder) handleInterest(from table.FaceID, interest *ndn.Interest) {
 	}
 
 	upstream := interest
-	if interest.Scope > 1 {
+	if interest.Scope > 1 || tok != interest.PITToken {
 		cp := *interest
-		cp.Scope--
+		if cp.Scope > 1 {
+			cp.Scope--
+		}
+		// Stamp this node's own PIT entry token on the upstream copy, so
+		// the answering Data comes back carrying a direct table handle
+		// and satisfaction skips the hash probe (see pcct; the NDNLPv2
+		// PIT-token analog).
+		cp.PITToken = tok
 		upstream = &cp
 	}
 
@@ -690,7 +736,10 @@ func (f *Forwarder) handleData(from table.FaceID, data *ndn.Data) {
 	}
 	now := f.sim.Now()
 
-	res, matched := f.pit.SatisfyWithInfo(data, now)
+	// The Data's PIT token — stamped by this node onto the upstream
+	// interest copy — resolves the pending entry directly; a zero or
+	// stale token degrades to the plain hash-probe sweep.
+	res, matched := f.pit.SatisfyByToken(data, data.PITToken, now)
 	if !matched {
 		f.stats.Unsolicited++
 		if f.tel != nil {
@@ -720,6 +769,9 @@ func (f *Forwarder) handleData(from table.FaceID, data *ndn.Data) {
 		// cache-manager state changes on later cached-draw paths (coin
 		// spans) parent under the hop that fetched the content.
 		entry.Data.TraceID, entry.Data.SpanID = res.Trace, res.Span
+		// The cached copy keeps no PIT token: tokens are hop-local and
+		// serve paths stamp the requester's own token on each response.
+		entry.Data.PITToken = 0
 		if res.PrivacyRequested && !entry.NonPrivateTrigger {
 			// Consumer-driven marking (Section V).
 			entry.Private = true
@@ -727,11 +779,13 @@ func (f *Forwarder) handleData(from table.FaceID, data *ndn.Data) {
 		f.cm.OnContentCached(entry, fetchDelay, now)
 	}
 
-	for _, hop := range res.Faces {
+	for i, hop := range res.Faces {
 		down := data.Clone()
 		// Downstream copies carry the satisfied PIT entry's context, so
-		// the return path's link spans join the same trace.
+		// the return path's link spans join the same trace — and each
+		// face's own PIT token, so the next node satisfies by handle too.
 		down.TraceID, down.SpanID = res.Trace, res.Span
+		down.PITToken = res.Tokens[i]
 		f.sendData(hop, down)
 	}
 }

@@ -9,6 +9,7 @@
 package ndn
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"strings"
@@ -199,12 +200,8 @@ func (n Name) Compare(other Name) int {
 		limit = len(other.components)
 	}
 	for i := 0; i < limit; i++ {
-		a, b := string(n.components[i]), string(other.components[i])
-		switch {
-		case a < b:
-			return -1
-		case a > b:
-			return 1
+		if c := bytes.Compare(n.components[i], other.components[i]); c != 0 {
+			return c
 		}
 	}
 	switch {

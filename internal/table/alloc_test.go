@@ -70,3 +70,34 @@ func TestPITDuplicateNonceZeroAlloc(t *testing.T) {
 		t.Fatal("expected duplicate-nonce outcomes")
 	}
 }
+
+func TestPITInsertSatisfyChurnZeroAlloc(t *testing.T) {
+	// The full steady-state PIT lifecycle — probe, admit, satisfy by
+	// token — must not allocate: entries come from the table arena's
+	// free list, facets from the facet pool, and the face/nonce/result
+	// slices retain their backing across lifecycles.
+	p := NewPIT()
+	name := ndn.MustParseName("/alloc/churn")
+	interest := ndn.NewInterest(name, 1)
+	d, err := ndn.NewData(name, []byte("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Prime one lifecycle so arena, pool and buffers reach capacity.
+	p.Insert(interest, 1, 0)
+	if _, ok := p.SatisfyWithInfo(d, 0); !ok {
+		t.Fatal("prime satisfaction failed")
+	}
+	if n := testing.AllocsPerRun(200, func() {
+		pr := p.Probe(interest.Name)
+		_, tok := p.InsertProbed(interest, 1, 0, &pr)
+		if tok == 0 {
+			t.Fatal("no token returned")
+		}
+		if _, ok := p.SatisfyByToken(d, tok, 0); !ok {
+			t.Fatal("satisfaction failed")
+		}
+	}); n != 0 {
+		t.Errorf("PIT insert+satisfy churn: %.2f allocs/run, want 0", n)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"ndnprivacy/internal/ndn"
+	"ndnprivacy/internal/pcct"
 	"ndnprivacy/internal/telemetry"
 )
 
@@ -43,50 +44,43 @@ func (o InsertOutcome) String() string {
 	}
 }
 
-// pitEntry tracks one pending name.
-type pitEntry struct {
-	name    ndn.Name
-	faces   map[FaceID]struct{}
-	nonces  map[uint64]struct{}
-	expires time.Duration // virtual time
-	// created is when the entry was first inserted; the forwarder uses
-	// it to measure the interest-in→content-out delay γ_C.
-	created time.Duration
-	// privacy records whether the entry-creating interest carried the
-	// consumer privacy bit (Section V consumer-driven marking).
-	privacy bool
-	// trace and span carry the entry-creating interest's span context so
-	// the forwarder can parent the upstream-wait span when Data returns.
-	trace uint64
-	span  uint64
-}
-
-// PIT is the Pending Interest Table. Time is supplied by the caller as a
-// virtual-clock offset so the table works under the discrete-event
-// simulator. PIT is not safe for concurrent use.
+// PIT is the Pending Interest Table, backed by the PIT facets of a
+// PIT-CS composite table (internal/pcct). A forwarder normally runs the
+// PIT on the same table as its Content Store (NewPITOn), so one hash
+// probe per arriving interest resolves CS-check, PIT-aggregate and
+// PIT-insert together; NewPIT builds a private table for standalone
+// use. Time is supplied by the caller as a virtual-clock offset so the
+// table works under the discrete-event simulator. PIT is not safe for
+// concurrent use.
 type PIT struct {
-	entries map[string]*pitEntry
-	// byHash buckets entries by Name.Hash so view lookups and the
-	// rolling-hash prefix probe in SatisfyWithInfo can find entries
-	// without materializing name keys. Membership is verified by full
-	// component comparison; buckets only exceed one entry on a 64-bit
-	// hash collision.
-	byHash   map[uint64][]*pitEntry
+	t        *pcct.Table
 	capacity int
 	rejected uint64
 
 	expired *telemetry.Counter
 	sink    telemetry.Sink
 	node    string
+
+	// facesBuf and tokensBuf are the reused, parallel result slices
+	// SatisfyWithInfo hands out: facesBuf[i] awaits the content and
+	// tokensBuf[i] is that face's downstream PIT token (zero when the
+	// face is an application). Both are valid until the next Satisfy
+	// call. expireBuf is the reused Expire sweep scratch.
+	facesBuf  []FaceID
+	tokensBuf []uint64
+	expireBuf []*pcct.Entry
 }
 
-// NewPIT returns an empty, unbounded PIT.
+// NewPIT returns an empty, unbounded PIT on its own private table.
 func NewPIT() *PIT {
-	return &PIT{
-		entries: make(map[string]*pitEntry),
-		byHash:  make(map[uint64][]*pitEntry),
-		expired: telemetry.NewCounter(),
-	}
+	return NewPITOn(pcct.New(pcct.PolicyLRU))
+}
+
+// NewPITOn returns an empty, unbounded PIT running on t — typically a
+// Content Store's table (cache.Store.Table), fusing both tables'
+// lookups into one probe.
+func NewPITOn(t *pcct.Table) *PIT {
+	return &PIT{t: t, expired: telemetry.NewCounter()}
 }
 
 // Instrument registers the table's expiry counter on the registry under
@@ -106,12 +100,12 @@ func (p *PIT) Instrument(reg *telemetry.Registry, sink telemetry.Sink, node stri
 // unanswered.
 func (p *PIT) Expired() uint64 { return p.expired.Value() }
 
-// expire removes one lapsed entry and accounts for it.
-func (p *PIT) expire(key string, now time.Duration) {
-	if entry, found := p.entries[key]; found {
-		p.unindexHash(entry)
-	}
-	delete(p.entries, key)
+// expireEntry removes one lapsed entry and accounts for it. The table
+// entry survives if a CS facet shares it.
+func (p *PIT) expireEntry(e *pcct.Entry, now time.Duration) {
+	key := e.Name().Key()
+	p.t.DetachPIT(e)
+	p.t.ReleaseIfEmpty(e)
 	p.expired.Inc()
 	if p.sink != nil {
 		p.sink.Emit(telemetry.Event{ //ndnlint:allow alloccheck — trace emission is opt-in instrumentation
@@ -139,65 +133,105 @@ func (p *PIT) SetCapacity(n int) {
 func (p *PIT) Rejected() uint64 { return p.rejected }
 
 // Len returns the number of distinct pending names.
-func (p *PIT) Len() int { return len(p.entries) }
+func (p *PIT) Len() int { return p.t.LenPIT() }
 
 // Insert records that interest arrived on face at virtual time now.
+// Only admitting a new pending name may allocate (each allocation is
+// waived below), so aggregation and duplicate-nonce handling stay
+// allocation-free.
 //
-// new pending name may allocate (each allocation is waived below), so
-// aggregation and duplicate-nonce handling stay allocation-free.
-//
-//ndnlint:hotpath — runs on every arriving Interest; only admitting a
+//ndnlint:hotpath — runs on every arriving Interest
 func (p *PIT) Insert(interest *ndn.Interest, face FaceID, now time.Duration) InsertOutcome {
-	key := interest.Name.Key()
+	pr := p.t.Probe(interest.Name)
+	outcome, _ := p.InsertProbed(interest, face, now, &pr)
+	return outcome
+}
+
+// Probe captures one hash probe of the PIT's table for name, for use
+// with InsertProbed. Forwarders whose PIT shares the Content Store's
+// table reuse the store's probe instead.
+//
+//ndnlint:hotpath — the one probe per arriving interest; must not allocate
+func (p *PIT) Probe(name ndn.Name) pcct.Probe { return p.t.Probe(name) }
+
+// InsertProbed is Insert reusing an earlier probe of interest.Name —
+// the fused fast path: the forwarder probes once, checks the CS via the
+// same probe, and inserts here without re-hashing. It additionally
+// returns the entry's direct-access token (for InsertedNew and
+// Aggregated outcomes): the forwarder stamps it on the upstream copy so
+// the answering Data can come back with a table handle.
+//
+//ndnlint:hotpath — runs on every arriving Interest; admission allocations waived below
+func (p *PIT) InsertProbed(interest *ndn.Interest, face FaceID, now time.Duration, pr *pcct.Probe) (InsertOutcome, uint64) {
 	lifetime := interest.Lifetime
 	if lifetime <= 0 {
 		lifetime = ndn.DefaultInterestLifetime
 	}
-	entry, found := p.entries[key]
-	if found && now >= entry.expires {
-		// Stale entry: treat as absent.
-		p.expire(key, now)
-		found = false
+	if !pr.Valid(p.t) {
+		*pr = p.t.Probe(interest.Name)
 	}
-	if !found {
-		if p.capacity > 0 && len(p.entries) >= p.capacity {
+	e := pr.Entry
+	if e != nil && e.PITActive() && now >= e.PIT().Expires {
+		// Stale entry: treat as absent. The release may recycle the
+		// whole entry (no CS facet), invalidating the probe; PutProbed
+		// below re-probes.
+		p.expireEntry(e, now)
+	}
+	if e == nil || !e.PITActive() {
+		if p.capacity > 0 && p.t.LenPIT() >= p.capacity {
 			// Reclaim expired entries before refusing admission.
 			p.Expire(now) //ndnlint:allow alloccheck — capacity reclaim is the slow path
-			if len(p.entries) >= p.capacity {
+			if p.t.LenPIT() >= p.capacity {
 				p.rejected++
-				return RejectedFull
+				return RejectedFull, 0
 			}
 		}
-		fresh := &pitEntry{ //ndnlint:allow alloccheck — new-entry admission allocates by design
-			name:    interest.Name,
-			faces:   map[FaceID]struct{}{face: {}},           //ndnlint:allow alloccheck — new-entry admission
-			nonces:  map[uint64]struct{}{interest.Nonce: {}}, //ndnlint:allow alloccheck — new-entry admission
-			expires: now + lifetime,
-			created: now,
-			privacy: interest.Privacy == ndn.PrivacyRequested,
-			trace:   interest.TraceID,
-			span:    interest.SpanID,
+		e = p.t.PutProbed(pr, interest.Name) //ndnlint:allow alloccheck — new-entry admission allocates by design
+		pf := p.t.AttachPIT(e)
+		pf.Expires = now + lifetime
+		pf.Created = now
+		pf.Privacy = interest.Privacy == ndn.PrivacyRequested
+		pf.Trace = interest.TraceID
+		pf.Span = interest.SpanID
+		pf.Faces = append(pf.Faces, pcct.FaceRec{Face: int64(face), Token: interest.PITToken}) //ndnlint:allow alloccheck — new-entry admission; backing array reused across lifecycles
+		pf.Nonces = append(pf.Nonces, interest.Nonce)                                          //ndnlint:allow alloccheck — new-entry admission; backing array reused across lifecycles
+		return InsertedNew, p.t.TokenOf(e)
+	}
+	pf := e.PIT()
+	for _, nonce := range pf.Nonces {
+		if nonce == interest.Nonce {
+			return DuplicateNonce, 0
 		}
-		p.entries[key] = fresh //ndnlint:allow alloccheck — new-entry admission
-		h := interest.Name.Hash()
-		p.byHash[h] = append(p.byHash[h], fresh) //ndnlint:allow alloccheck — new-entry admission
-		return InsertedNew
 	}
-	if _, dup := entry.nonces[interest.Nonce]; dup {
-		return DuplicateNonce
+	pf.Nonces = append(pf.Nonces, interest.Nonce) //ndnlint:allow alloccheck — nonce list bounded by in-flight retransmissions
+	recorded := false
+	for i := range pf.Faces {
+		if pf.Faces[i].Face == int64(face) {
+			if interest.PITToken != 0 {
+				pf.Faces[i].Token = interest.PITToken
+			}
+			recorded = true
+			break
+		}
 	}
-	entry.nonces[interest.Nonce] = struct{}{} //ndnlint:allow alloccheck — nonce set bounded by in-flight retransmissions
-	entry.faces[face] = struct{}{}            //ndnlint:allow alloccheck — face set bounded by the node's degree
-	if exp := now + lifetime; exp > entry.expires {
-		entry.expires = exp
+	if !recorded {
+		pf.Faces = append(pf.Faces, pcct.FaceRec{Face: int64(face), Token: interest.PITToken}) //ndnlint:allow alloccheck — face list bounded by the node's degree
 	}
-	return Aggregated
+	if exp := now + lifetime; exp > pf.Expires {
+		pf.Expires = exp
+	}
+	return Aggregated, p.t.TokenOf(e)
 }
 
 // SatisfyResult describes the pending entries one Data packet consumed.
 type SatisfyResult struct {
-	// Faces is the union of downstream faces awaiting the content.
+	// Faces is the union of downstream faces awaiting the content,
+	// sorted ascending. The slice is reused by the next Satisfy call.
 	Faces []FaceID
+	// Tokens runs parallel to Faces: Tokens[i] is the downstream PIT
+	// token face i attached to its interest (zero when the face is an
+	// application or sent no token). Reused like Faces.
+	Tokens []uint64
 	// FirstCreated is the earliest creation time among consumed
 	// entries; now − FirstCreated is the router's observed fetch delay.
 	FirstCreated time.Duration
@@ -214,7 +248,8 @@ type SatisfyResult struct {
 // and returns the union of their downstream faces. Matching follows the
 // NDN rule: a pending interest for X is satisfied by content named X' iff
 // X is a prefix of X' (honoring the unpredictable-suffix restriction via
-// ndn.Data.Matches). Expired entries never match.
+// ndn.Data.Matches). Expired entries never match. The returned slice is
+// reused by the next Satisfy call.
 func (p *PIT) Satisfy(data *ndn.Data, now time.Duration) []FaceID {
 	res, matched := p.SatisfyWithInfo(data, now)
 	if !matched {
@@ -224,15 +259,38 @@ func (p *PIT) Satisfy(data *ndn.Data, now time.Duration) []FaceID {
 }
 
 // SatisfyWithInfo is Satisfy plus the timing/privacy metadata the
-// forwarder needs for caching decisions. Prefix candidates are probed by
-// rolling hash (see ndn.MixComponentHash), so the match path neither
-// materializes prefix names nor synthesizes probe interests; the only
-// remaining allocations assemble the result face list (waived below,
-// pinned by the allocation budget).
+// forwarder needs for caching decisions. See SatisfyByToken for the
+// token-assisted variant.
 //
-//ndnlint:hotpath — runs on every arriving Data
+//ndnlint:hotpath — runs on every arriving Data; must not allocate in steady state
 func (p *PIT) SatisfyWithInfo(data *ndn.Data, now time.Duration) (SatisfyResult, bool) {
-	faceSet := make(map[FaceID]struct{}) //ndnlint:allow alloccheck — result assembly
+	return p.SatisfyByToken(data, 0, now)
+}
+
+// SatisfyByToken is SatisfyWithInfo with a direct-access hint: tok, when
+// nonzero, is the PIT token this Data carried back (stamped on the
+// interest by InsertProbed). A valid token substitutes for the hash
+// probe at its entry's prefix length; the k-ascending sweep and its
+// event order are unchanged, so a token is purely an optimization —
+// stale or foreign tokens are ignored.
+//
+// Prefix candidates are probed by rolling hash (see
+// ndn.MixComponentHash) and gated by the table's per-length facet
+// counts, so the match path neither materializes prefix names nor
+// probes lengths with nothing pending. The result's face and token
+// slices are reused buffers: sorted by face, deduplicated, valid until
+// the next Satisfy call — steady-state satisfaction allocates nothing.
+//
+//ndnlint:hotpath — runs on every arriving Data; must not allocate in steady state
+func (p *PIT) SatisfyByToken(data *ndn.Data, tok uint64, now time.Duration) (SatisfyResult, bool) {
+	var tokEntry *pcct.Entry
+	if tok != 0 {
+		if e := p.t.ByToken(tok); e != nil && e.PITActive() && e.Name().IsPrefixOf(data.Name) {
+			tokEntry = e
+		}
+	}
+	p.facesBuf = p.facesBuf[:0]
+	p.tokensBuf = p.tokensBuf[:0]
 	var res SatisfyResult
 	matched := false
 	// Candidate entries are exactly the prefixes of the data name. The
@@ -241,36 +299,38 @@ func (p *PIT) SatisfyWithInfo(data *ndn.Data, now time.Duration) (SatisfyResult,
 	// (k+1)-prefix hash, matching what Insert cached via Name.Hash.
 	h := ndn.NameHashSeed()
 	for k := 0; ; k++ {
-		// Names are unique PIT keys, so at most one bucket entry is the
-		// exact k-prefix of the data name; find it before mutating the
-		// bucket (expire and remove swap entries around).
-		var hit *pitEntry
-		for _, entry := range p.byHash[h] {
-			if entry.name.Len() == k && entry.name.IsPrefixOf(data.Name) {
-				hit = entry
-				break
+		var hit *pcct.Entry
+		switch {
+		case tokEntry != nil && tokEntry.Name().Len() == k:
+			hit = tokEntry
+		case p.t.PITLenAt(k) > 0:
+			// Names are unique, so at most one entry is the exact
+			// k-prefix of the data name.
+			if e := p.t.GetPrefix(h, k, data.Name); e != nil && e.PITActive() {
+				hit = e
 			}
 		}
 		if hit != nil {
+			pf := hit.PIT()
 			switch {
-			case now >= hit.expires:
-				p.expire(hit.name.Key(), now)
-			case !data.MatchesName(hit.name):
+			case now >= pf.Expires:
+				p.expireEntry(hit, now)
+			case !data.MatchesName(hit.Name()):
 				// Unpredictable-suffix restriction: a shorter pending
 				// prefix must not consume /…/<rand> content.
 			default:
-				if !matched || hit.created < res.FirstCreated {
-					res.FirstCreated = hit.created
-					res.PrivacyRequested = hit.privacy
-					res.Trace = hit.trace
-					res.Span = hit.span
+				if !matched || pf.Created < res.FirstCreated {
+					res.FirstCreated = pf.Created
+					res.PrivacyRequested = pf.Privacy
+					res.Trace = pf.Trace
+					res.Span = pf.Span
 				}
 				matched = true
-				for f := range hit.faces {
-					faceSet[f] = struct{}{} //ndnlint:allow alloccheck — result assembly
+				for _, fr := range pf.Faces {
+					p.addFace(FaceID(fr.Face), fr.Token)
 				}
-				p.unindexHash(hit)
-				delete(p.entries, hit.name.Key())
+				p.t.DetachPIT(hit)
+				p.t.ReleaseIfEmpty(hit)
 			}
 		}
 		if k == data.Name.Len() {
@@ -281,22 +341,70 @@ func (p *PIT) SatisfyWithInfo(data *ndn.Data, now time.Duration) (SatisfyResult,
 	if !matched {
 		return SatisfyResult{}, false
 	}
-	// Sort so downstream sends happen in a seed-stable order: map
-	// iteration would reorder same-timestamp deliveries run to run.
-	res.Faces = make([]FaceID, 0, len(faceSet)) //ndnlint:allow alloccheck — result assembly
-	for f := range faceSet {
-		res.Faces = append(res.Faces, f) //ndnlint:allow alloccheck — result assembly
+	// Sort by face so downstream sends happen in a seed-stable order;
+	// tokens travel with their faces. Insertion sort: face lists are a
+	// handful of elements and the buffers must not allocate.
+	for i := 1; i < len(p.facesBuf); i++ {
+		f, t := p.facesBuf[i], p.tokensBuf[i]
+		j := i - 1
+		for j >= 0 && p.facesBuf[j] > f {
+			p.facesBuf[j+1], p.tokensBuf[j+1] = p.facesBuf[j], p.tokensBuf[j]
+			j--
+		}
+		p.facesBuf[j+1], p.tokensBuf[j+1] = f, t
 	}
-	sort.Slice(res.Faces, func(i, j int) bool { return res.Faces[i] < res.Faces[j] }) //ndnlint:allow alloccheck — deterministic ordering
+	res.Faces = p.facesBuf
+	res.Tokens = p.tokensBuf
 	return res, true
+}
+
+// addFace records one downstream face in the reused result buffers,
+// deduplicating across consumed entries. The first nonzero token for a
+// face wins (any of the downstream node's live tokens serves as a
+// satisfaction hint there).
+//
+//ndnlint:hotpath — per-face step of Data satisfaction; must not allocate
+func (p *PIT) addFace(f FaceID, tok uint64) {
+	for i := range p.facesBuf {
+		if p.facesBuf[i] == f {
+			if p.tokensBuf[i] == 0 {
+				p.tokensBuf[i] = tok
+			}
+			return
+		}
+	}
+	if len(p.facesBuf) == cap(p.facesBuf) {
+		p.growFaceBufs()
+	}
+	n := len(p.facesBuf)
+	p.facesBuf = p.facesBuf[:n+1]
+	p.tokensBuf = p.tokensBuf[:n+1]
+	p.facesBuf[n] = f
+	p.tokensBuf[n] = tok
+}
+
+// growFaceBufs extends the result buffers off the hot path; after the
+// first few Data arrivals the capacity covers the node's degree and
+// steady state never returns here.
+func (p *PIT) growFaceBufs() {
+	nc := 2 * cap(p.facesBuf)
+	if nc == 0 {
+		nc = 8
+	}
+	faces := make([]FaceID, len(p.facesBuf), nc) //ndnlint:allow alloccheck — amortized one-time buffer growth
+	copy(faces, p.facesBuf)
+	p.facesBuf = faces
+	tokens := make([]uint64, len(p.tokensBuf), nc) //ndnlint:allow alloccheck — amortized one-time buffer growth
+	copy(tokens, p.tokensBuf)
+	p.tokensBuf = tokens
 }
 
 // HasPending reports whether an unexpired entry exists for exactly name.
 //
 //ndnlint:hotpath — loop-detection probe on the Interest path
 func (p *PIT) HasPending(name ndn.Name, now time.Duration) bool {
-	entry, found := p.entries[name.Key()]
-	return found && now < entry.expires
+	e := p.t.Get(name)
+	return e != nil && e.PITActive() && now < e.PIT().Expires
 }
 
 // HasPendingView is HasPending for a zero-copy name view: the pending
@@ -305,48 +413,28 @@ func (p *PIT) HasPending(name ndn.Name, now time.Duration) bool {
 //
 //ndnlint:hotpath — loop-detection probe on the wire Interest path; must not allocate
 func (p *PIT) HasPendingView(v *ndn.NameView, now time.Duration) bool {
-	for _, entry := range p.byHash[v.Hash()] {
-		if v.EqualName(entry.name) {
-			return now < entry.expires
-		}
-	}
-	return false
-}
-
-// unindexHash removes entry from its hash bucket with a swap-remove;
-// bucket order is irrelevant because lookups verify full equality.
-func (p *PIT) unindexHash(entry *pitEntry) {
-	h := entry.name.Hash()
-	bucket := p.byHash[h]
-	for i, e := range bucket {
-		if e != entry {
-			continue
-		}
-		bucket[i] = bucket[len(bucket)-1]
-		bucket[len(bucket)-1] = nil
-		bucket = bucket[:len(bucket)-1]
-		break
-	}
-	if len(bucket) == 0 {
-		delete(p.byHash, h)
-	} else {
-		p.byHash[h] = bucket //ndnlint:allow alloccheck — rewrites an existing key; cannot grow the map
-	}
+	e := p.t.GetView(v)
+	return e != nil && e.PITActive() && now < e.PIT().Expires
 }
 
 // Expire removes every entry whose lifetime has passed and returns the
-// number removed. Lapsed keys are collected and sorted before removal so
-// the pit_expire trace events come out in a seed-stable order.
+// number removed. Lapsed entries are collected and sorted by name key
+// before removal so the pit_expire trace events come out in a
+// seed-stable order.
 func (p *PIT) Expire(now time.Duration) int {
-	var lapsed []string
-	for key, entry := range p.entries {
-		if now >= entry.expires {
-			lapsed = append(lapsed, key)
+	p.expireBuf = p.expireBuf[:0]
+	p.t.ForEachPIT(func(e *pcct.Entry) {
+		if now >= e.PIT().Expires {
+			p.expireBuf = append(p.expireBuf, e)
 		}
+	})
+	sort.Slice(p.expireBuf, func(i, j int) bool {
+		return p.expireBuf[i].Name().Key() < p.expireBuf[j].Name().Key()
+	})
+	removed := len(p.expireBuf)
+	for i, e := range p.expireBuf {
+		p.expireEntry(e, now)
+		p.expireBuf[i] = nil
 	}
-	sort.Strings(lapsed)
-	for _, key := range lapsed {
-		p.expire(key, now)
-	}
-	return len(lapsed)
+	return removed
 }

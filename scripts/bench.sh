@@ -15,11 +15,12 @@
 #
 # Output: one JSON array of {suite, name, iterations, ns_per_op,
 # bytes_per_op, allocs_per_op} objects in the repo root. The output name
-# is per-PR (BENCH_PR9.json for this one) so BENCH_*.json snapshots
+# is per-PR (BENCH_PR10.json for this one) so BENCH_*.json snapshots
 # accumulate into a perf trajectory instead of overwriting each other;
-# CI pins the name explicitly via BENCH_OUT. ns/B/allocs fields are null
-# when a benchmark did not report them (e.g. without -benchmem
-# equivalents in its output line).
+# CI pins the name explicitly via BENCH_OUT, and scripts/benchdiff gates
+# hot-path regressions between the two newest committed snapshots.
+# ns/B/allocs fields are null when a benchmark did not report them
+# (e.g. without -benchmem equivalents in its output line).
 #
 # The experiments suite carries BenchmarkFigure5Sweep/{serial,parallel8}:
 # the same grid replayed at -parallel 1 and 8, the sweep-engine
@@ -34,9 +35,9 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="${1:-${BENCH_OUT:-BENCH_PR9.json}}"
+out="${1:-${BENCH_OUT:-BENCH_PR10.json}}"
 benchtime="${BENCHTIME:-1x}"
-suites=(ndn cache cache/tiered fwd trace core stats experiments lint)
+suites=(ndn pcct cache cache/tiered table fwd trace core stats experiments lint)
 
 tmp=$(mktemp)
 trap 'rm -f "$tmp"' EXIT

@@ -1,0 +1,201 @@
+// Command benchdiff gates benchmark regressions between per-PR snapshot
+// files. It compares the two newest BENCH_PR<N>.json files (as written
+// by scripts/bench.sh) and fails when a hot-path benchmark regressed:
+// any increase in allocs/op, or a ns/op increase beyond the tolerance
+// (default 25%). Non-hot-path benchmarks are reported but never gate —
+// their cost is not part of the repo's timing-channel contract.
+//
+// Usage:
+//
+//	go run ./scripts/benchdiff [-dir .] [-ns-tol 0.25] [old.json new.json]
+//
+// With explicit file arguments the discovery step is skipped. Exit
+// status is 1 when any gated regression is found, 0 otherwise.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+)
+
+// result mirrors one entry of a bench.sh snapshot.
+type result struct {
+	Suite  string   `json:"suite"`
+	Name   string   `json:"name"`
+	Iters  int64    `json:"iterations"`
+	NsOp   *float64 `json:"ns_per_op"`
+	BOp    *float64 `json:"bytes_per_op"`
+	Allocs *float64 `json:"allocs_per_op"`
+}
+
+// hotpathPat selects the benchmarks that exercise //ndnlint:hotpath
+// code — the zero-alloc, latency-contracted paths the paper's timing
+// adversary measures. Only these gate the build.
+var hotpathPat = regexp.MustCompile(
+	`^Benchmark(` +
+		`Store(ExactHit|ExactViewHit|PrefixMatch|InsertEvict|Churn)` +
+		`|PCCT` +
+		`|InterestPath` +
+		`|ProbeWire` +
+		`|PIT` +
+		`|ParseNameView|InterestNameView|NameIsPrefixOf` +
+		`|TieredExact` +
+		`)`)
+
+// procSuffix strips the trailing -<GOMAXPROCS> go test appends, so
+// snapshots from machines with different core counts still line up.
+var procSuffix = regexp.MustCompile(`-\d+$`)
+
+func load(path string) (map[string]result, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rs []result
+	if err := json.Unmarshal(raw, &rs); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	out := make(map[string]result, len(rs))
+	for _, r := range rs {
+		name := procSuffix.ReplaceAllString(r.Name, "")
+		r.Name = name
+		out[r.Suite+"/"+name] = r
+	}
+	return out, nil
+}
+
+// newestPair finds the two BENCH_PR<N>.json files with the highest N.
+func newestPair(dir string) (older, newer string, err error) {
+	pat := regexp.MustCompile(`^BENCH_PR(\d+)\.json$`)
+	type snap struct {
+		n    int
+		path string
+	}
+	var snaps []snap
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for _, e := range entries {
+		m := pat.FindStringSubmatch(e.Name())
+		if m == nil {
+			continue
+		}
+		n, err := strconv.Atoi(m[1])
+		if err != nil {
+			continue
+		}
+		snaps = append(snaps, snap{n: n, path: filepath.Join(dir, e.Name())})
+	}
+	if len(snaps) < 2 {
+		return "", "", fmt.Errorf("need at least two BENCH_PR*.json snapshots in %s, found %d", dir, len(snaps))
+	}
+	sort.Slice(snaps, func(i, j int) bool { return snaps[i].n < snaps[j].n })
+	return snaps[len(snaps)-2].path, snaps[len(snaps)-1].path, nil
+}
+
+func main() {
+	dir := flag.String("dir", ".", "directory holding BENCH_PR*.json snapshots")
+	nsTol := flag.Float64("ns-tol", 0.25, "allowed fractional ns/op increase on hot-path benchmarks")
+	flag.Parse()
+
+	var oldPath, newPath string
+	switch flag.NArg() {
+	case 0:
+		var err error
+		oldPath, newPath, err = newestPair(*dir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchdiff:", err)
+			os.Exit(2)
+		}
+	case 2:
+		oldPath, newPath = flag.Arg(0), flag.Arg(1)
+	default:
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-dir .] [-ns-tol 0.25] [old.json new.json]")
+		os.Exit(2)
+	}
+
+	oldRes, err := load(oldPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	newRes, err := load(newPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	fmt.Printf("benchdiff: %s → %s (ns tolerance %+.0f%% on hot-path benchmarks)\n",
+		oldPath, newPath, *nsTol*100)
+
+	keys := make([]string, 0, len(newRes))
+	for k := range newRes {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	failures := 0
+	for _, k := range keys {
+		nr := newRes[k]
+		or, inOld := oldRes[k]
+		hot := hotpathPat.MatchString(nr.Name)
+		if !inOld {
+			continue // new benchmark: nothing to regress against
+		}
+		var notes []string
+		bad := false
+		if or.Allocs != nil && nr.Allocs != nil && *nr.Allocs != *or.Allocs {
+			notes = append(notes, fmt.Sprintf("allocs %g → %g", *or.Allocs, *nr.Allocs))
+			if *nr.Allocs > *or.Allocs && hot {
+				bad = true
+			}
+		}
+		if or.NsOp != nil && nr.NsOp != nil && *or.NsOp > 0 {
+			delta := (*nr.NsOp - *or.NsOp) / *or.NsOp
+			if delta > *nsTol || delta < -*nsTol {
+				notes = append(notes, fmt.Sprintf("ns/op %.0f → %.0f (%+.0f%%)", *or.NsOp, *nr.NsOp, delta*100))
+			}
+			if delta > *nsTol && hot {
+				bad = true
+			}
+		}
+		if len(notes) == 0 {
+			continue
+		}
+		tag := "info"
+		if bad {
+			tag = "FAIL"
+			failures++
+		} else if hot {
+			tag = "ok  "
+		}
+		fmt.Printf("  [%s] %s: %s\n", tag, k, joinNotes(notes))
+	}
+	// Hot-path benchmarks that disappeared are a gate too: a silently
+	// dropped benchmark would hide any future regression.
+	for k, or := range oldRes {
+		if _, still := newRes[k]; !still && hotpathPat.MatchString(or.Name) {
+			fmt.Printf("  [FAIL] %s: hot-path benchmark missing from new snapshot\n", k)
+			failures++
+		}
+	}
+	if failures > 0 {
+		fmt.Printf("benchdiff: %d hot-path regression(s)\n", failures)
+		os.Exit(1)
+	}
+	fmt.Println("benchdiff: no hot-path regressions")
+}
+
+func joinNotes(notes []string) string {
+	out := notes[0]
+	for _, n := range notes[1:] {
+		out += ", " + n
+	}
+	return out
+}
